@@ -1,0 +1,93 @@
+"""Ablation: what the measurement instrument contributes to the numbers.
+
+Sweeps the meter's sampling interval, gain error, and quantization against
+a fixed ground-truth power curve (an HPL run on Fire) and reports the
+energy error each effect introduces.  The paper's 1 Hz Watts Up? PRO sits
+comfortably below 1 % on minute-scale runs — this bench demonstrates why
+the methodology is sound, and where it would stop being sound (minute-scale
+sampling of minute-scale runs).
+"""
+
+import pytest
+
+from repro.benchmarks import HPLBenchmark
+from repro.cluster import presets
+from repro.power.meter import MeterSpec, WallPlugMeter
+from repro.sim import ClusterExecutor
+
+
+@pytest.fixture(scope="module")
+def truth():
+    """Ground-truth power curve of one HPL run at 128 ranks."""
+    fire = presets.fire()
+    executor = ClusterExecutor(fire, rng=7)
+    bench = HPLBenchmark(sizing=("fixed", 20160), rounds=4, comm_volume_factor=2.0)
+    built = bench.build(executor, 128)
+    record = executor.execute(built.placement, built.programs)
+    return record
+
+
+def measure_energy(truth_record, spec, seed=0):
+    trace = WallPlugMeter(spec, rng=seed).measure(truth_record.truth)
+    return trace.mean_power() * truth_record.makespan_s
+
+
+def test_sampling_rate_ablation(benchmark, truth):
+    errors = {}
+
+    def sweep():
+        for dt in (0.1, 1.0, 10.0, 60.0):
+            spec = MeterSpec(
+                name=f"dt={dt}", sample_interval_s=dt,
+                gain_error_fraction=0.0, noise_counts=0.0,
+            )
+            energy = measure_energy(truth, spec)
+            errors[dt] = abs(energy - truth.true_energy_j) / truth.true_energy_j
+        return errors
+
+    result = benchmark(sweep)
+    print("\nsampling-interval -> |energy error|:")
+    for dt, err in result.items():
+        print(f"  {dt:6.1f} s  {100 * err:.4f} %")
+    # the paper's 1 Hz instrument is comfortably accurate on this run
+    assert result[1.0] < 0.01
+    # and finer sampling can only help
+    assert result[0.1] <= result[1.0] + 1e-6
+
+
+def test_gain_error_ablation(benchmark, truth):
+    def sweep():
+        spreads = []
+        for seed in range(8):
+            spec = MeterSpec(name="pro", gain_error_fraction=0.015, noise_counts=0.0)
+            energy = measure_energy(truth, spec, seed=seed)
+            spreads.append((energy - truth.true_energy_j) / truth.true_energy_j)
+        return spreads
+
+    spreads = benchmark(sweep)
+    print(f"\nper-instrument energy bias across 8 meters: "
+          f"{[f'{100 * s:+.2f}%' for s in spreads]}")
+    # every instrument stays within its datasheet gain spec
+    assert all(abs(s) <= 0.016 for s in spreads)
+
+
+def test_quantization_ablation(benchmark, truth):
+    def sweep():
+        out = {}
+        for resolution in (0.1, 10.0, 100.0):
+            spec = MeterSpec(
+                name=f"res={resolution}", gain_error_fraction=0.0,
+                noise_counts=0.0, resolution_watts=resolution,
+            )
+            energy = measure_energy(truth, spec)
+            out[resolution] = abs(energy - truth.true_energy_j) / truth.true_energy_j
+        return out
+
+    result = benchmark(sweep)
+    print("\ndisplay resolution -> |energy error|:")
+    for res, err in result.items():
+        print(f"  {res:6.1f} W  {100 * err:.4f} %")
+    # 0.1 W counts on a ~2 kW signal are invisible next to the sampling
+    # error floor (~0.1 % on this run); even 100 W quantization stays small
+    assert result[0.1] < 5e-3
+    assert result[100.0] < 5e-2

@@ -1,0 +1,65 @@
+"""Ablation: the metering boundary (the paper's Figure 1 choice).
+
+The paper places the power meter between the outlet and the *whole*
+system.  A common lab shortcut meters only the nodes a run uses.  This
+bench quantifies how much that choice matters: with active-node metering,
+IOzone's energy-efficiency curve — rising steeply under whole-system
+metering as the idle floor is amortized — goes **flat**, and with it the
+"TGI follows the least-efficient subsystem" story of Figure 5.
+
+In other words: Figure 1 is not plumbing, it is load-bearing methodology.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import CurveShape, characterize_curve, relative_range
+from repro.benchmarks import IOzoneBenchmark
+from repro.cluster import presets
+from repro.power.meter import PERFECT_METER, WallPlugMeter
+from repro.sim import ClusterExecutor
+
+
+def iozone_ee_curve(metering: str):
+    fire = presets.fire()
+    executor = ClusterExecutor(
+        fire,
+        meter=WallPlugMeter(PERFECT_METER, rng=0),
+        metering=metering,
+    )
+    bench = IOzoneBenchmark(target_seconds=30)
+    return np.array(
+        [bench.run(executor, nodes).energy_efficiency for nodes in range(1, 9)]
+    )
+
+
+def test_metering_boundary_ablation(benchmark):
+    active = benchmark(iozone_ee_curve, "active-nodes")
+    system = iozone_ee_curve("system")
+    print("\nIOzone EE (MB/s/W) vs nodes:")
+    print(f"  whole-system meter: {np.round(system / 1e6, 3).tolist()}")
+    print(f"  active-nodes meter: {np.round(active / 1e6, 3).tolist()}")
+    # whole-system metering: strongly rising (idle floor amortized)
+    assert characterize_curve(system) is CurveShape.RISING
+    assert relative_range(system) > 1.0
+    # active-node metering: per-node efficiency, essentially flat
+    assert relative_range(active) < 0.05
+    # the shortcut also flatters the small configurations enormously
+    assert active[0] > 5 * system[0]
+
+
+def test_metering_boundary_changes_power_not_performance(benchmark):
+    """Only the measured power moves; reported performance is identical."""
+    fire = presets.fire()
+    bench = IOzoneBenchmark(target_seconds=30)
+
+    def run(metering):
+        executor = ClusterExecutor(
+            fire, meter=WallPlugMeter(PERFECT_METER, rng=0), metering=metering
+        )
+        return bench.run(executor, 2)
+
+    active = benchmark(run, "active-nodes")
+    system = run("system")
+    assert active.performance == system.performance
+    assert active.power_w < system.power_w

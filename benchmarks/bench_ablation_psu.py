@@ -1,0 +1,63 @@
+"""Ablation: the PSU efficiency curve's contribution to wall power.
+
+Compares the default load-dependent PSU curve against a lossless supply
+across the Fire suite and reports how much of the measured wall power is
+conversion loss — and how the loss *fraction* moves with load, which is
+why an idle-heavy cluster measurement cannot simply subtract a constant.
+"""
+
+import pytest
+
+from repro.cluster import presets
+from repro.power import NodePowerModel, NodeUtilization
+from repro.power.psu import IDEAL_PSU
+
+
+@pytest.fixture(scope="module")
+def fire_node():
+    return presets.fire().node
+
+
+UTILIZATION_POINTS = {
+    "idle": NodeUtilization.idle(),
+    "iozone": NodeUtilization(cpu_active_fraction=1 / 16, cpu_intensity=0.15, storage=1.0),
+    "stream": NodeUtilization(cpu_active_fraction=1.0, cpu_intensity=0.4, memory=1.0),
+    "hpl": NodeUtilization(cpu_active_fraction=1.0, cpu_intensity=1.0, memory=0.6),
+}
+
+
+def compute_losses(fire_node):
+    lossy = NodePowerModel(node=fire_node)
+    lossless = NodePowerModel(node=fire_node, psu=IDEAL_PSU)
+    out = {}
+    for name, util in UTILIZATION_POINTS.items():
+        wall = lossy.wall_power(util)
+        dc = lossless.wall_power(util)
+        out[name] = (wall, dc, (wall - dc) / wall)
+    return out
+
+
+def test_psu_loss_ablation(benchmark, fire_node):
+    losses = benchmark(compute_losses, fire_node)
+    print("\nworkload  wall(W)  dc(W)  loss-fraction")
+    for name, (wall, dc, frac) in losses.items():
+        print(f"  {name:8s} {wall:7.1f} {dc:6.1f}  {100 * frac:5.1f} %")
+    # conversion loss is material (> 8 %) everywhere ...
+    assert all(frac > 0.08 for _, _, frac in losses.values())
+    # ... and worst at idle, where the supply runs at light load
+    assert losses["idle"][2] > losses["hpl"][2]
+
+
+def test_psu_effect_on_ee_ratio(benchmark, fire_node):
+    """The PSU curve compresses EE differences between workloads: the
+    idle-heavy run pays a larger conversion penalty."""
+
+    def ee_ratio(model):
+        hpl = model.wall_power(UTILIZATION_POINTS["hpl"])
+        io = model.wall_power(UTILIZATION_POINTS["iozone"])
+        return hpl / io
+
+    lossy_ratio = benchmark(ee_ratio, NodePowerModel(node=fire_node))
+    lossless_ratio = ee_ratio(NodePowerModel(node=fire_node, psu=IDEAL_PSU))
+    print(f"\nHPL/IOzone power ratio: with PSU {lossy_ratio:.3f}, lossless {lossless_ratio:.3f}")
+    assert lossy_ratio < lossless_ratio

@@ -1,0 +1,76 @@
+"""Extended-suite benches: the HPCC-style extra members at full scale.
+
+Regenerates the five-benchmark REE fingerprint (examples/extended_suite.py)
+and asserts its headline: adding a network probe exposes Fire's GigE
+fabric, displacing HPL as the weakest subsystem.
+"""
+
+import pytest
+
+from repro.benchmarks import (
+    BenchmarkSuite,
+    EffectiveBandwidthBenchmark,
+    HPLBenchmark,
+    IOzoneBenchmark,
+    RandomAccessBenchmark,
+    StreamBenchmark,
+)
+from repro.cluster import presets
+from repro.core import ReferenceSet, TGICalculator
+from repro.sim import ClusterExecutor
+
+
+@pytest.fixture(scope="module")
+def extended_results():
+    suite = BenchmarkSuite(
+        [
+            HPLBenchmark(sizing=("fixed", 20160), rounds=2),
+            StreamBenchmark(target_seconds=20, intensity=0.4),
+            IOzoneBenchmark(target_seconds=20),
+            RandomAccessBenchmark(target_seconds=20),
+            EffectiveBandwidthBenchmark(target_seconds=20),
+        ]
+    )
+    sysg = presets.system_g()
+    ref = suite.run(ClusterExecutor(sysg, rng=1), sysg.total_cores)
+    fire = presets.fire()
+    sut = suite.run(ClusterExecutor(fire, rng=7), fire.total_cores)
+    return ref, sut
+
+
+def test_five_benchmark_tgi(benchmark, extended_results):
+    ref_result, fire_result = extended_results
+    reference = ReferenceSet.from_suite_result(ref_result, system_name="SystemG")
+    calculator = TGICalculator(reference)
+    tgi = benchmark(calculator.compute, fire_result)
+    print()
+    from repro.core import format_tgi_result
+
+    print(format_tgi_result(tgi))
+    # the network probe exposes the GigE fabric as the weakest subsystem
+    assert tgi.least_efficient_benchmark == "b_eff"
+    assert tgi.ree["b_eff"] < 0.2
+    # and GUPS is network-throttled on Fire too
+    assert tgi.ree["RandomAccess"] < 0.3
+
+
+def test_gups_network_cliff(benchmark, extended_results):
+    """Single-node vs multi-node GUPS on Fire: the classic cliff."""
+    from repro.perfmodels import RandomAccessModel
+
+    fire = presets.fire()
+    model = RandomAccessModel(cluster=fire)
+
+    def both():
+        local = model.predict(16, ranks_per_node=16)  # one node
+        dist = model.predict(128)  # eight nodes over GigE
+        return local, dist
+
+    local, dist = benchmark(both)
+    print(
+        f"\nGUPS: single node {local.gups:.4f}, 8 nodes over GigE {dist.gups:.4f} "
+        f"({dist.gups / local.gups:.2f}x)"
+    )
+    assert not local.network_limited
+    assert dist.network_limited
+    assert dist.updates_per_second < local.updates_per_second

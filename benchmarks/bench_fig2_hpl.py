@@ -1,0 +1,19 @@
+"""Figure 2 bench: regenerate the HPL energy-efficiency curve.
+
+Prints the MFLOPS/W-vs-processes series the paper plots and asserts its
+qualitative shape (rise, peak, rolloff); the benchmark measures the cost of
+regenerating the artifact from the shared campaign.
+"""
+
+from repro.analysis import CurveShape
+from repro.experiments.curves import run_fig2_hpl
+
+
+def test_fig2_hpl(benchmark, context):
+    result = benchmark(run_fig2_hpl, context)
+    print()
+    print(result.format())
+    assert result.shape is CurveShape.PEAKED
+    assert result.x == (16, 32, 48, 64, 80, 96, 112, 128)
+    # era-plausible MFLOPS/W band for a 2010 Opteron cluster
+    assert all(20 < v < 500 for v in result.efficiency)

@@ -1,0 +1,16 @@
+"""Figure 3 bench: regenerate the STREAM energy-efficiency curve."""
+
+import numpy as np
+
+from repro.experiments.curves import run_fig3_stream
+
+
+def test_fig3_stream(benchmark, context):
+    result = benchmark(run_fig3_stream, context)
+    print()
+    print(result.format())
+    ee = np.array(result.efficiency)
+    # rises steeply while bandwidth still scales ...
+    assert (np.diff(ee)[:-1] > 0).all()
+    # ... and saturates (rather than collapsing) once the channels fill
+    assert ee[-1] > 0.9 * ee.max()

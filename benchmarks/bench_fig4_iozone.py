@@ -1,0 +1,15 @@
+"""Figure 4 bench: regenerate the IOzone energy-efficiency curve."""
+
+from repro.analysis import CurveShape
+from repro.experiments.curves import run_fig4_iozone
+
+
+def test_fig4_iozone(benchmark, context):
+    result = benchmark(run_fig4_iozone, context)
+    print()
+    print(result.format())
+    assert result.shape is CurveShape.RISING
+    assert result.x == (1, 2, 3, 4, 5, 6, 7, 8)
+    # aggregate write EE grows several-fold from 1 to 8 nodes as the
+    # cluster's idle floor is amortized
+    assert result.efficiency[-1] > 4 * result.efficiency[0]

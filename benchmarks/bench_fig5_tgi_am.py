@@ -1,0 +1,16 @@
+"""Figure 5 bench: regenerate the arithmetic-mean TGI curve."""
+
+from repro.analysis import pearson
+from repro.experiments.tgi_curves import run_fig5_tgi_am
+
+
+def test_fig5_tgi_arithmetic_mean(benchmark, context):
+    result = benchmark(run_fig5_tgi_am, context)
+    print()
+    print(result.format())
+    values = result.series.values
+    # TGI rises with scale ...
+    assert values[-1] > values[0]
+    # ... and follows IOzone's trend (the paper's goodness argument)
+    iozone = context.sweep.efficiency_series("IOzone")
+    assert pearson(values, iozone) > 0.95

@@ -1,0 +1,22 @@
+"""Figure 6 bench: regenerate the weighted-mean TGI curves."""
+
+import numpy as np
+
+from repro.experiments.tgi_curves import run_fig6_tgi_weighted
+
+
+def test_fig6_tgi_weighted_means(benchmark, context):
+    result = benchmark(run_fig6_tgi_weighted, context)
+    print()
+    print(result.format())
+    series = result.series_by_weighting
+    assert set(series) == {"arithmetic-mean", "time", "energy", "power"}
+    # the weightings genuinely disagree ...
+    assert not np.allclose(series["arithmetic-mean"].values, series["energy"].values)
+    # ... yet every variant is a convex combination of the same REEs, so all
+    # stay within the same envelope at each point
+    for i in range(len(result.cores)):
+        ree = series["arithmetic-mean"].results[i].ree
+        lo, hi = min(ree.values()), max(ree.values())
+        for name in series:
+            assert lo - 1e-9 <= series[name].values[i] <= hi + 1e-9

@@ -1,0 +1,94 @@
+"""Fleet-scale bench: a simulated Green500-style list, rescored with TGI.
+
+Exercises the cluster generator + full pipeline at list scale and asserts
+the paper's pitch quantitatively: rescoring a FLOPS/W list with TGI moves
+systems (rank agreement < 1), because FLOPS/W is blind to memory and I/O.
+Also contrasts arithmetic vs geometric TGI orderings.
+"""
+
+import pytest
+
+from repro.analysis import spearman
+from repro.benchmarks import BenchmarkSuite, HPLBenchmark, IOzoneBenchmark, StreamBenchmark
+from repro.cluster import generate_fleet, presets
+from repro.core import GeometricTGICalculator, ReferenceSet, TGICalculator
+from repro.sim import ClusterExecutor
+
+FLEET_SIZE = 6
+
+
+@pytest.fixture(scope="module")
+def fleet_scores():
+    suite = BenchmarkSuite(
+        [
+            HPLBenchmark(sizing=("fixed", 13440), rounds=2),
+            StreamBenchmark(target_seconds=10),
+            IOzoneBenchmark(target_seconds=10),
+        ]
+    )
+    fleet = generate_fleet(FLEET_SIZE, era="2011", seed=20110615)
+    reference_system = presets.system_g(num_nodes=16)
+    ref_result = suite.run(
+        ClusterExecutor(reference_system, rng=1), reference_system.total_cores
+    )
+    reference = ReferenceSet.from_suite_result(ref_result, system_name="SystemG-16")
+    measurements = []
+    for i, cluster in enumerate(fleet):
+        executor = ClusterExecutor(cluster, rng=100 + i)
+        measurements.append((cluster.name, suite.run(executor, cluster.total_cores)))
+    return reference, measurements
+
+
+def test_green500_vs_tgi_list(benchmark, fleet_scores):
+    reference, measurements = fleet_scores
+    calculator = TGICalculator(reference)
+
+    def score():
+        rows = []
+        for name, result in measurements:
+            rows.append(
+                (
+                    name,
+                    result["HPL"].energy_efficiency,
+                    calculator.compute(result).value,
+                )
+            )
+        return rows
+
+    rows = benchmark(score)
+    by_flops = sorted(rows, key=lambda r: r[1], reverse=True)
+    by_tgi = sorted(rows, key=lambda r: r[2], reverse=True)
+    flops_rank = {name: i for i, (name, _, _) in enumerate(by_flops)}
+    tgi_rank = {name: i for i, (name, _, _) in enumerate(by_tgi)}
+    names = [name for name, _, _ in rows]
+    rho = spearman([flops_rank[n] for n in names], [tgi_rank[n] for n in names])
+    print(f"\nFLOPS/W vs TGI rank agreement over {FLEET_SIZE} systems: rho = {rho:.2f}")
+    # correlated (both reward efficiency) but NOT identical
+    assert 0.0 < rho < 1.0
+
+
+def test_geometric_tgi_orders_similarly_here(benchmark, fleet_scores):
+    """On this fleet the AM and GM orderings agree (no pathological REE
+    spreads); the *guarantee* difference is what matters and is tested in
+    test_core_alternatives.py."""
+    reference, measurements = fleet_scores
+    am = TGICalculator(reference)
+    gm = GeometricTGICalculator(reference)
+
+    def score():
+        return [
+            (name, am.compute(result).value, gm.compute_value(result))
+            for name, result in measurements
+        ]
+
+    rows = benchmark(score)
+    am_order = [n for n, a, _ in sorted(rows, key=lambda r: r[1], reverse=True)]
+    gm_order = [n for n, _, g in sorted(rows, key=lambda r: r[2], reverse=True)]
+    rho = spearman(
+        [am_order.index(n) for n in am_order],
+        [gm_order.index(n) for n in am_order],
+    )
+    print(f"\nAM vs GM TGI rank agreement: rho = {rho:.2f}")
+    for name, a, g in rows:
+        assert g <= a + 1e-12  # AM-GM inequality per system
+    assert rho > 0.5

@@ -1,0 +1,65 @@
+"""Simulator-cost benchmarks: what a campaign costs to run.
+
+Times the substrate itself — one full suite run at a scale point, one
+engine execution at 1024 ranks, one metered power-folding pass — so
+regressions in the simulation core are caught by the benchmark suite.
+"""
+
+import pytest
+
+from repro.benchmarks import BenchmarkSuite, HPLBenchmark, IOzoneBenchmark, StreamBenchmark
+from repro.cluster import presets
+from repro.sim import (
+    ClusterExecutor,
+    RankProgram,
+    SimulationEngine,
+    barrier,
+    breadth_first_placement,
+    compute_phase,
+)
+
+
+def test_suite_run_cost(benchmark):
+    fire = presets.fire()
+    executor = ClusterExecutor(fire, rng=7)
+    suite = BenchmarkSuite(
+        [
+            HPLBenchmark(sizing=("fixed", 20160), rounds=4),
+            StreamBenchmark(target_seconds=45),
+            IOzoneBenchmark(target_seconds=45),
+        ]
+    )
+    result = benchmark(suite.run, executor, 128)
+    assert len(result) == 3
+
+
+def test_engine_scales_to_thousand_ranks(benchmark):
+    def run():
+        programs = [
+            RankProgram(
+                rank=r,
+                phases=[compute_phase(10.0 + (r % 7) * 0.1), barrier(), compute_phase(5.0)],
+            )
+            for r in range(1024)
+        ]
+        engine = SimulationEngine(programs)
+        return engine.makespan(engine.run())
+
+    makespan = benchmark(run)
+    assert makespan == pytest.approx(10.6 + 5.0)
+
+
+def test_power_folding_cost(benchmark):
+    """Folding 128 ranks' intervals into a metered cluster power curve."""
+    fire = presets.fire()
+    executor = ClusterExecutor(fire, rng=7)
+    placement = breadth_first_placement(fire, 128)
+    programs = [
+        RankProgram(
+            rank=r,
+            phases=[compute_phase(30.0), barrier(), compute_phase(10.0 + (r % 16))],
+        )
+        for r in range(128)
+    ]
+    record = benchmark(executor.execute, placement, programs)
+    assert record.makespan_s == pytest.approx(30.0 + 25.0)

@@ -1,0 +1,16 @@
+"""Table I bench: regenerate the reference system's suite measurements."""
+
+from repro.experiments.tables import run_table1_reference
+
+
+def test_table1_reference(benchmark, context):
+    result = benchmark(run_table1_reference, context)
+    print()
+    print(result.format())
+    suite = result.suite_result
+    # the paper's power ordering: HPL > STREAM > IOzone
+    powers = suite.powers_w
+    assert powers["HPL"] > powers["STREAM"] > powers["IOzone"]
+    # HPL capability in the high-single-digit TFLOPS band (paper: "8.1 TFLOPS",
+    # OCR-garbled; see EXPERIMENTS.md)
+    assert 6e12 < suite["HPL"].performance < 11.5e12

@@ -1,0 +1,25 @@
+"""Table II bench: regenerate the PCC table — the paper's headline result.
+
+Paper (Section IV-B): PCC between arithmetic-mean TGI and the EE of
+IOzone / STREAM / HPL is .99 / .96 / .58; time weights behave like the
+arithmetic mean; energy and power weights correlate higher with HPL.
+"""
+
+from repro.experiments.tables import run_table2_pcc
+
+
+def test_table2_pcc(benchmark, context):
+    result = benchmark(run_table2_pcc, context)
+    print()
+    print(result.format())
+    am = {b: result.pcc(b, "arithmetic-mean") for b in ("IOzone", "STREAM", "HPL")}
+    # headline ordering
+    assert am["IOzone"] > 0.95
+    assert am["STREAM"] > 0.9
+    assert abs(am["HPL"] - 0.58) < 0.08
+    # time ~ arithmetic mean
+    for b in ("IOzone", "STREAM", "HPL"):
+        assert abs(result.pcc(b, "time") - am[b]) < 0.08
+    # energy/power weights pull TGI toward HPL (the undesired property)
+    assert result.pcc("HPL", "energy") > am["HPL"]
+    assert result.pcc("HPL", "power") > am["HPL"]

@@ -1,0 +1,23 @@
+"""Shared fixtures for the benchmark harness.
+
+The per-figure benches share one calibrated campaign (reference run +
+Fire sweep) via a session fixture, so pytest-benchmark timings measure the
+artifact-regeneration step itself, not repeated campaign setup — and each
+bench prints the paper-style table it regenerates, making
+``pytest benchmarks/ --benchmark-only -s`` a full reproduction run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import PAPER_CONFIG, SharedContext
+
+
+@pytest.fixture(scope="session")
+def context():
+    """The calibrated campaign behind every figure/table."""
+    ctx = SharedContext(PAPER_CONFIG)
+    _ = ctx.reference
+    _ = ctx.sweep
+    return ctx

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Quickstart: measure one system's TGI against a reference.
+
+Walks the paper's Section II algorithm end to end on simulated hardware:
+
+1. run the benchmark suite (HPL / STREAM / IOzone) on the reference system
+   (SystemG) behind a simulated Watts Up? PRO meter;
+2. run the same suite on the system under test (Fire);
+3. compute per-benchmark energy efficiency (Eq. 2), relative efficiency
+   (Eq. 3), weights (Eq. 6), and TGI (Eq. 4);
+4. print the full breakdown.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    BenchmarkSuite,
+    ClusterExecutor,
+    HPLBenchmark,
+    IOzoneBenchmark,
+    ReferenceSet,
+    StreamBenchmark,
+    TGICalculator,
+    presets,
+)
+from repro.core import format_suite_result, format_tgi_result
+
+
+def main() -> None:
+    suite = BenchmarkSuite(
+        [
+            # strong-scaled HPL (the paper's Figure 2 configuration)
+            HPLBenchmark(sizing=("fixed", 36288), rounds=4),
+            StreamBenchmark(target_seconds=45, intensity=0.4),
+            IOzoneBenchmark(target_seconds=45),
+        ]
+    )
+    # The reference numbers are capability numbers: HPL sized from memory,
+    # as published full-machine results are.
+    reference_suite = BenchmarkSuite(
+        [
+            HPLBenchmark(sizing=("memory", 0.8), rounds=4),
+            StreamBenchmark(target_seconds=45, intensity=0.4),
+            IOzoneBenchmark(target_seconds=45),
+        ]
+    )
+
+    # --- 1. the reference system -------------------------------------
+    system_g = presets.system_g()
+    reference_executor = ClusterExecutor(system_g, rng=1)
+    print(f"Running the suite on the reference: {system_g}")
+    reference_result = reference_suite.run(reference_executor, system_g.total_cores)
+    print(format_suite_result(reference_result, title="Reference measurements"))
+    reference = ReferenceSet.from_suite_result(reference_result, system_name="SystemG")
+
+    # --- 2. the system under test ------------------------------------
+    fire = presets.fire()
+    fire_executor = ClusterExecutor(fire, rng=7)
+    print(f"\nRunning the suite on the system under test: {fire}")
+    fire_result = suite.run(fire_executor, fire.total_cores)
+    print(format_suite_result(fire_result, title="System-under-test measurements"))
+
+    # --- 3. + 4. TGI ---------------------------------------------------
+    tgi = TGICalculator(reference).compute(fire_result)
+    print()
+    print(format_tgi_result(tgi))
+    print(
+        f"\nInterpretation: Fire delivers {tgi.value:.2f}x the system-wide "
+        f"energy efficiency of SystemG under equal weights; its weakest "
+        f"subsystem relative to the reference is {tgi.least_efficient_benchmark}."
+    )
+
+
+if __name__ == "__main__":
+    main()

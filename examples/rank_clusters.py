@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Green500-style ranking of heterogeneous systems by TGI.
+
+This is the use case TGI was designed for: one number per system, computed
+from a suite that stresses CPU, memory, and disk, normalized to a common
+reference so GFLOPS/W and MB/s/W become comparable.  The example ranks four
+machines spanning three hardware generations (FB-DIMM Harpertown, Magny-
+Cours, Fermi GPU, modern EPYC), under several weighting policies — showing
+how the choice of weights moves borderline systems.
+
+Run:  python examples/rank_clusters.py
+"""
+
+from repro import (
+    BenchmarkSuite,
+    ClusterExecutor,
+    CustomWeights,
+    HPLBenchmark,
+    IOzoneBenchmark,
+    ReferenceSet,
+    StreamBenchmark,
+    TGICalculator,
+    presets,
+    rank_systems,
+)
+from repro.core import ArithmeticMeanWeights, format_ranking
+
+
+def main() -> None:
+    # Small configs keep the simulation quick; each system runs the same
+    # suite at its own full size (scale normalization is REE's job).
+    systems = [
+        presets.system_g(num_nodes=8),
+        presets.fire(),
+        presets.gpu_cluster(num_nodes=4),
+        presets.modern_cluster(num_nodes=4),
+    ]
+    suite = BenchmarkSuite(
+        [
+            HPLBenchmark(sizing=("fixed", 20160), rounds=2),
+            StreamBenchmark(target_seconds=20, intensity=0.4),
+            IOzoneBenchmark(target_seconds=20),
+        ]
+    )
+
+    results = []
+    for cluster in systems:
+        executor = ClusterExecutor(cluster, rng=42)
+        print(f"measuring {cluster.name} ({cluster.total_cores} cores)...")
+        results.append((cluster.name, suite.run(executor, cluster.total_cores)))
+
+    # SystemG is the reference, as in the paper.
+    reference = ReferenceSet.from_suite_result(results[0][1], system_name="SystemG-8")
+
+    weightings = {
+        "equal weights (Eq. 6)": ArithmeticMeanWeights(),
+        "compute-centric (HPL 0.8)": CustomWeights(
+            {"HPL": 0.8, "STREAM": 0.1, "IOzone": 0.1}
+        ),
+        "data-centric (STREAM+IOzone 0.9)": CustomWeights(
+            {"HPL": 0.1, "STREAM": 0.45, "IOzone": 0.45}
+        ),
+    }
+    for label, weighting in weightings.items():
+        calculator = TGICalculator(reference, weighting=weighting)
+        print(f"\n--- {label} ---")
+        print(format_ranking(rank_systems(results, calculator)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+#!/usr/bin/env python
+"""Regenerate every table and figure of the paper's evaluation.
+
+Equivalent to ``tgi run all``; prints Figures 2-6 as series tables plus
+Tables I and II, all from the calibrated simulated campaign.
+
+Run:  python examples/reproduce_paper.py
+"""
+
+from repro.experiments import EXPERIMENTS, SharedContext
+
+
+def main() -> None:
+    context = SharedContext()
+    for exp_id, entry in EXPERIMENTS.items():
+        print(f"=== {exp_id}: {entry.description} ===")
+        result = entry.run(context)
+        print(result.format())
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Weight-space sensitivity: how much can weights move TGI?
+
+The paper's Section VI asks for a thorough investigation of weights.  This
+example measures Fire against SystemG once, then:
+
+* sweeps the full weight simplex and reports the attainable TGI range
+  (by linearity, the REE extremes);
+* shows which benchmark dominates TGI in each region of the simplex;
+* contrasts the measurement-driven weights (time / energy / power,
+  Eqs. 10-12) with the arithmetic mean at full scale.
+
+Run:  python examples/weight_sensitivity.py
+"""
+
+from collections import Counter
+
+from repro.analysis import WeightSensitivity, dominant_benchmark, render_table
+from repro.core import (
+    ArithmeticMeanWeights,
+    EnergyWeights,
+    PowerWeights,
+    TGICalculator,
+    TimeWeights,
+)
+from repro.experiments import PAPER_CONFIG, SharedContext
+
+
+def main() -> None:
+    context = SharedContext(PAPER_CONFIG)
+    full_scale = context.sweep.suites[-1]  # 128 cores
+    reference = context.reference
+
+    am = TGICalculator(reference).compute(full_scale)
+    print("REE at 128 cores (Fire vs SystemG):")
+    for name, value in sorted(am.ree.items()):
+        print(f"  {name:8s} {value:.3f}")
+
+    # --- attainable range over all valid weightings --------------------
+    sensitivity = WeightSensitivity(ree=am.ree, steps=20)
+    lo, hi = sensitivity.tgi_range()
+    w_lo, w_hi = sensitivity.extremes()
+    print(f"\nTGI range over the weight simplex: [{lo:.3f}, {hi:.3f}]")
+    print(f"  minimized by weighting {dominant_benchmark(w_lo)} alone")
+    print(f"  maximized by weighting {dominant_benchmark(w_hi)} alone")
+
+    # --- who dominates where -------------------------------------------
+    counts = Counter(dominant_benchmark(w) for w, _ in sensitivity.grid())
+    total = sum(counts.values())
+    print("\nDominant benchmark over a uniform simplex grid:")
+    for name, count in counts.most_common():
+        print(f"  {name:8s} {100 * count / total:5.1f} % of weightings")
+
+    # --- measurement-driven weights ------------------------------------
+    rows = []
+    for scheme in (ArithmeticMeanWeights(), TimeWeights(), EnergyWeights(), PowerWeights()):
+        tgi = TGICalculator(reference, weighting=scheme).compute(full_scale)
+        rows.append(
+            [scheme.name, f"{tgi.value:.4f}"]
+            + [f"{tgi.weights[b]:.3f}" for b in ("HPL", "STREAM", "IOzone")]
+        )
+    print()
+    print(
+        render_table(
+            ["Weighting", "TGI", "W(HPL)", "W(STREAM)", "W(IOzone)"],
+            rows,
+            title="TGI at 128 cores under the paper's weighting schemes",
+        )
+    )
+    print(
+        "\nNote how energy/power weights shift mass onto HPL (the most "
+        "power- and energy-hungry benchmark) — the mechanism behind the "
+        "paper's Table II observation that those weightings track HPL."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,115 @@
+"""repro — The Green Index (TGI) for HPC systems, with a simulated substrate.
+
+A production-quality reproduction of Subramaniam & Feng, *The Green Index:
+A Metric for Evaluating System-Wide Energy Efficiency in HPC Systems*
+(IPDPSW 2012).
+
+Quick tour
+----------
+>>> from repro import presets, ClusterExecutor, BenchmarkSuite
+>>> from repro import HPLBenchmark, StreamBenchmark, IOzoneBenchmark
+>>> from repro import ReferenceSet, TGICalculator
+>>> fire = presets.fire()
+>>> executor = ClusterExecutor(fire, rng=7)
+>>> suite = BenchmarkSuite([
+...     HPLBenchmark(sizing=("fixed", 36288)),
+...     StreamBenchmark(target_seconds=45, intensity=0.4),
+...     IOzoneBenchmark(target_seconds=45),
+... ])
+>>> result = suite.run(executor, cores=128)
+
+Build a reference from another system's run, then compute TGI:
+
+>>> # reference, ref_result = ...  (see repro.experiments.build_reference)
+>>> # tgi = TGICalculator(reference).compute(result)
+
+Subpackages
+-----------
+:mod:`repro.cluster`
+    Hardware specifications and the paper's Fire/SystemG presets.
+:mod:`repro.power`
+    Component power models, PSU curves, the Watts Up? PRO meter model,
+    power traces, cooling (centre-wide extension), DVFS.
+:mod:`repro.sim`
+    Discrete-event execution of phase-based MPI workloads on a metered
+    cluster.
+:mod:`repro.perfmodels`
+    Analytic performance models (HPL, STREAM, IOzone, Amdahl, roofline).
+:mod:`repro.kernels`
+    Real host kernels validating the models at laptop scale.
+:mod:`repro.benchmarks`
+    The benchmark suite and scaling sweeps.
+:mod:`repro.core`
+    The TGI metric: EE, REE, weighting schemes, TGI, EDP, ranking,
+    desired-property analysis, reports.
+:mod:`repro.analysis`
+    Pearson/Spearman correlation, means, curve characterization, weight
+    sensitivity.
+:mod:`repro.experiments`
+    Drivers regenerating every table and figure of the paper.
+"""
+
+from .cluster import presets
+from .cluster.cluster import ClusterSpec
+from .cluster.node import NodeSpec
+from .benchmarks import (
+    Benchmark,
+    BenchmarkResult,
+    BenchmarkSuite,
+    HPLBenchmark,
+    IOzoneBenchmark,
+    ScalingSweep,
+    StreamBenchmark,
+    SuiteResult,
+    SweepResult,
+)
+from .core import (
+    ArithmeticMeanWeights,
+    CustomWeights,
+    EnergyWeights,
+    PowerWeights,
+    ReferenceSet,
+    TGICalculator,
+    TGIResult,
+    TGISeries,
+    TimeWeights,
+    rank_systems,
+    tgi_from_components,
+)
+from .power import NodePowerModel, PowerTrace, WallPlugMeter
+from .sim import ClusterExecutor
+from .exceptions import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "presets",
+    "ClusterSpec",
+    "NodeSpec",
+    "Benchmark",
+    "BenchmarkResult",
+    "BenchmarkSuite",
+    "HPLBenchmark",
+    "StreamBenchmark",
+    "IOzoneBenchmark",
+    "ScalingSweep",
+    "SweepResult",
+    "SuiteResult",
+    "ReferenceSet",
+    "TGICalculator",
+    "TGIResult",
+    "TGISeries",
+    "ArithmeticMeanWeights",
+    "TimeWeights",
+    "EnergyWeights",
+    "PowerWeights",
+    "CustomWeights",
+    "rank_systems",
+    "tgi_from_components",
+    "NodePowerModel",
+    "PowerTrace",
+    "WallPlugMeter",
+    "ClusterExecutor",
+    "ReproError",
+    "__version__",
+]

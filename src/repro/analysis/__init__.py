@@ -1,0 +1,57 @@
+"""Analysis tooling: correlation, central tendencies, scaling, sensitivity.
+
+Supports the paper's evaluation (Section IV): the Pearson correlation
+coefficient used for Table II (:mod:`~repro.analysis.correlation`), the
+means studied by the related work it cites (Smith 1988, John 2004;
+:mod:`~repro.analysis.stats`), characterization of energy-efficiency scaling
+curves (:mod:`~repro.analysis.scaling`), and the weight-space sensitivity
+study the paper lists as future work (:mod:`~repro.analysis.sensitivity`).
+"""
+
+from .correlation import pearson, spearman, correlation_matrix
+from .bootstrap import BootstrapCI, bootstrap_pearson_ci, jackknife_pearson
+from .reference_sensitivity import (
+    tgi_under_reference,
+    ranking_under_references,
+    find_reference_flip,
+)
+from .pareto import ParetoPoint, pareto_front, dominated_by
+from .stats import (
+    arithmetic_mean,
+    geometric_mean,
+    harmonic_mean,
+    weighted_arithmetic_mean,
+    weighted_harmonic_mean,
+    weighted_geometric_mean,
+)
+from .scaling import CurveShape, characterize_curve, relative_range
+from .sensitivity import WeightSensitivity, dominant_benchmark, sweep_weight_simplex
+from .tables import render_table
+
+__all__ = [
+    "pearson",
+    "spearman",
+    "correlation_matrix",
+    "BootstrapCI",
+    "bootstrap_pearson_ci",
+    "jackknife_pearson",
+    "tgi_under_reference",
+    "ranking_under_references",
+    "find_reference_flip",
+    "ParetoPoint",
+    "pareto_front",
+    "dominated_by",
+    "arithmetic_mean",
+    "geometric_mean",
+    "harmonic_mean",
+    "weighted_arithmetic_mean",
+    "weighted_harmonic_mean",
+    "weighted_geometric_mean",
+    "CurveShape",
+    "characterize_curve",
+    "relative_range",
+    "WeightSensitivity",
+    "dominant_benchmark",
+    "sweep_weight_simplex",
+    "render_table",
+]

@@ -1,0 +1,111 @@
+"""Resampling-based uncertainty for the paper's correlations.
+
+Table II's Pearson coefficients are computed from **eight** scale points.
+A correlation from eight samples carries a lot of uncertainty, which the
+paper does not quantify; these tools do:
+
+* :func:`bootstrap_pearson_ci` — percentile bootstrap confidence interval
+  (pairs resampled with replacement; degenerate resamples with a constant
+  series are redrawn);
+* :func:`jackknife_pearson` — leave-one-out values, exposing how much a
+  single scale point moves the coefficient.
+
+Used by ``tests/test_analysis_bootstrap.py`` and the Table II discussion in
+EXPERIMENTS.md; everything is seeded and deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import MetricError
+from ..rng import RandomState, ensure_rng
+from .correlation import pearson
+
+__all__ = ["BootstrapCI", "bootstrap_pearson_ci", "jackknife_pearson"]
+
+#: Give up after this many redraws of a degenerate (constant) resample.
+_MAX_REDRAWS = 1000
+
+
+@dataclass(frozen=True)
+class BootstrapCI:
+    """A bootstrap estimate with its percentile interval."""
+
+    estimate: float
+    low: float
+    high: float
+    confidence: float
+    resamples: int
+
+    @property
+    def width(self) -> float:
+        """Interval width — the honest error bar on the estimate."""
+        return self.high - self.low
+
+    def contains(self, value: float) -> bool:
+        """Whether ``value`` lies inside the interval."""
+        return self.low <= value <= self.high
+
+
+def bootstrap_pearson_ci(
+    x: Sequence[float],
+    y: Sequence[float],
+    *,
+    confidence: float = 0.95,
+    resamples: int = 2000,
+    rng: RandomState = None,
+) -> BootstrapCI:
+    """Percentile-bootstrap CI for the Pearson coefficient of (x, y)."""
+    x_arr = np.asarray(x, dtype=float)
+    y_arr = np.asarray(y, dtype=float)
+    if not 0 < confidence < 1:
+        raise MetricError(f"confidence must be in (0, 1), got {confidence}")
+    if resamples < 10:
+        raise MetricError(f"resamples must be >= 10, got {resamples}")
+    estimate = pearson(x_arr, y_arr)  # validates inputs
+    gen = ensure_rng(rng)
+    n = x_arr.size
+    stats: List[float] = []
+    redraws = 0
+    while len(stats) < resamples:
+        idx = gen.integers(0, n, size=n)
+        xs, ys = x_arr[idx], y_arr[idx]
+        if np.ptp(xs) == 0 or np.ptp(ys) == 0:
+            redraws += 1
+            if redraws > _MAX_REDRAWS:
+                raise MetricError(
+                    "too many degenerate bootstrap resamples; series nearly constant"
+                )
+            continue
+        stats.append(pearson(xs, ys))
+    alpha = (1.0 - confidence) / 2.0
+    low, high = np.quantile(stats, [alpha, 1.0 - alpha])
+    return BootstrapCI(
+        estimate=estimate,
+        low=float(low),
+        high=float(high),
+        confidence=confidence,
+        resamples=resamples,
+    )
+
+
+def jackknife_pearson(x: Sequence[float], y: Sequence[float]) -> List[Tuple[int, float]]:
+    """Leave-one-out Pearson values: ``[(left_out_index, r), ...]``.
+
+    A large spread across entries means one scale point carries the
+    correlation — worth knowing before trusting an 8-point coefficient.
+    """
+    x_arr = np.asarray(x, dtype=float)
+    y_arr = np.asarray(y, dtype=float)
+    pearson(x_arr, y_arr)  # validates
+    if x_arr.size < 3:
+        raise MetricError("jackknife needs at least 3 samples")
+    out: List[Tuple[int, float]] = []
+    for i in range(x_arr.size):
+        mask = np.arange(x_arr.size) != i
+        out.append((i, pearson(x_arr[mask], y_arr[mask])))
+    return out

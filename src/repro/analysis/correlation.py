@@ -1,0 +1,97 @@
+"""Correlation measures (paper Eq. 17 and Table II).
+
+The paper quantifies how well each TGI variant tracks the individual
+benchmarks' energy-efficiency curves with the Pearson correlation
+coefficient (PCC, Eq. 17).  :func:`pearson` implements it directly (with the
+sample standard deviation, matching Eq. 17's ``n-1``); :func:`spearman` is
+provided for rank-robustness checks, and :func:`correlation_matrix` builds
+Table-II-style grids.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Mapping, Sequence
+
+import numpy as np
+
+from ..exceptions import MetricError
+
+__all__ = ["pearson", "spearman", "correlation_matrix"]
+
+
+def _validate_pair(x: Sequence[float], y: Sequence[float]):
+    x_arr = np.asarray(x, dtype=float)
+    y_arr = np.asarray(y, dtype=float)
+    if x_arr.ndim != 1 or y_arr.ndim != 1:
+        raise MetricError("inputs must be 1-D")
+    if x_arr.size != y_arr.size:
+        raise MetricError(f"length mismatch: {x_arr.size} vs {y_arr.size}")
+    if x_arr.size < 2:
+        raise MetricError("correlation needs at least 2 samples")
+    if not (np.isfinite(x_arr).all() and np.isfinite(y_arr).all()):
+        raise MetricError("inputs must be finite")
+    return x_arr, y_arr
+
+
+def pearson(x: Sequence[float], y: Sequence[float]) -> float:
+    """Eq. 17: sample Pearson correlation coefficient in [-1, 1].
+
+    Raises :class:`~repro.exceptions.MetricError` when either series is
+    constant (the coefficient is undefined).
+    """
+    x_arr, y_arr = _validate_pair(x, y)
+    dx = x_arr - x_arr.mean()
+    dy = y_arr - y_arr.mean()
+    sx = math.sqrt(float(dx @ dx))
+    sy = math.sqrt(float(dy @ dy))
+    if sx == 0 or sy == 0:
+        raise MetricError("PCC undefined for a constant series")
+    r = float(dx @ dy) / (sx * sy)
+    # guard tiny numerical overshoot
+    return max(-1.0, min(1.0, r))
+
+
+def _ranks(values: np.ndarray) -> np.ndarray:
+    """Average ranks (1-based), ties shared."""
+    order = np.argsort(values, kind="stable")
+    ranks = np.empty(values.size, dtype=float)
+    i = 0
+    while i < values.size:
+        j = i
+        while j + 1 < values.size and values[order[j + 1]] == values[order[i]]:
+            j += 1
+        avg = 0.5 * (i + j) + 1.0
+        for k in range(i, j + 1):
+            ranks[order[k]] = avg
+        i = j + 1
+    return ranks
+
+
+def spearman(x: Sequence[float], y: Sequence[float]) -> float:
+    """Spearman rank correlation: Pearson on average ranks."""
+    x_arr, y_arr = _validate_pair(x, y)
+    return pearson(_ranks(x_arr), _ranks(y_arr))
+
+
+def correlation_matrix(
+    series: Mapping[str, Sequence[float]],
+    targets: Mapping[str, Sequence[float]],
+    *,
+    method: str = "pearson",
+) -> Dict[str, Dict[str, float]]:
+    """Table-II-style grid: ``result[row][column]``.
+
+    ``series`` are the rows (e.g. per-benchmark EE curves), ``targets`` the
+    columns (e.g. TGI curves under different weights).
+    """
+    if method == "pearson":
+        corr = pearson
+    elif method == "spearman":
+        corr = spearman
+    else:
+        raise MetricError(f"unknown method {method!r}")
+    return {
+        row_name: {col_name: corr(row, col) for col_name, col in targets.items()}
+        for row_name, row in series.items()
+    }

@@ -1,0 +1,116 @@
+"""Reference-choice sensitivity of TGI rankings.
+
+TGI normalizes each benchmark by the *reference system's* efficiency
+(Eq. 3) before averaging (Eq. 4).  Arithmetic means of per-item ratios are
+famously not reference-invariant (Smith, CACM 1988): two systems' TGI
+*ordering* can flip when the reference changes, because a reference that
+is unusually weak on one subsystem inflates every contender's REE there.
+
+These tools measure the exposure:
+
+* :func:`tgi_under_reference` — TGI of measured efficiencies against an
+  arbitrary reference;
+* :func:`ranking_under_references` — orderings of several systems under
+  several references;
+* :func:`find_reference_flip` — search a family of references for one that
+  inverts a pair's ordering (returns ``None`` when the pair is robust,
+  e.g. when one system dominates the other on every benchmark).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.tgi import tgi_from_components
+from ..exceptions import MetricError
+
+__all__ = [
+    "tgi_under_reference",
+    "ranking_under_references",
+    "find_reference_flip",
+]
+
+
+def _validate_efficiencies(name: str, efficiencies: Mapping[str, float]) -> None:
+    if not efficiencies:
+        raise MetricError(f"{name}: efficiencies must be non-empty")
+    for benchmark, value in efficiencies.items():
+        if not value > 0:
+            raise MetricError(f"{name}: EE[{benchmark}] must be > 0, got {value!r}")
+
+
+def tgi_under_reference(
+    efficiencies: Mapping[str, float],
+    reference: Mapping[str, float],
+    *,
+    weights: Optional[Mapping[str, float]] = None,
+) -> float:
+    """TGI of measured per-benchmark efficiencies vs an arbitrary reference.
+
+    Equal weights unless given.
+    """
+    _validate_efficiencies("system", efficiencies)
+    _validate_efficiencies("reference", reference)
+    if set(efficiencies) != set(reference):
+        raise MetricError(
+            f"system covers {sorted(efficiencies)}, reference {sorted(reference)}"
+        )
+    ree = {name: efficiencies[name] / reference[name] for name in efficiencies}
+    if weights is None:
+        n = len(ree)
+        weights = {name: 1.0 / n for name in ree}
+    return tgi_from_components(ree, dict(weights))
+
+
+def ranking_under_references(
+    systems: Mapping[str, Mapping[str, float]],
+    references: Mapping[str, Mapping[str, float]],
+) -> Dict[str, List[str]]:
+    """reference name -> system names ordered by TGI (greener first)."""
+    if not systems or not references:
+        raise MetricError("need at least one system and one reference")
+    out: Dict[str, List[str]] = {}
+    for ref_name, reference in references.items():
+        scored = sorted(
+            systems,
+            key=lambda s: tgi_under_reference(systems[s], reference),
+            reverse=True,
+        )
+        out[ref_name] = scored
+    return out
+
+
+def find_reference_flip(
+    system_a: Mapping[str, float],
+    system_b: Mapping[str, float],
+    *,
+    ratio_grid: Sequence[float] = (0.1, 0.3, 1.0, 3.0, 10.0),
+) -> Optional[Tuple[Dict[str, float], Dict[str, float]]]:
+    """Search for two references that order A and B oppositely.
+
+    References are built as per-benchmark scalings of system A's
+    efficiencies over ``ratio_grid``.  Returns ``(ref_pro_a, ref_pro_b)``
+    or ``None`` when no grid point flips the pair — which is guaranteed
+    when one system's EE dominates the other's on every benchmark, since
+    then every REE ratio, hence every weighted mean, orders them the same
+    way.
+    """
+    _validate_efficiencies("system_a", system_a)
+    _validate_efficiencies("system_b", system_b)
+    if set(system_a) != set(system_b):
+        raise MetricError("systems must cover the same benchmarks")
+    names = sorted(system_a)
+    pro_a = None
+    pro_b = None
+    for combo in itertools.product(ratio_grid, repeat=len(names)):
+        reference = {name: system_a[name] * r for name, r in zip(names, combo)}
+        ta = tgi_under_reference(system_a, reference)
+        tb = tgi_under_reference(system_b, reference)
+        if ta > tb and pro_a is None:
+            pro_a = reference
+        if tb > ta and pro_b is None:
+            pro_b = reference
+        if pro_a is not None and pro_b is not None:
+            return pro_a, pro_b
+    return None

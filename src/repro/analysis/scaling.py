@@ -1,0 +1,85 @@
+"""Characterization of scaling curves.
+
+The paper reads its figures qualitatively ("TGI follows a similar trend to
+the energy efficiency of IOzone").  These helpers turn such readings into
+testable statements: whether a curve is monotone rising, where it peaks,
+and how large its relative swing is.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import MetricError
+
+__all__ = ["CurveShape", "characterize_curve", "relative_range"]
+
+
+class CurveShape(str, enum.Enum):
+    """Qualitative shape of a scaling curve."""
+
+    RISING = "rising"  # monotone non-decreasing
+    FALLING = "falling"  # monotone non-increasing
+    PEAKED = "peaked"  # rises then falls
+    VALLEY = "valley"  # falls then rises
+    IRREGULAR = "irregular"  # multiple direction changes
+    CONSTANT = "constant"
+
+
+def _validate(values: Sequence[float]) -> np.ndarray:
+    arr = np.asarray(values, dtype=float)
+    if arr.ndim != 1 or arr.size < 2:
+        raise MetricError("curve needs at least 2 points")
+    if not np.isfinite(arr).all():
+        raise MetricError("curve values must be finite")
+    return arr
+
+
+def characterize_curve(values: Sequence[float], *, rel_tol: float = 1e-3) -> CurveShape:
+    """Classify a curve's shape.
+
+    Steps smaller than ``rel_tol`` times the curve's span count as flat;
+    a curve whose every step is flat is :data:`CurveShape.CONSTANT`.
+    """
+    arr = _validate(values)
+    span = float(arr.max() - arr.min())
+    if span == 0:
+        return CurveShape.CONSTANT
+    steps = np.diff(arr)
+    signs = []
+    for step in steps:
+        if abs(step) <= rel_tol * span:
+            continue
+        signs.append(1 if step > 0 else -1)
+    if not signs:
+        return CurveShape.CONSTANT
+    # collapse runs
+    collapsed = [signs[0]]
+    for s in signs[1:]:
+        if s != collapsed[-1]:
+            collapsed.append(s)
+    if collapsed == [1]:
+        return CurveShape.RISING
+    if collapsed == [-1]:
+        return CurveShape.FALLING
+    if collapsed == [1, -1]:
+        return CurveShape.PEAKED
+    if collapsed == [-1, 1]:
+        return CurveShape.VALLEY
+    return CurveShape.IRREGULAR
+
+
+def relative_range(values: Sequence[float]) -> float:
+    """``(max - min) / mean`` — how much a curve swings.
+
+    The benchmark whose EE curve swings most (relative to its level)
+    dominates the arithmetic-mean TGI's correlation structure.
+    """
+    arr = _validate(values)
+    mean = float(arr.mean())
+    if mean == 0:
+        raise MetricError("relative range undefined for zero-mean curve")
+    return float((arr.max() - arr.min()) / abs(mean))

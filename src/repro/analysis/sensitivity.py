@@ -1,0 +1,106 @@
+"""Weight-space sensitivity analysis (the paper's future work, Section VI).
+
+"We want [to] thoroughly investigate the suitability of different weights
+for TGI."  These tools sweep the weight simplex for a suite of REE values
+and report how TGI and its benchmark correlations respond:
+
+* :func:`sweep_weight_simplex` — enumerate a regular grid over all valid
+  weight assignments;
+* :func:`dominant_benchmark` — which benchmark's REE a given weighting makes
+  TGI most sensitive to (the partial derivative dTGI/dREE_i is just W_i);
+* :class:`WeightSensitivity` — TGI extrema and spread over the simplex for
+  one suite result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Mapping, Tuple
+
+from ..exceptions import MetricError
+from ..core.tgi import tgi_from_components
+
+__all__ = ["sweep_weight_simplex", "dominant_benchmark", "WeightSensitivity"]
+
+
+def sweep_weight_simplex(
+    benchmarks: Tuple[str, ...], *, steps: int = 10
+) -> Iterator[Dict[str, float]]:
+    """Yield weight dicts on a regular simplex grid (step ``1/steps``).
+
+    For 3 benchmarks and ``steps=10`` this yields the 66 compositions of 10
+    into 3 parts.
+    """
+    if not benchmarks:
+        raise MetricError("need at least one benchmark")
+    if len(set(benchmarks)) != len(benchmarks):
+        raise MetricError(f"duplicate benchmark names: {benchmarks}")
+    if steps < 1:
+        raise MetricError(f"steps must be >= 1, got {steps}")
+    n = len(benchmarks)
+
+    def compositions(total: int, parts: int):
+        if parts == 1:
+            yield (total,)
+            return
+        for head in range(total + 1):
+            for tail in compositions(total - head, parts - 1):
+                yield (head,) + tail
+
+    for combo in compositions(steps, n):
+        yield {name: count / steps for name, count in zip(benchmarks, combo)}
+
+
+def dominant_benchmark(weights: Mapping[str, float]) -> str:
+    """The benchmark TGI is most sensitive to under these weights.
+
+    Since ``TGI = sum W_i REE_i``, the sensitivity ``dTGI/dREE_i = W_i``;
+    the largest weight wins (ties broken alphabetically for determinism).
+    """
+    if not weights:
+        raise MetricError("weights must be non-empty")
+    best = max(sorted(weights), key=lambda name: weights[name])
+    return best
+
+
+@dataclass(frozen=True)
+class WeightSensitivity:
+    """TGI spread over the weight simplex for one set of REE values."""
+
+    ree: Dict[str, float]
+    steps: int = 20
+
+    def __post_init__(self) -> None:
+        if not self.ree:
+            raise MetricError("REE must cover at least one benchmark")
+        for name, value in self.ree.items():
+            if value <= 0:
+                raise MetricError(f"REE for {name!r} must be > 0")
+
+    def extremes(self) -> Tuple[Dict[str, float], Dict[str, float]]:
+        """(weights minimizing TGI, weights maximizing TGI).
+
+        On a linear functional over the simplex the extremes sit at the
+        vertices: all weight on the smallest / largest REE.  Returned in
+        vertex form for clarity.
+        """
+        names = sorted(self.ree)
+        lo = min(names, key=lambda n: self.ree[n])
+        hi = max(names, key=lambda n: self.ree[n])
+        w_lo = {n: 1.0 if n == lo else 0.0 for n in names}
+        w_hi = {n: 1.0 if n == hi else 0.0 for n in names}
+        return w_lo, w_hi
+
+    def tgi_range(self) -> Tuple[float, float]:
+        """(min TGI, max TGI) over all valid weightings — simply the REE
+        extremes, by linearity."""
+        values = sorted(self.ree.values())
+        return values[0], values[-1]
+
+    def grid(self) -> List[Tuple[Dict[str, float], float]]:
+        """(weights, TGI) on the regular simplex grid."""
+        names = tuple(sorted(self.ree))
+        out = []
+        for weights in sweep_weight_simplex(names, steps=self.steps):
+            out.append((weights, tgi_from_components(self.ree, weights)))
+        return out

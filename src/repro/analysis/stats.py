@@ -1,0 +1,88 @@
+"""Central-tendency measures for benchmark aggregation.
+
+The paper's related work (Smith, "Characterizing Computer Performance with a
+Single Number"; John, "More on Finding a Single Number...") studies which
+mean is appropriate for which quantity: arithmetic for times, harmonic for
+rates, geometric for ratios, each with weighted variants.  These
+implementations back the weighting analysis and give tests independent
+oracles (e.g. AM >= GM >= HM).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import MetricError
+
+__all__ = [
+    "arithmetic_mean",
+    "geometric_mean",
+    "harmonic_mean",
+    "weighted_arithmetic_mean",
+    "weighted_geometric_mean",
+    "weighted_harmonic_mean",
+]
+
+
+def _validate(values: Sequence[float], *, positive: bool = False) -> np.ndarray:
+    arr = np.asarray(values, dtype=float)
+    if arr.ndim != 1 or arr.size == 0:
+        raise MetricError("values must be a non-empty 1-D sequence")
+    if not np.isfinite(arr).all():
+        raise MetricError("values must be finite")
+    if positive and not (arr > 0).all():
+        raise MetricError("values must be strictly positive")
+    return arr
+
+
+def _validate_weights(weights: Sequence[float], n: int) -> np.ndarray:
+    w = np.asarray(weights, dtype=float)
+    if w.shape != (n,):
+        raise MetricError(f"need {n} weights, got shape {w.shape}")
+    if not np.isfinite(w).all() or (w < 0).any():
+        raise MetricError("weights must be finite and >= 0")
+    total = float(w.sum())
+    if abs(total - 1.0) > 1e-9:
+        raise MetricError(f"weights must sum to 1, got {total}")
+    return w
+
+
+def arithmetic_mean(values: Sequence[float]) -> float:
+    """Eq. 6: ``sum(x) / n``."""
+    return float(_validate(values).mean())
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """``(prod x)^(1/n)``, computed in log space; requires positive values."""
+    arr = _validate(values, positive=True)
+    return float(math.exp(np.log(arr).mean()))
+
+
+def harmonic_mean(values: Sequence[float]) -> float:
+    """``n / sum(1/x)``; requires positive values (the mean for rates)."""
+    arr = _validate(values, positive=True)
+    return float(arr.size / np.sum(1.0 / arr))
+
+
+def weighted_arithmetic_mean(values: Sequence[float], weights: Sequence[float]) -> float:
+    """Eq. 9: ``sum(w_i x_i)`` with ``sum w = 1``."""
+    arr = _validate(values)
+    w = _validate_weights(weights, arr.size)
+    return float(w @ arr)
+
+
+def weighted_geometric_mean(values: Sequence[float], weights: Sequence[float]) -> float:
+    """``prod x_i^(w_i)`` with ``sum w = 1``; requires positive values."""
+    arr = _validate(values, positive=True)
+    w = _validate_weights(weights, arr.size)
+    return float(math.exp(w @ np.log(arr)))
+
+
+def weighted_harmonic_mean(values: Sequence[float], weights: Sequence[float]) -> float:
+    """``1 / sum(w_i / x_i)`` with ``sum w = 1``; requires positive values."""
+    arr = _validate(values, positive=True)
+    w = _validate_weights(weights, arr.size)
+    return float(1.0 / np.sum(w / arr))

@@ -1,0 +1,64 @@
+"""Plain-text table rendering.
+
+Small, dependency-free helper used by reports, experiment drivers, and the
+CLI to print paper-style tables (Table I, Table II) and figure series.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+__all__ = ["render_table"]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: Optional[str] = None,
+    align_right_from: int = 1,
+) -> str:
+    """Render an ASCII table.
+
+    Parameters
+    ----------
+    headers:
+        Column headers.
+    rows:
+        Row cells; non-strings are ``str()``-ed.
+    title:
+        Optional title line above the table.
+    align_right_from:
+        Columns at this index and later are right-aligned (numeric columns);
+        earlier columns are left-aligned (labels).
+    """
+    if not headers:
+        raise ValueError("table needs at least one column")
+    str_rows: List[List[str]] = [[str(c) for c in row] for row in rows]
+    for i, row in enumerate(str_rows):
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {i} has {len(row)} cells, table has {len(headers)} columns"
+            )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for j, cell in enumerate(row):
+            widths[j] = max(widths[j], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        parts = []
+        for j, cell in enumerate(cells):
+            if j >= align_right_from:
+                parts.append(cell.rjust(widths[j]))
+            else:
+                parts.append(cell.ljust(widths[j]))
+        return "  ".join(parts).rstrip()
+
+    sep = "  ".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(list(headers)))
+    lines.append(sep)
+    lines.extend(fmt_row(row) for row in str_rows)
+    return "\n".join(lines)

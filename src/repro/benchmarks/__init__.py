@@ -1,0 +1,39 @@
+"""The benchmark suite (paper Section IV-A).
+
+Three benchmarks stress the three subsystems the paper targets:
+
+* :class:`~repro.benchmarks.hpl.HPLBenchmark` — CPU (reports FLOP/s);
+* :class:`~repro.benchmarks.stream.StreamBenchmark` — memory (bytes/s);
+* :class:`~repro.benchmarks.iozone.IOzoneBenchmark` — disk (bytes/s).
+
+Each benchmark compiles its performance-model prediction into per-rank phase
+programs, executes them on the simulated, metered cluster, and returns a
+:class:`~repro.benchmarks.base.BenchmarkResult` carrying the reported
+performance plus the full power record.  :class:`~repro.benchmarks.suite.BenchmarkSuite`
+runs all members at one scale point; :class:`~repro.benchmarks.runner.ScalingSweep`
+sweeps the suite over core counts the way the paper's figures do.
+"""
+
+from .base import Benchmark, BenchmarkResult
+from .hpl import HPLBenchmark
+from .stream import StreamBenchmark
+from .iozone import IOzoneBenchmark
+from .randomaccess import RandomAccessBenchmark
+from .network import EffectiveBandwidthBenchmark
+from .suite import BenchmarkSuite, SuiteResult
+from .runner import ScalingSweep, SweepResult, ScalePoint
+
+__all__ = [
+    "Benchmark",
+    "BenchmarkResult",
+    "HPLBenchmark",
+    "StreamBenchmark",
+    "IOzoneBenchmark",
+    "RandomAccessBenchmark",
+    "EffectiveBandwidthBenchmark",
+    "BenchmarkSuite",
+    "SuiteResult",
+    "ScalingSweep",
+    "SweepResult",
+    "ScalePoint",
+]

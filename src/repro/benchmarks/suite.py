@@ -1,0 +1,126 @@
+"""Benchmark suite: run all members at one scale point.
+
+A :class:`BenchmarkSuite` is an ordered collection of benchmarks with
+distinct names.  Running it at one scale point yields a
+:class:`SuiteResult` — the per-benchmark results the TGI pipeline consumes
+(performance, time, power, energy).
+
+Scales differ per benchmark: the paper sweeps HPL and STREAM by MPI process
+count and IOzone by node count, tied together by "a particular number of
+cores" (Figure 5).  The suite therefore takes a *cores* value and maps it to
+each benchmark's own scale via :meth:`BenchmarkSuite.scale_for`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from ..exceptions import BenchmarkError
+from ..sim.executor import ClusterExecutor
+from .base import Benchmark, BenchmarkResult
+from .iozone import IOzoneBenchmark
+
+__all__ = ["BenchmarkSuite", "SuiteResult"]
+
+
+@dataclass(frozen=True)
+class SuiteResult:
+    """All members' results at one scale point."""
+
+    cores: int
+    results: Tuple[BenchmarkResult, ...]
+
+    def __post_init__(self) -> None:
+        names = [r.benchmark for r in self.results]
+        if len(set(names)) != len(names):
+            raise BenchmarkError(f"duplicate benchmark names in suite result: {names}")
+
+    @property
+    def names(self) -> List[str]:
+        """Benchmark names in suite order."""
+        return [r.benchmark for r in self.results]
+
+    def __iter__(self) -> Iterator[BenchmarkResult]:
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __getitem__(self, name: str) -> BenchmarkResult:
+        for result in self.results:
+            if result.benchmark == name:
+                return result
+        raise KeyError(name)
+
+    # Convenience maps for the metric layer -----------------------------
+    @property
+    def performances(self) -> Dict[str, float]:
+        """name -> reported performance (base units)."""
+        return {r.benchmark: r.performance for r in self.results}
+
+    @property
+    def powers_w(self) -> Dict[str, float]:
+        """name -> measured mean wall watts."""
+        return {r.benchmark: r.power_w for r in self.results}
+
+    @property
+    def times_s(self) -> Dict[str, float]:
+        """name -> wall-clock seconds."""
+        return {r.benchmark: r.time_s for r in self.results}
+
+    @property
+    def energies_j(self) -> Dict[str, float]:
+        """name -> measured joules."""
+        return {r.benchmark: r.energy_j for r in self.results}
+
+    @property
+    def efficiencies(self) -> Dict[str, float]:
+        """name -> EE_i = performance / power (Eq. 2)."""
+        return {r.benchmark: r.energy_efficiency for r in self.results}
+
+
+class BenchmarkSuite:
+    """An ordered set of uniquely-named benchmarks."""
+
+    def __init__(self, benchmarks: Sequence[Benchmark]):
+        if not benchmarks:
+            raise BenchmarkError("suite needs at least one benchmark")
+        names = [b.name for b in benchmarks]
+        if len(set(names)) != len(names):
+            raise BenchmarkError(f"duplicate benchmark names: {names}")
+        self.benchmarks: Tuple[Benchmark, ...] = tuple(benchmarks)
+
+    @property
+    def names(self) -> List[str]:
+        """Benchmark names in order."""
+        return [b.name for b in self.benchmarks]
+
+    def scale_for(self, benchmark: Benchmark, cores: int, executor: ClusterExecutor) -> int:
+        """Map a core count to the benchmark's own scale parameter.
+
+        IOzone runs one instance per node, so its scale is the node count
+        covering ``cores`` under breadth-first placement; everything else
+        scales by MPI rank = core.
+        """
+        if cores < 1:
+            raise BenchmarkError(f"cores must be >= 1, got {cores}")
+        if isinstance(benchmark, IOzoneBenchmark):
+            num_nodes = executor.cluster.num_nodes
+            cores_per_node = executor.cluster.node.cores
+            # breadth-first: `cores` ranks touch min(cores, num_nodes) nodes;
+            # full sweeps (cores = k * cores_per_node) map to k nodes.
+            if cores >= num_nodes * cores_per_node:
+                return num_nodes
+            if cores % cores_per_node == 0:
+                return max(1, cores // cores_per_node)
+            return min(cores, num_nodes)
+        return cores
+
+    def run(self, executor: ClusterExecutor, cores: int) -> SuiteResult:
+        """Run every member at the scale implied by ``cores``."""
+        results = []
+        for benchmark in self.benchmarks:
+            scale = self.scale_for(benchmark, cores, executor)
+            results.append(benchmark.run(executor, scale))
+        return SuiteResult(cores=cores, results=tuple(results))

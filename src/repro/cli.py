@@ -1,0 +1,323 @@
+"""Command-line interface.
+
+::
+
+    tgi list                     # available experiments
+    tgi run fig5                 # regenerate one figure/table
+    tgi run all                  # regenerate everything
+    tgi rank                     # TGI ranking of the preset systems
+    tgi specs                    # print the preset system spec sheets
+
+Also reachable as ``python -m repro``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import __version__
+from .analysis.tables import render_table
+from .benchmarks import BenchmarkSuite
+from .cluster import presets
+from .core import TGICalculator, format_ranking, rank_systems
+from .experiments import (
+    EXPERIMENTS,
+    PAPER_CONFIG,
+    SharedContext,
+    build_suite,
+    get_experiment,
+)
+from .sim import ClusterExecutor
+from .units import format_bytes, format_flops, format_power
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="tgi",
+        description="The Green Index (TGI) reproduction toolkit",
+    )
+    parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run = sub.add_parser("run", help="run an experiment (or 'all')")
+    run.add_argument("experiment", help="experiment id (fig2..fig6, table1, table2) or 'all'")
+    run.add_argument(
+        "--plot", action="store_true", help="also render figure series as ASCII charts"
+    )
+
+    rank = sub.add_parser("rank", help="rank the preset systems by TGI")
+    rank.add_argument(
+        "--cores",
+        type=int,
+        default=0,
+        help="core count to benchmark each system at (default: each system's full size)",
+    )
+    rank.add_argument(
+        "--profile",
+        choices=("cfd", "genomics", "checkpoint", "dense-linalg"),
+        default=None,
+        help="weight the suite for an application profile instead of equal weights",
+    )
+
+    sub.add_parser("specs", help="print the preset system spec sheets")
+
+    suite = sub.add_parser(
+        "suite", help="run the suite on one preset system and print the measurements"
+    )
+    suite.add_argument(
+        "--system",
+        choices=("fire", "system_g", "gpu_cluster", "modern_cluster"),
+        default="fire",
+        help="preset system to measure",
+    )
+    suite.add_argument(
+        "--cores", type=int, default=0, help="MPI ranks (default: full machine)"
+    )
+    suite.add_argument(
+        "--breakdown", action="store_true", help="also print the energy attribution"
+    )
+
+    sub.add_parser(
+        "sensitivity", help="weight-simplex sensitivity of TGI at full scale"
+    )
+
+    archive = sub.add_parser(
+        "archive", help="run the calibrated campaign and save it as JSON"
+    )
+    archive.add_argument("output", help="path of the JSON archive to write")
+    return parser
+
+
+def _cmd_list() -> int:
+    rows = [[exp_id, entry.description] for exp_id, entry in EXPERIMENTS.items()]
+    print(render_table(["id", "description"], rows, align_right_from=99))
+    return 0
+
+
+def _cmd_run(experiment: str, plot: bool = False) -> int:
+    context = SharedContext()
+    if experiment == "all":
+        ids = list(EXPERIMENTS)
+    else:
+        ids = [experiment]
+    for exp_id in ids:
+        entry = get_experiment(exp_id)
+        result = entry.run(context)
+        print(result.format())
+        if plot:
+            chart = _chart_for(result)
+            if chart:
+                print()
+                print(chart)
+        print()
+    return 0
+
+
+def _chart_for(result) -> Optional[str]:
+    """ASCII chart for figure results; tables have nothing to plot."""
+    from .experiments.curves import EfficiencyCurveResult
+    from .experiments.tgi_curves import TGICurveResult, TGIWeightedResult
+    from .viz import ascii_chart
+
+    if isinstance(result, EfficiencyCurveResult):
+        return ascii_chart(
+            {result.benchmark: list(result.efficiency)},
+            x=list(result.x),
+            title=f"{result.figure} ({result.unit_label})",
+            x_label=result.x_label,
+            y_label=result.unit_label,
+        )
+    if isinstance(result, TGICurveResult):
+        return ascii_chart(
+            {"TGI": result.series.values.tolist()},
+            x=list(result.cores),
+            title="Figure 5 (TGI, arithmetic mean)",
+            x_label="cores",
+            y_label="TGI",
+        )
+    if isinstance(result, TGIWeightedResult):
+        return ascii_chart(
+            {
+                name: series.values.tolist()
+                for name, series in result.series_by_weighting.items()
+            },
+            x=list(result.cores),
+            title="Figure 6 (TGI under different weights)",
+            x_label="cores",
+            y_label="TGI",
+        )
+    return None
+
+
+def _cmd_suite(system: str, cores: int, breakdown: bool) -> int:
+    from .benchmarks import (
+        BenchmarkSuite,
+        HPLBenchmark,
+        IOzoneBenchmark,
+        StreamBenchmark,
+    )
+    from .core import format_suite_result
+    from .units import format_energy
+
+    cluster = getattr(presets, system)()
+    executor = ClusterExecutor(cluster, rng=PAPER_CONFIG.fire_seed)
+    # capability view: memory-sized HPL with the calibrated comm/contention
+    # parameters (consistent with `tgi run capability`)
+    suite = BenchmarkSuite(
+        [
+            HPLBenchmark(
+                sizing=("memory", PAPER_CONFIG.hpl_reference_memory_fraction),
+                rounds=PAPER_CONFIG.hpl_rounds,
+                comm_volume_factor=PAPER_CONFIG.hpl_comm_volume_factor,
+                contention_threshold=PAPER_CONFIG.hpl_contention_threshold,
+                contention_slope=PAPER_CONFIG.hpl_contention_slope,
+            ),
+            StreamBenchmark(
+                target_seconds=PAPER_CONFIG.stream_target_seconds,
+                intensity=PAPER_CONFIG.stream_intensity,
+            ),
+            IOzoneBenchmark(target_seconds=PAPER_CONFIG.iozone_target_seconds),
+        ]
+    )
+    n = min(cores or cluster.total_cores, cluster.total_cores)
+    result = suite.run(executor, n)
+    print(format_suite_result(result, title=f"{cluster.name} @ {n} cores"))
+    if breakdown:
+        print()
+        for r in result:
+            parts = r.record.energy_breakdown
+            total = sum(parts.values())
+            line = ", ".join(
+                f"{k} {100 * v / total:.0f}%" for k, v in sorted(parts.items())
+            )
+            print(f"{r.benchmark:13s} {format_energy(total)}: {line}")
+    return 0
+
+
+def _cmd_sensitivity() -> int:
+    from .analysis import WeightSensitivity, dominant_benchmark
+    from .core import TGICalculator
+    from .experiments import build_reference, build_suite, build_executor
+
+    reference, _ = build_reference(PAPER_CONFIG)
+    executor = build_executor(PAPER_CONFIG)
+    suite = build_suite(PAPER_CONFIG)
+    result = suite.run(executor, executor.cluster.total_cores)
+    tgi = TGICalculator(reference).compute(result)
+    sens = WeightSensitivity(ree=tgi.ree, steps=20)
+    lo, hi = sens.tgi_range()
+    w_lo, w_hi = sens.extremes()
+    print(f"REE at {result.cores} cores: "
+          + ", ".join(f"{k}={v:.3f}" for k, v in sorted(tgi.ree.items())))
+    print(f"TGI(arithmetic mean) = {tgi.value:.4f}")
+    print(f"TGI range over all valid weightings: [{lo:.4f}, {hi:.4f}]")
+    print(f"  minimized by weighting {dominant_benchmark(w_lo)} alone")
+    print(f"  maximized by weighting {dominant_benchmark(w_hi)} alone")
+    return 0
+
+
+def _cmd_archive(output: str) -> int:
+    from .serialization import (
+        reference_to_dict,
+        save_json,
+        sweep_result_to_dict,
+    )
+
+    context = SharedContext()
+    archive = {
+        "format_version": 1,
+        "reference": reference_to_dict(context.reference),
+        "sweep": sweep_result_to_dict(context.sweep),
+    }
+    save_json(archive, output)
+    print(f"campaign archived to {output}")
+    return 0
+
+
+_PROFILE_BY_FLAG = {
+    "cfd": "CFD_PROFILE",
+    "genomics": "GENOMICS_PROFILE",
+    "checkpoint": "CHECKPOINT_HEAVY_PROFILE",
+    "dense-linalg": "DENSE_LINALG_PROFILE",
+}
+
+
+def _cmd_rank(cores: int, profile: Optional[str] = None) -> int:
+    from . import core
+    from .experiments import build_reference
+
+    systems = [presets.fire(), presets.system_g(), presets.gpu_cluster(), presets.modern_cluster()]
+    reference, _ = build_reference(PAPER_CONFIG)
+    if profile is None:
+        calculator = TGICalculator(reference)
+    else:
+        app_profile = getattr(core, _PROFILE_BY_FLAG[profile])
+        calculator = TGICalculator(
+            reference, weighting=core.WorkloadWeights(app_profile)
+        )
+        print(f"weights derived from profile: {app_profile.name}")
+    entries = []
+    for cluster in systems:
+        executor = ClusterExecutor(cluster, rng=PAPER_CONFIG.fire_seed)
+        suite = build_suite(PAPER_CONFIG, reference=True)
+        n = cores or cluster.total_cores
+        n = min(n, cluster.total_cores)
+        entries.append((cluster.name, suite.run(executor, n)))
+    print(format_ranking(rank_systems(entries, calculator)))
+    return 0
+
+
+def _cmd_specs() -> int:
+    rows = []
+    for factory in (presets.fire, presets.system_g, presets.gpu_cluster, presets.modern_cluster):
+        cluster = factory()
+        rows.append(
+            [
+                cluster.name,
+                cluster.num_nodes,
+                cluster.total_cores,
+                format_flops(cluster.total_peak_flops),
+                format_bytes(cluster.total_memory_bytes),
+                format_power(cluster.nominal_idle_watts),
+                format_power(cluster.nominal_max_watts),
+            ]
+        )
+    print(
+        render_table(
+            ["System", "Nodes", "Cores", "Peak", "Memory", "Idle (DC)", "Max (DC)"],
+            rows,
+            title="Preset systems",
+        )
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args.experiment, plot=args.plot)
+    if args.command == "rank":
+        return _cmd_rank(args.cores, args.profile)
+    if args.command == "specs":
+        return _cmd_specs()
+    if args.command == "suite":
+        return _cmd_suite(args.system, args.cores, args.breakdown)
+    if args.command == "sensitivity":
+        return _cmd_sensitivity()
+    if args.command == "archive":
+        return _cmd_archive(args.output)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,44 @@
+"""Hardware substrate: parametric models of HPC cluster hardware.
+
+This subpackage defines *specifications* — immutable, validated descriptions
+of CPUs, memory subsystems, storage devices, interconnects, nodes, and whole
+clusters — plus interconnect topologies and presets for the two machines in
+the paper (the *Fire* system under test and the *SystemG* reference) and a
+few extension systems.
+
+Specifications are pure data: they carry peak rates and nominal power
+envelopes but no behaviour.  Power draw as a function of utilization lives in
+:mod:`repro.power`; performance as a function of scale lives in
+:mod:`repro.perfmodels`.
+"""
+
+from .cpu import CPUSpec
+from .memory import MemorySpec
+from .storage import StorageSpec, StorageKind
+from .nic import InterconnectSpec
+from .node import NodeSpec
+from .cluster import ClusterSpec
+from .topology import Topology, star_topology, fat_tree_topology, ring_topology
+from .accelerator import AcceleratorSpec
+from .generator import EraTemplate, ERAS, generate_cluster, generate_fleet
+from . import presets
+
+__all__ = [
+    "CPUSpec",
+    "MemorySpec",
+    "StorageSpec",
+    "StorageKind",
+    "InterconnectSpec",
+    "NodeSpec",
+    "ClusterSpec",
+    "AcceleratorSpec",
+    "Topology",
+    "star_topology",
+    "fat_tree_topology",
+    "ring_topology",
+    "EraTemplate",
+    "ERAS",
+    "generate_cluster",
+    "generate_fleet",
+    "presets",
+]

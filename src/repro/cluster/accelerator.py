@@ -1,0 +1,68 @@
+"""Accelerator (GPU) specification — extension beyond the paper.
+
+The paper's future work asks whether TGI is suitable for GPU-based systems.
+:class:`AcceleratorSpec` lets :class:`~repro.cluster.node.NodeSpec` carry
+GPUs so presets like :func:`repro.cluster.presets.gpu_cluster` can be pushed
+through the same benchmark/metric pipeline (see
+``examples/gpu_system_tgi.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import SpecError
+from ..units import format_flops
+from ..validation import check_non_negative, check_positive
+
+__all__ = ["AcceleratorSpec"]
+
+
+@dataclass(frozen=True)
+class AcceleratorSpec:
+    """One accelerator card.
+
+    Parameters
+    ----------
+    model:
+        e.g. ``"NVIDIA Tesla M2050"``.
+    peak_flops:
+        Double-precision peak in FLOP/s.
+    memory_bandwidth:
+        Device memory bytes/s (STREAM-like kernels are bound by this).
+    memory_bytes:
+        Device memory capacity.
+    tdp_watts / idle_watts:
+        Card power envelope.
+    hpl_efficiency:
+        Fraction of DP peak achievable on an HPL-like DGEMM-dominated run.
+    """
+
+    model: str
+    peak_flops: float
+    memory_bandwidth: float
+    memory_bytes: float
+    tdp_watts: float
+    idle_watts: float = 25.0
+    hpl_efficiency: float = 0.55
+
+    def __post_init__(self) -> None:
+        if not self.model:
+            raise SpecError("accelerator model name must be non-empty")
+        check_positive(self.peak_flops, "peak_flops", exc=SpecError)
+        check_positive(self.memory_bandwidth, "memory_bandwidth", exc=SpecError)
+        check_positive(self.memory_bytes, "memory_bytes", exc=SpecError)
+        check_positive(self.tdp_watts, "tdp_watts", exc=SpecError)
+        check_non_negative(self.idle_watts, "idle_watts", exc=SpecError)
+        if self.idle_watts > self.tdp_watts:
+            raise SpecError("idle_watts exceeds tdp_watts")
+        if not 0 < self.hpl_efficiency <= 1:
+            raise SpecError("hpl_efficiency must be in (0, 1]")
+
+    @property
+    def sustained_hpl_flops(self) -> float:
+        """FLOP/s achievable on an HPL-like workload."""
+        return self.peak_flops * self.hpl_efficiency
+
+    def __str__(self) -> str:
+        return f"{self.model}: {format_flops(self.peak_flops)} DP peak, {self.tdp_watts:.0f} W TDP"

@@ -1,0 +1,106 @@
+"""Cluster specification: homogeneous nodes plus an interconnect topology.
+
+A :class:`ClusterSpec` is what benchmarks run against and what the wall-plug
+meter wraps (the paper's Figure 1 places the meter between the power outlet
+and the *whole* system, so every node contributes to measured power whether
+or not the benchmark uses it — this detail drives the shape of all the
+energy-efficiency curves and is preserved faithfully here).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..exceptions import SpecError
+from ..units import format_flops
+from ..validation import check_positive_int
+from .node import NodeSpec
+from .topology import Topology, star_topology
+
+__all__ = ["ClusterSpec"]
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A homogeneous cluster.
+
+    Parameters
+    ----------
+    name:
+        Cluster name, e.g. ``"Fire"`` or ``"SystemG"``.
+    node:
+        Spec of every node.
+    num_nodes:
+        Node count.
+    topology:
+        Interconnect fabric; defaults to a single-switch star, matching the
+        small systems in the paper.  Must cover exactly ``num_nodes``
+        endpoints.
+    """
+
+    name: str
+    node: NodeSpec
+    num_nodes: int
+    topology: Optional[Topology] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SpecError("cluster name must be non-empty")
+        check_positive_int(self.num_nodes, "num_nodes", exc=SpecError)
+        if self.topology is None:
+            object.__setattr__(self, "topology", star_topology(self.num_nodes))
+        if self.topology.num_nodes != self.num_nodes:
+            raise SpecError(
+                f"topology covers {self.topology.num_nodes} nodes, "
+                f"cluster has {self.num_nodes}"
+            )
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    @property
+    def total_cores(self) -> int:
+        """Total physical CPU cores in the cluster."""
+        return self.num_nodes * self.node.cores
+
+    @property
+    def peak_flops(self) -> float:
+        """Aggregate CPU peak DP FLOP/s."""
+        return self.num_nodes * self.node.peak_flops
+
+    @property
+    def total_peak_flops(self) -> float:
+        """Aggregate CPU + accelerator peak DP FLOP/s."""
+        return self.num_nodes * self.node.total_peak_flops
+
+    @property
+    def total_memory_bytes(self) -> float:
+        """Aggregate DRAM capacity."""
+        return self.num_nodes * self.node.memory_bytes
+
+    @property
+    def peak_memory_bandwidth(self) -> float:
+        """Aggregate peak DRAM bytes/s."""
+        return self.num_nodes * self.node.peak_memory_bandwidth
+
+    @property
+    def nominal_idle_watts(self) -> float:
+        """Aggregate DC idle power of all nodes."""
+        return self.num_nodes * self.node.nominal_idle_watts
+
+    @property
+    def nominal_max_watts(self) -> float:
+        """Aggregate DC full-load power of all nodes."""
+        return self.num_nodes * self.node.nominal_max_watts
+
+    def with_nodes(self, num_nodes: int) -> "ClusterSpec":
+        """A copy of this cluster resized to ``num_nodes`` (fresh topology)."""
+        check_positive_int(num_nodes, "num_nodes", exc=SpecError)
+        return ClusterSpec(name=self.name, node=self.node, num_nodes=num_nodes)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name}: {self.num_nodes} x ({self.node.name}), "
+            f"{self.total_cores} cores, peak {format_flops(self.peak_flops)}"
+        )

@@ -1,0 +1,77 @@
+"""CPU socket specification.
+
+A :class:`CPUSpec` describes one processor package: core count, clock, DP
+floating-point throughput per core-cycle, and its nominal power envelope
+(idle and full-load watts for the whole package).  The package-level peak
+FLOP rate is ``cores * base_clock_hz * flops_per_cycle``; how much of that a
+workload achieves is the business of :mod:`repro.perfmodels`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import SpecError
+from ..units import format_flops
+from ..validation import check_non_negative, check_positive, check_positive_int
+
+__all__ = ["CPUSpec"]
+
+
+@dataclass(frozen=True)
+class CPUSpec:
+    """One CPU package (socket).
+
+    Parameters
+    ----------
+    model:
+        Marketing name, e.g. ``"AMD Opteron 6134"``.
+    cores:
+        Physical cores per package.
+    base_clock_hz:
+        Sustained clock in Hz (turbo is deliberately not modelled; the
+        2008-2010 parts in the paper have none worth speaking of).
+    flops_per_cycle:
+        Double-precision FLOPs retired per core per cycle at peak
+        (e.g. 4 for SSE2-era parts: 2-wide FMA-less mul+add pipes).
+    tdp_watts:
+        Full-load package power.
+    idle_watts:
+        Package power with all cores in their idle state.
+    """
+
+    model: str
+    cores: int
+    base_clock_hz: float
+    flops_per_cycle: float
+    tdp_watts: float
+    idle_watts: float
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.cores, "cores", exc=SpecError)
+        check_positive(self.base_clock_hz, "base_clock_hz", exc=SpecError)
+        check_positive(self.flops_per_cycle, "flops_per_cycle", exc=SpecError)
+        check_positive(self.tdp_watts, "tdp_watts", exc=SpecError)
+        check_non_negative(self.idle_watts, "idle_watts", exc=SpecError)
+        if self.idle_watts > self.tdp_watts:
+            raise SpecError(
+                f"idle_watts ({self.idle_watts}) exceeds tdp_watts ({self.tdp_watts})"
+            )
+        if not self.model:
+            raise SpecError("model name must be non-empty")
+
+    @property
+    def peak_flops(self) -> float:
+        """Package peak DP throughput in FLOP/s."""
+        return self.cores * self.base_clock_hz * self.flops_per_cycle
+
+    @property
+    def peak_flops_per_core(self) -> float:
+        """Per-core peak DP throughput in FLOP/s."""
+        return self.base_clock_hz * self.flops_per_cycle
+
+    def __str__(self) -> str:
+        return (
+            f"{self.model}: {self.cores} cores @ {self.base_clock_hz / 1e9:.2f} GHz, "
+            f"peak {format_flops(self.peak_flops)}"
+        )

@@ -1,0 +1,105 @@
+"""Memory-subsystem specification.
+
+A :class:`MemorySpec` describes the DRAM attached to one socket: capacity,
+channel count and per-channel bandwidth, plus DIMM power envelope.  The
+*peak* bandwidth is channels x per-channel bandwidth; the fraction STREAM
+actually sustains (``stream_efficiency``) is a property of the memory
+controller generation and is consumed by :mod:`repro.perfmodels.stream`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import SpecError
+from ..units import format_bandwidth, format_bytes
+from ..validation import (
+    check_fraction,
+    check_non_negative,
+    check_positive,
+    check_positive_int,
+)
+
+__all__ = ["MemorySpec"]
+
+
+@dataclass(frozen=True)
+class MemorySpec:
+    """DRAM attached to one socket.
+
+    Parameters
+    ----------
+    technology:
+        e.g. ``"DDR3-1333"`` or ``"DDR2-800 FB-DIMM"``.
+    capacity_bytes:
+        Installed capacity per socket.
+    channels:
+        Memory channels per socket.
+    channel_bandwidth:
+        Peak bytes/s per channel (transfer rate x 8 bytes).
+    stream_efficiency:
+        Fraction of peak bandwidth sustainable by STREAM Triad when the
+        channels are saturated (typically 0.5-0.8 for the era modelled).
+    cores_to_saturate:
+        How many cores' worth of streaming it takes to saturate the socket's
+        sustained bandwidth; below that, bandwidth scales ~linearly in cores.
+    access_latency_s:
+        Load-to-use latency of a random DRAM access (row miss); bounds
+        latency-bound kernels such as HPCC RandomAccess.
+    dimms:
+        Number of DIMMs populated per socket.
+    dimm_idle_watts / dimm_active_watts:
+        Per-DIMM power at idle and under full bandwidth load.
+    """
+
+    technology: str
+    capacity_bytes: float
+    channels: int
+    channel_bandwidth: float
+    stream_efficiency: float = 0.65
+    cores_to_saturate: int = 4
+    access_latency_s: float = 80e-9
+    dimms: int = 4
+    dimm_idle_watts: float = 2.0
+    dimm_active_watts: float = 5.0
+
+    def __post_init__(self) -> None:
+        check_positive(self.capacity_bytes, "capacity_bytes", exc=SpecError)
+        check_positive_int(self.channels, "channels", exc=SpecError)
+        check_positive(self.channel_bandwidth, "channel_bandwidth", exc=SpecError)
+        check_fraction(self.stream_efficiency, "stream_efficiency", exc=SpecError)
+        if self.stream_efficiency == 0:
+            raise SpecError("stream_efficiency must be > 0")
+        check_positive_int(self.cores_to_saturate, "cores_to_saturate", exc=SpecError)
+        check_positive(self.access_latency_s, "access_latency_s", exc=SpecError)
+        check_positive_int(self.dimms, "dimms", exc=SpecError)
+        check_non_negative(self.dimm_idle_watts, "dimm_idle_watts", exc=SpecError)
+        check_positive(self.dimm_active_watts, "dimm_active_watts", exc=SpecError)
+        if self.dimm_active_watts < self.dimm_idle_watts:
+            raise SpecError("dimm_active_watts must be >= dimm_idle_watts")
+
+    @property
+    def peak_bandwidth(self) -> float:
+        """Peak bytes/s per socket (all channels)."""
+        return self.channels * self.channel_bandwidth
+
+    @property
+    def sustained_bandwidth(self) -> float:
+        """STREAM-sustainable bytes/s per socket."""
+        return self.peak_bandwidth * self.stream_efficiency
+
+    @property
+    def idle_watts(self) -> float:
+        """All-DIMM idle power per socket."""
+        return self.dimms * self.dimm_idle_watts
+
+    @property
+    def active_watts(self) -> float:
+        """All-DIMM full-bandwidth power per socket."""
+        return self.dimms * self.dimm_active_watts
+
+    def __str__(self) -> str:
+        return (
+            f"{self.technology}: {format_bytes(self.capacity_bytes)} over "
+            f"{self.channels} ch, peak {format_bandwidth(self.peak_bandwidth)}"
+        )

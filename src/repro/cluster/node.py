@@ -1,0 +1,137 @@
+"""Node specification: the unit of power metering and process placement.
+
+A node is ``sockets`` identical CPU packages, each with its own
+:class:`~repro.cluster.memory.MemorySpec` (NUMA domains), one local storage
+device, one NIC, optional accelerators, and a baseline power floor for
+everything else (motherboard, fans, drives spinning, PSU standby losses are
+handled separately in :mod:`repro.power.psu`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from ..exceptions import SpecError
+from ..units import format_bytes, format_flops
+from ..validation import check_non_negative, check_positive_int
+from .accelerator import AcceleratorSpec
+from .cpu import CPUSpec
+from .memory import MemorySpec
+from .nic import InterconnectSpec
+from .storage import StorageSpec
+
+__all__ = ["NodeSpec"]
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One compute node.
+
+    Parameters
+    ----------
+    name:
+        Node model name, e.g. ``"Fire node (2x Opteron 6134)"``.
+    sockets:
+        Number of CPU packages.
+    cpu:
+        Spec of each package.
+    memory:
+        DRAM spec *per socket* (one NUMA domain per socket).
+    storage:
+        Local storage device.
+    nic:
+        Network adapter.
+    accelerators:
+        Optional GPU cards (extension; empty for the paper's systems).
+    base_watts:
+        Power floor of the node excluding CPU/DRAM/disk/NIC components:
+        motherboard, voltage regulators, fans at nominal speed.
+    """
+
+    name: str
+    sockets: int
+    cpu: CPUSpec
+    memory: MemorySpec
+    storage: StorageSpec
+    nic: InterconnectSpec
+    accelerators: Tuple[AcceleratorSpec, ...] = field(default_factory=tuple)
+    base_watts: float = 40.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SpecError("node name must be non-empty")
+        check_positive_int(self.sockets, "sockets", exc=SpecError)
+        check_non_negative(self.base_watts, "base_watts", exc=SpecError)
+        if not isinstance(self.accelerators, tuple):
+            object.__setattr__(self, "accelerators", tuple(self.accelerators))
+
+    # ------------------------------------------------------------------
+    # Aggregate capability
+    # ------------------------------------------------------------------
+    @property
+    def cores(self) -> int:
+        """Total physical cores in the node."""
+        return self.sockets * self.cpu.cores
+
+    @property
+    def peak_flops(self) -> float:
+        """Node CPU peak DP FLOP/s (accelerators excluded; see below)."""
+        return self.sockets * self.cpu.peak_flops
+
+    @property
+    def accelerator_peak_flops(self) -> float:
+        """Summed accelerator DP peak FLOP/s."""
+        return sum(acc.peak_flops for acc in self.accelerators)
+
+    @property
+    def total_peak_flops(self) -> float:
+        """CPU + accelerator peak DP FLOP/s."""
+        return self.peak_flops + self.accelerator_peak_flops
+
+    @property
+    def memory_bytes(self) -> float:
+        """Total node DRAM capacity."""
+        return self.sockets * self.memory.capacity_bytes
+
+    @property
+    def peak_memory_bandwidth(self) -> float:
+        """Node peak DRAM bytes/s across all sockets."""
+        return self.sockets * self.memory.peak_bandwidth
+
+    @property
+    def sustained_memory_bandwidth(self) -> float:
+        """STREAM-sustainable node bytes/s across all sockets."""
+        return self.sockets * self.memory.sustained_bandwidth
+
+    # ------------------------------------------------------------------
+    # Nominal power envelope (used for spec sheets and sanity checks; the
+    # utilization-dependent draw is computed by repro.power)
+    # ------------------------------------------------------------------
+    @property
+    def nominal_idle_watts(self) -> float:
+        """DC power with everything idle."""
+        return (
+            self.base_watts
+            + self.sockets * (self.cpu.idle_watts + self.memory.idle_watts)
+            + self.storage.idle_watts
+            + self.nic.idle_watts
+            + sum(acc.idle_watts for acc in self.accelerators)
+        )
+
+    @property
+    def nominal_max_watts(self) -> float:
+        """DC power with every component at full load."""
+        return (
+            self.base_watts
+            + self.sockets * (self.cpu.tdp_watts + self.memory.active_watts)
+            + self.storage.active_watts
+            + self.nic.active_watts
+            + sum(acc.tdp_watts for acc in self.accelerators)
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name}: {self.sockets}x[{self.cpu.model}] = {self.cores} cores, "
+            f"{format_bytes(self.memory_bytes)} RAM, peak {format_flops(self.peak_flops)}"
+        )

@@ -1,0 +1,262 @@
+"""Preset systems.
+
+Two presets reproduce the machines in the paper (Section IV):
+
+* :func:`fire` — the system under test: 8 nodes, each 2 x AMD Opteron 6134
+  (8 cores @ 2.3 GHz), 32 GB RAM, 128 cores total.  Peak
+  8 x 16 x 2.3 GHz x 4 flop/cycle = 1177.6 GFLOPS; the paper reports
+  ~901 GFLOPS HPL (76.5 % efficiency), which calibrates the HPL model.
+* :func:`system_g` — the reference: Mac Pro cluster with 2 x 2.8 GHz
+  quad-core Xeon 5462 and 8 GB per node on QDR InfiniBand; the paper uses
+  128 nodes / 1024 cores of it.
+
+Component-level numbers not printed in the paper (idle watts, disk rates,
+FB-DIMM power, ...) are reconstructed from era-typical datasheets; see
+DESIGN.md section 7 and EXPERIMENTS.md for the calibration rationale.
+
+Two extension presets support the paper's stated future work:
+
+* :func:`gpu_cluster` — a Fermi-generation GPU system ("suitability of TGI
+  to GPU-based systems").
+* :func:`modern_cluster` — a contemporary EPYC-class system, useful for
+  ranking demonstrations across hardware generations.
+"""
+
+from __future__ import annotations
+
+from ..units import GIB, gbps, mbps
+from .accelerator import AcceleratorSpec
+from .cluster import ClusterSpec
+from .cpu import CPUSpec
+from .memory import MemorySpec
+from .nic import InterconnectSpec
+from .node import NodeSpec
+from .storage import StorageKind, StorageSpec
+from .topology import fat_tree_topology
+
+__all__ = ["fire", "system_g", "gpu_cluster", "modern_cluster"]
+
+#: QDR InfiniBand: ~32 Gbit/s usable -> ~3.2 GB/s sustained, 1.3 us latency.
+_QDR_IB = InterconnectSpec(
+    name="QDR InfiniBand",
+    latency_s=1.3e-6,
+    bandwidth=gbps(3.2),
+    idle_watts=8.0,
+    active_watts=15.0,
+)
+
+#: Gigabit Ethernet over TCP: ~118 MB/s sustained, ~50 us MPI latency.
+#: The paper names SystemG's interconnect (QDR IB) but not Fire's; an
+#: 8-node departmental cluster of the era typically ran MPI over GigE, and
+#: only a comparatively slow fabric reproduces the strong-scaling rolloff
+#: visible in the paper's HPL energy-efficiency sweep (see EXPERIMENTS.md).
+_GIGE = InterconnectSpec(
+    name="Gigabit Ethernet",
+    latency_s=50e-6,
+    bandwidth=mbps(118),
+    idle_watts=2.0,
+    active_watts=4.0,
+)
+
+
+def fire(num_nodes: int = 8) -> ClusterSpec:
+    """The *Fire* cluster: 8 nodes x 2 x AMD Opteron 6134 (Magny-Cours).
+
+    Per-node: 16 cores @ 2.3 GHz (147.2 GFLOPS peak), 32 GB DDR3-1333 over
+    2 x 4 channels, one 7200 rpm SATA disk, Gigabit Ethernet (the paper does
+    not name Fire's interconnect; see the note on ``_GIGE`` above).
+    """
+    cpu = CPUSpec(
+        model="AMD Opteron 6134",
+        cores=8,
+        base_clock_hz=2.3e9,
+        flops_per_cycle=4.0,  # SSE2: 2 adds + 2 muls per cycle
+        tdp_watts=85.0,
+        idle_watts=24.0,
+    )
+    memory = MemorySpec(
+        technology="DDR3-1333",
+        capacity_bytes=16 * GIB,  # 32 GB/node over 2 sockets
+        channels=4,
+        channel_bandwidth=10.667e9,
+        stream_efficiency=0.24,  # unoptimized Triad: ~10 GB/s per socket
+        cores_to_saturate=7,  # ~1.5 GB/s single-core Triad: near-full occupancy needed
+        dimms=4,
+        dimm_idle_watts=1.5,
+        dimm_active_watts=4.0,
+    )
+    storage = StorageSpec(
+        model="7200rpm SATA HDD",
+        kind=StorageKind.HDD,
+        capacity_bytes=500e9,
+        seq_write_bandwidth=mbps(110),
+        seq_read_bandwidth=mbps(125),
+        idle_watts=5.0,
+        active_watts=9.5,
+    )
+    node = NodeSpec(
+        name="Fire node (2x Opteron 6134, 32 GB)",
+        sockets=2,
+        cpu=cpu,
+        memory=memory,
+        storage=storage,
+        nic=_GIGE,
+        base_watts=45.0,
+    )
+    return ClusterSpec(name="Fire", node=node, num_nodes=num_nodes)
+
+
+def system_g(num_nodes: int = 128) -> ClusterSpec:
+    """The *SystemG* reference: Mac Pros with 2 x quad-core Xeon 5462.
+
+    The full machine has 324 nodes; the paper's reference measurements use
+    128 nodes / 1024 cores, so that is the default here.  FB-DIMM memory is
+    power-hungry and the shared front-side bus caps sustained STREAM rates
+    well below channel peak — both effects are reflected in the spec.
+    """
+    cpu = CPUSpec(
+        model="Intel Xeon 5462 (Harpertown)",
+        cores=4,
+        base_clock_hz=2.8e9,
+        flops_per_cycle=4.0,  # SSE4: 2 adds + 2 muls per cycle
+        tdp_watts=80.0,
+        idle_watts=22.0,
+    )
+    memory = MemorySpec(
+        technology="DDR2-800 FB-DIMM",
+        capacity_bytes=4 * GIB,  # 8 GB/node over 2 sockets
+        channels=4,
+        channel_bandwidth=6.4e9,
+        stream_efficiency=0.16,  # FSB-limited: ~4 GB/s Triad per socket
+        cores_to_saturate=2,  # the shared FSB saturates with two cores
+        dimms=4,
+        dimm_idle_watts=5.0,  # FB-DIMM AMBs burn power even at idle
+        dimm_active_watts=10.0,
+    )
+    storage = StorageSpec(
+        model="7200rpm SATA HDD (Mac Pro)",
+        kind=StorageKind.HDD,
+        capacity_bytes=320e9,
+        seq_write_bandwidth=mbps(70),
+        seq_read_bandwidth=mbps(85),
+        idle_watts=5.0,
+        active_watts=9.0,
+    )
+    node = NodeSpec(
+        name="SystemG node (Mac Pro, 2x Xeon 5462, 8 GB)",
+        sockets=2,
+        cpu=cpu,
+        memory=memory,
+        storage=storage,
+        nic=_QDR_IB,
+        base_watts=55.0,  # large chassis, discrete graphics card idling
+    )
+    return ClusterSpec(
+        name="SystemG",
+        node=node,
+        num_nodes=num_nodes,
+        topology=fat_tree_topology(num_nodes, leaf_radix=16) if num_nodes > 1 else None,
+    )
+
+
+def gpu_cluster(num_nodes: int = 4) -> ClusterSpec:
+    """Extension: a Fermi-era GPU system (2 x Xeon X5650 + 2 x Tesla M2050).
+
+    Supports the paper's future-work question about TGI on GPU platforms;
+    see ``examples/gpu_system_tgi.py``.
+    """
+    cpu = CPUSpec(
+        model="Intel Xeon X5650 (Westmere)",
+        cores=6,
+        base_clock_hz=2.66e9,
+        flops_per_cycle=4.0,
+        tdp_watts=95.0,
+        idle_watts=18.0,
+    )
+    memory = MemorySpec(
+        technology="DDR3-1333",
+        capacity_bytes=24 * GIB,
+        channels=3,
+        channel_bandwidth=10.667e9,
+        stream_efficiency=0.55,
+        dimms=6,
+        dimm_idle_watts=1.5,
+        dimm_active_watts=4.0,
+    )
+    storage = StorageSpec(
+        model="SATA SSD",
+        kind=StorageKind.SSD,
+        capacity_bytes=256e9,
+        seq_write_bandwidth=mbps(220),
+        seq_read_bandwidth=mbps(270),
+        idle_watts=1.0,
+        active_watts=3.5,
+    )
+    gpu = AcceleratorSpec(
+        model="NVIDIA Tesla M2050",
+        peak_flops=515e9,
+        memory_bandwidth=148e9,
+        memory_bytes=3 * GIB,
+        tdp_watts=225.0,
+        idle_watts=30.0,
+        hpl_efficiency=0.58,
+    )
+    node = NodeSpec(
+        name="GPU node (2x X5650 + 2x M2050)",
+        sockets=2,
+        cpu=cpu,
+        memory=memory,
+        storage=storage,
+        nic=_QDR_IB,
+        accelerators=(gpu, gpu),
+        base_watts=50.0,
+    )
+    return ClusterSpec(name="FermiGPU", node=node, num_nodes=num_nodes)
+
+
+def modern_cluster(num_nodes: int = 4) -> ClusterSpec:
+    """Extension: a contemporary dual-socket EPYC-class system."""
+    cpu = CPUSpec(
+        model="AMD EPYC 7543 (Milan)",
+        cores=32,
+        base_clock_hz=2.8e9,
+        flops_per_cycle=16.0,  # AVX2 FMA: 2 x 4-wide FMA per cycle
+        tdp_watts=225.0,
+        idle_watts=65.0,
+    )
+    memory = MemorySpec(
+        technology="DDR4-3200",
+        capacity_bytes=256 * GIB,
+        channels=8,
+        channel_bandwidth=25.6e9,
+        stream_efficiency=0.75,
+        dimms=8,
+        dimm_idle_watts=2.0,
+        dimm_active_watts=5.0,
+    )
+    storage = StorageSpec(
+        model="NVMe SSD",
+        kind=StorageKind.NVME,
+        capacity_bytes=2e12,
+        seq_write_bandwidth=gbps(2.5),
+        seq_read_bandwidth=gbps(3.5),
+        idle_watts=2.0,
+        active_watts=8.0,
+    )
+    nic = InterconnectSpec(
+        name="HDR InfiniBand",
+        latency_s=0.9e-6,
+        bandwidth=gbps(24),
+        idle_watts=10.0,
+        active_watts=18.0,
+    )
+    node = NodeSpec(
+        name="EPYC node (2x 7543, 512 GB)",
+        sockets=2,
+        cpu=cpu,
+        memory=memory,
+        storage=storage,
+        nic=nic,
+        base_watts=60.0,
+    )
+    return ClusterSpec(name="ModernEPYC", node=node, num_nodes=num_nodes)

@@ -1,0 +1,72 @@
+"""Storage-device specification.
+
+A :class:`StorageSpec` describes the local storage of one node — the device
+IOzone's write test exercises.  Sequential bandwidths are the sustained media
+rates; the effect of the OS page cache on *measured* IOzone numbers is
+modelled in :mod:`repro.perfmodels.iozone`, not here.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..exceptions import SpecError
+from ..units import format_bandwidth, format_bytes
+from ..validation import check_non_negative, check_positive
+
+__all__ = ["StorageKind", "StorageSpec"]
+
+
+class StorageKind(str, enum.Enum):
+    """Broad device class (affects seek behaviour and power envelope)."""
+
+    HDD = "hdd"
+    SSD = "ssd"
+    NVME = "nvme"
+
+
+@dataclass(frozen=True)
+class StorageSpec:
+    """Local storage of one node.
+
+    Parameters
+    ----------
+    model:
+        Device name, e.g. ``"7200rpm SATA HDD"``.
+    kind:
+        Device class.
+    capacity_bytes:
+        Usable capacity.
+    seq_write_bandwidth / seq_read_bandwidth:
+        Sustained sequential media rates in bytes/s.
+    idle_watts / active_watts:
+        Device power at idle and under sustained transfer.
+    """
+
+    model: str
+    kind: StorageKind
+    capacity_bytes: float
+    seq_write_bandwidth: float
+    seq_read_bandwidth: float
+    idle_watts: float = 5.0
+    active_watts: float = 9.0
+
+    def __post_init__(self) -> None:
+        if not self.model:
+            raise SpecError("storage model name must be non-empty")
+        if not isinstance(self.kind, StorageKind):
+            raise SpecError(f"kind must be a StorageKind, got {self.kind!r}")
+        check_positive(self.capacity_bytes, "capacity_bytes", exc=SpecError)
+        check_positive(self.seq_write_bandwidth, "seq_write_bandwidth", exc=SpecError)
+        check_positive(self.seq_read_bandwidth, "seq_read_bandwidth", exc=SpecError)
+        check_non_negative(self.idle_watts, "idle_watts", exc=SpecError)
+        check_positive(self.active_watts, "active_watts", exc=SpecError)
+        if self.active_watts < self.idle_watts:
+            raise SpecError("active_watts must be >= idle_watts")
+
+    def __str__(self) -> str:
+        return (
+            f"{self.model} ({self.kind.value}): {format_bytes(self.capacity_bytes)}, "
+            f"write {format_bandwidth(self.seq_write_bandwidth)}"
+        )

@@ -1,0 +1,176 @@
+"""Interconnect topologies.
+
+A :class:`Topology` wraps a :class:`networkx.Graph` whose nodes are compute
+nodes (integers ``0..n-1``) and switches (strings ``"sw..."``), and exposes
+the two quantities the communication model needs: hop counts between compute
+nodes and the bisection bandwidth (in links) of the fabric.
+
+Three constructors cover the systems modelled:
+
+* :func:`star_topology` — every node one hop from a single crossbar switch
+  (an adequate model of a small cluster on one InfiniBand switch, like Fire);
+* :func:`fat_tree_topology` — two-level fat tree (SystemG-scale machines);
+* :func:`ring_topology` — 1-D torus, included for ablation experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from ..exceptions import SpecError
+from ..validation import check_positive_int
+
+__all__ = ["Topology", "star_topology", "fat_tree_topology", "ring_topology"]
+
+
+@dataclass(frozen=True, eq=False)
+class Topology:
+    """A named interconnect fabric over ``num_nodes`` compute endpoints.
+
+    Equality is by *value* (name, endpoint count, edge set) rather than by
+    graph identity — two independently-built star topologies over the same
+    nodes compare equal, which keeps :class:`~repro.cluster.cluster.ClusterSpec`
+    equality intuitive.
+    """
+
+    name: str
+    num_nodes: int
+    graph: nx.Graph
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Topology):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.num_nodes == other.num_nodes
+            and set(map(frozenset, self.graph.edges)) == set(map(frozenset, other.graph.edges))
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.num_nodes))
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.num_nodes, "num_nodes", exc=SpecError)
+        for i in range(self.num_nodes):
+            if i not in self.graph:
+                raise SpecError(f"compute node {i} missing from topology graph")
+        # Per-instance memo for hop queries: figure sweeps ask for the same
+        # pairs thousands of times.
+        object.__setattr__(self, "_hop_cache", {})
+
+    def hops(self, a: int, b: int) -> int:
+        """Number of links on the shortest path between compute nodes."""
+        self._check_endpoint(a)
+        self._check_endpoint(b)
+        if a == b:
+            return 0
+        key = (a, b) if a < b else (b, a)
+        hit = self._hop_cache.get(key)
+        if hit is None:
+            hit = nx.shortest_path_length(self.graph, a, b)
+            self._hop_cache[key] = hit
+        return hit
+
+    def max_hops(self) -> int:
+        """Diameter restricted to compute endpoints."""
+        worst = 0
+        for a in range(self.num_nodes):
+            for b in range(a + 1, self.num_nodes):
+                worst = max(worst, self.hops(a, b))
+        return worst
+
+    def mean_hops(self) -> float:
+        """Mean pairwise hop count over distinct compute endpoints."""
+        if self.num_nodes == 1:
+            return 0.0
+        total = 0
+        pairs = 0
+        for a in range(self.num_nodes):
+            for b in range(a + 1, self.num_nodes):
+                total += self.hops(a, b)
+                pairs += 1
+        return total / pairs
+
+    def bisection_links(self) -> int:
+        """Minimum number of links cut to split compute nodes in half.
+
+        Computed exactly via max-flow between the two halves of the
+        endpoint set, which upper-bounds all-to-all throughput.
+        """
+        if self.num_nodes == 1:
+            return 0
+        g = self.graph.copy()
+        half = self.num_nodes // 2
+        src, dst = "_bisect_src", "_bisect_dst"
+        g.add_node(src)
+        g.add_node(dst)
+        for i in range(half):
+            g.add_edge(src, i, capacity=float("inf"))
+        for i in range(half, self.num_nodes):
+            g.add_edge(i, dst, capacity=float("inf"))
+        for u, v, data in self.graph.edges(data=True):
+            g[u][v]["capacity"] = float(data.get("multiplicity", 1))
+        value, _ = nx.maximum_flow(g, src, dst)
+        return int(value)
+
+    def _check_endpoint(self, node: int) -> None:
+        if not 0 <= node < self.num_nodes:
+            raise SpecError(
+                f"node {node} outside compute endpoints [0, {self.num_nodes})"
+            )
+
+
+def star_topology(num_nodes: int) -> Topology:
+    """All compute nodes attached to one crossbar switch (2 hops pairwise)."""
+    check_positive_int(num_nodes, "num_nodes", exc=SpecError)
+    g = nx.Graph()
+    g.add_nodes_from(range(num_nodes))
+    if num_nodes > 1:
+        g.add_node("sw0")
+        for i in range(num_nodes):
+            g.add_edge(i, "sw0")
+    return Topology(name=f"star({num_nodes})", num_nodes=num_nodes, graph=g)
+
+
+def fat_tree_topology(num_nodes: int, *, leaf_radix: int = 16) -> Topology:
+    """Two-level fat tree: leaf switches of ``leaf_radix`` nodes + one spine.
+
+    Nodes on the same leaf are 2 hops apart; across leaves, 4 hops.  Each
+    leaf gets ``leaf_radix // 2`` uplinks (2:1 oversubscription, typical of
+    the era) — this shapes :meth:`Topology.bisection_links`.
+    """
+    check_positive_int(num_nodes, "num_nodes", exc=SpecError)
+    check_positive_int(leaf_radix, "leaf_radix", exc=SpecError)
+    g = nx.Graph()
+    g.add_nodes_from(range(num_nodes))
+    num_leaves = (num_nodes + leaf_radix - 1) // leaf_radix
+    if num_nodes > 1:
+        uplinks = max(1, leaf_radix // 2)
+        g.add_node("spine0")
+        for leaf in range(num_leaves):
+            sw = f"leaf{leaf}"
+            g.add_node(sw)
+            lo = leaf * leaf_radix
+            hi = min(lo + leaf_radix, num_nodes)
+            for i in range(lo, hi):
+                g.add_edge(i, sw)
+            if num_leaves > 1:
+                # parallel uplinks collapse to capacity in bisection; model as
+                # a single multigraph-free edge with recorded multiplicity
+                g.add_edge(sw, "spine0", multiplicity=uplinks)
+    return Topology(name=f"fat-tree({num_nodes},radix={leaf_radix})", num_nodes=num_nodes, graph=g)
+
+
+def ring_topology(num_nodes: int) -> Topology:
+    """1-D torus: node ``i`` linked to ``(i +/- 1) mod n``."""
+    check_positive_int(num_nodes, "num_nodes", exc=SpecError)
+    g = nx.Graph()
+    g.add_nodes_from(range(num_nodes))
+    if num_nodes == 2:
+        g.add_edge(0, 1)
+    elif num_nodes > 2:
+        for i in range(num_nodes):
+            g.add_edge(i, (i + 1) % num_nodes)
+    return Topology(name=f"ring({num_nodes})", num_nodes=num_nodes, graph=g)

@@ -1,0 +1,22 @@
+"""Energy-delay-product efficiency (Section II's metric-agnosticism claim).
+
+The paper argues TGI "can be used with any other energy-efficient metric,
+such as the energy-delay product".  :func:`edp_efficiency` provides the
+scalar helper; :class:`~repro.core.efficiency.InverseEDP` is the pluggable
+metric object used by :class:`~repro.core.tgi.TGICalculator`.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import MetricError
+from ..power.energy import energy_delay_product
+from ..validation import check_positive
+
+__all__ = ["edp_efficiency"]
+
+
+def edp_efficiency(energy_joules: float, delay_seconds: float, *, weight: int = 1) -> float:
+    """``1 / (E * t^w)`` — higher is better, suitable as a TGI base metric."""
+    check_positive(energy_joules, "energy_joules", exc=MetricError)
+    check_positive(delay_seconds, "delay_seconds", exc=MetricError)
+    return 1.0 / energy_delay_product(energy_joules, delay_seconds, weight=weight)

@@ -1,0 +1,76 @@
+"""Per-benchmark energy-efficiency metrics (paper Eq. 2 and Section II).
+
+The canonical metric is performance-to-power (FLOPS/W, MB/s/W, ...), Eq. 2:
+
+    EE_i = Performance_i / Power_i
+
+The paper stresses that the TGI methodology works with *any* energy-
+efficiency metric; :class:`EfficiencyMetric` is that extension point.
+A metric must be "higher is better" so that REE and TGI keep their
+interpretation; rate-based metrics like EDP are therefore inverted
+(:class:`InverseEDP`).
+"""
+
+from __future__ import annotations
+
+import abc
+
+from ..benchmarks.base import BenchmarkResult
+from ..exceptions import MetricError
+from ..validation import check_non_negative, check_positive
+
+__all__ = ["energy_efficiency", "EfficiencyMetric", "PerformancePerWatt", "InverseEDP"]
+
+
+def energy_efficiency(performance: float, power_watts: float) -> float:
+    """Eq. 2: performance per watt.
+
+    As the paper notes (Eq. 5), for rate metrics this equals work per joule:
+    FLOPS/W = FLOP/J.
+    """
+    check_non_negative(performance, "performance", exc=MetricError)
+    check_positive(power_watts, "power_watts", exc=MetricError)
+    return performance / power_watts
+
+
+class EfficiencyMetric(abc.ABC):
+    """Maps a benchmark result to a higher-is-better efficiency value."""
+
+    #: Short name used in reports.
+    name: str = "efficiency"
+
+    @abc.abstractmethod
+    def value(self, result: BenchmarkResult) -> float:
+        """Efficiency of one run (must be > 0 for valid runs)."""
+
+
+class PerformancePerWatt(EfficiencyMetric):
+    """The paper's default metric: Eq. 2."""
+
+    name = "perf/W"
+
+    def value(self, result: BenchmarkResult) -> float:
+        return energy_efficiency(result.performance, result.power_w)
+
+
+class InverseEDP(EfficiencyMetric):
+    """1 / (energy x delay^w): the EDP alternative mentioned in Section II.
+
+    Inverted so that higher remains better; ``weight`` selects EDP (1) or
+    ED^2P (2).
+    """
+
+    def __init__(self, *, weight: int = 1):
+        if weight < 1:
+            raise MetricError(f"weight must be >= 1, got {weight}")
+        self.weight = weight
+        self.name = f"1/ED{'^' + str(weight) if weight > 1 else ''}P"
+
+    def value(self, result: BenchmarkResult) -> float:
+        energy = result.energy_j
+        delay = result.time_s
+        if energy <= 0 or delay <= 0:
+            raise MetricError(
+                f"EDP needs positive energy and delay, got E={energy}, t={delay}"
+            )
+        return 1.0 / (energy * delay**self.weight)

@@ -1,0 +1,125 @@
+"""The "desired property" analysis (paper Section III, Eqs. 5 and 13-15).
+
+Section III argues an energy-efficiency metric should be *inversely
+proportional to energy consumed* for a given amount of work, and derives
+what each weighting does to that property:
+
+* arithmetic-mean and time weights keep energy in the denominator (Eqs. 8
+  and 13) — the property holds;
+* energy weights (Eq. 14) and power weights (Eq. 15) cancel the
+  per-benchmark energy term — the property is lost, which is why Table II
+  shows them tracking the energy-dominant benchmark (HPL) instead of the
+  least-efficient one.
+
+The three ``*_identity`` functions compute both sides of the corresponding
+derivation from a measured suite result so tests (and readers) can confirm
+the algebra against the simulator's numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from ..benchmarks.suite import SuiteResult
+from ..exceptions import MetricError
+from .ree import ReferenceSet
+from .tgi import TGICalculator
+from .weights import EnergyWeights, PowerWeights, TimeWeights
+
+__all__ = [
+    "inverse_energy_property_holds",
+    "time_weighted_identity",
+    "energy_weighted_identity",
+    "power_weighted_identity",
+]
+
+
+def inverse_energy_property_holds(
+    metric: Callable[[float, float, float], float],
+    *,
+    work: float = 1e12,
+    time_s: float = 100.0,
+    energy_j: float = 1e5,
+    scale_factors: Tuple[float, ...] = (0.5, 2.0, 4.0),
+    rel_tol: float = 1e-9,
+) -> bool:
+    """Numerically test Section III's desired property for a metric.
+
+    ``metric(work, time_s, energy_j)`` must be an efficiency function.  The
+    property: at fixed work and time, scaling the energy by ``k`` must scale
+    the metric by ``1/k`` (the metric is inversely proportional to energy).
+
+    Performance-per-watt satisfies it:
+    ``(work/t) / (E/t) = work / E``; EDP-based efficiency does too.
+    """
+    if work <= 0 or time_s <= 0 or energy_j <= 0:
+        raise MetricError("work, time_s, and energy_j must be positive")
+    base = metric(work, time_s, energy_j)
+    if base <= 0:
+        raise MetricError(f"metric must be positive at the base point, got {base}")
+    for k in scale_factors:
+        scaled = metric(work, time_s, energy_j * k)
+        expected = base / k
+        if abs(scaled - expected) > rel_tol * abs(expected):
+            return False
+    return True
+
+
+def _per_benchmark(suite_result: SuiteResult) -> Dict[str, Tuple[float, float, float]]:
+    """name -> (M_i, t_i, e_i): metric rate, time, energy."""
+    return {
+        r.benchmark: (r.performance, r.time_s, r.energy_j) for r in suite_result.results
+    }
+
+
+def time_weighted_identity(
+    suite_result: SuiteResult, reference: ReferenceSet
+) -> Tuple[float, float]:
+    """Both sides of Eq. 13.
+
+    Left: TGI computed through the pipeline with time weights.
+    Right: the closed form ``(1/sum t) * sum_i t_i^2 M_i / (e_i EE_ref,i)``
+    — per-benchmark energy ``e_i`` survives in the denominator, so the
+    desired property holds.
+    """
+    left = TGICalculator(reference, weighting=TimeWeights()).compute(suite_result).value
+    data = _per_benchmark(suite_result)
+    total_time = sum(t for _, t, _ in data.values())
+    right = sum(
+        t * t * m / (e * reference.efficiency(name))
+        for name, (m, t, e) in data.items()
+    ) / total_time
+    return left, right
+
+
+def energy_weighted_identity(
+    suite_result: SuiteResult, reference: ReferenceSet
+) -> Tuple[float, float]:
+    """Both sides of Eq. 14.
+
+    Right-hand closed form: ``(1/sum e) * sum_i M_i t_i / EE_ref,i`` —
+    the per-benchmark energy has *cancelled* (only the total remains),
+    losing the desired property.
+    """
+    left = TGICalculator(reference, weighting=EnergyWeights()).compute(suite_result).value
+    data = _per_benchmark(suite_result)
+    total_energy = sum(e for _, _, e in data.values())
+    right = sum(
+        m * t / reference.efficiency(name) for name, (m, t, _) in data.items()
+    ) / total_energy
+    return left, right
+
+
+def power_weighted_identity(
+    suite_result: SuiteResult, reference: ReferenceSet
+) -> Tuple[float, float]:
+    """Both sides of Eq. 15.
+
+    Right-hand closed form: ``(1/sum p) * sum_i M_i / EE_ref,i`` — the
+    per-benchmark power has cancelled, losing the desired property.
+    """
+    left = TGICalculator(reference, weighting=PowerWeights()).compute(suite_result).value
+    data = _per_benchmark(suite_result)
+    total_power = sum(e / t for _, t, e in data.values())
+    right = sum(m / reference.efficiency(name) for name, (m, _, _) in data.items()) / total_power
+    return left, right

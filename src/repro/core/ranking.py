@@ -1,0 +1,74 @@
+"""System ranking: SPEC-style ratings and Green500-style lists.
+
+The paper motivates TGI with the SPEC rating (Eq. 1) — performance of a
+reference over the system under test, normalized so systems can be compared
+with one number — and with the Green500 list, which ranks machines by
+FLOPS/W.  :func:`spec_rating` implements Eq. 1; :func:`rank_systems` ranks
+any number of systems by their TGI against a common reference, the use case
+TGI was designed for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..benchmarks.suite import SuiteResult
+from ..exceptions import MetricError
+from ..validation import check_positive
+from .tgi import TGICalculator, TGIResult
+
+__all__ = ["spec_rating", "RankedSystem", "rank_systems"]
+
+
+def spec_rating(reference_time_s: float, system_time_s: float) -> float:
+    """Eq. 1 with time as the performance unit.
+
+    A rating of 25 means the system under test is 25x faster than the
+    reference (smaller time, larger rating).
+    """
+    check_positive(reference_time_s, "reference_time_s", exc=MetricError)
+    check_positive(system_time_s, "system_time_s", exc=MetricError)
+    return reference_time_s / system_time_s
+
+
+@dataclass(frozen=True)
+class RankedSystem:
+    """One row of a TGI ranking."""
+
+    rank: int
+    system_name: str
+    tgi: TGIResult
+
+    @property
+    def value(self) -> float:
+        """The system's TGI."""
+        return self.tgi.value
+
+
+def rank_systems(
+    entries: Sequence[Tuple[str, SuiteResult]],
+    calculator: TGICalculator,
+) -> List[RankedSystem]:
+    """Rank systems by TGI, descending (greener first).
+
+    Parameters
+    ----------
+    entries:
+        ``(system name, suite result)`` pairs, each measured with the same
+        benchmark suite the calculator's reference covers.
+    calculator:
+        A :class:`~repro.core.tgi.TGICalculator` bound to the common
+        reference system and weighting scheme.
+    """
+    if not entries:
+        raise MetricError("nothing to rank")
+    names = [name for name, _ in entries]
+    if len(set(names)) != len(names):
+        raise MetricError(f"duplicate system names: {names}")
+    scored = [(name, calculator.compute(suite)) for name, suite in entries]
+    scored.sort(key=lambda pair: pair[1].value, reverse=True)
+    return [
+        RankedSystem(rank=i + 1, system_name=name, tgi=result)
+        for i, (name, result) in enumerate(scored)
+    ]

@@ -1,0 +1,105 @@
+"""Relative energy efficiency against a reference system (paper Eq. 3).
+
+``REE_i = EE_i / EE_ref,i`` normalizes each benchmark's efficiency by the
+same benchmark's efficiency on a fixed reference machine — the SPEC-rating
+trick (Eq. 1) that makes GFLOPS/W and MB/s/W commensurable so they can be
+averaged.  A :class:`ReferenceSet` holds the reference efficiencies, keyed
+by benchmark name, and is typically built once from a
+:class:`~repro.benchmarks.suite.SuiteResult` measured on the reference
+system (the paper's SystemG, Table I).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from ..benchmarks.suite import SuiteResult
+from ..exceptions import MetricError, ReferenceMismatchError
+from ..validation import check_positive
+from .efficiency import EfficiencyMetric, PerformancePerWatt
+
+__all__ = ["relative_efficiency", "ReferenceSet"]
+
+
+def relative_efficiency(efficiency: float, reference_efficiency: float) -> float:
+    """Eq. 3: the system-under-test's efficiency over the reference's."""
+    check_positive(efficiency, "efficiency", exc=MetricError)
+    check_positive(reference_efficiency, "reference_efficiency", exc=MetricError)
+    return efficiency / reference_efficiency
+
+
+class ReferenceSet:
+    """Per-benchmark reference efficiencies.
+
+    Parameters
+    ----------
+    efficiencies:
+        benchmark name -> reference efficiency (must be positive).
+    system_name:
+        Name of the reference machine (for reports).
+    """
+
+    def __init__(self, efficiencies: Mapping[str, float], *, system_name: str = "reference"):
+        if not efficiencies:
+            raise MetricError("reference set must cover at least one benchmark")
+        cleaned: Dict[str, float] = {}
+        for name, value in efficiencies.items():
+            cleaned[name] = check_positive(value, f"reference EE[{name}]", exc=MetricError)
+        self._efficiencies = cleaned
+        self.system_name = system_name
+
+    @classmethod
+    def from_suite_result(
+        cls,
+        suite_result: SuiteResult,
+        *,
+        metric: Optional[EfficiencyMetric] = None,
+        system_name: str = "reference",
+    ) -> "ReferenceSet":
+        """Build a reference from a measured suite run (the paper's Table I).
+
+        The same :class:`~repro.core.efficiency.EfficiencyMetric` must be
+        used for the reference and the system under test; the default is
+        performance-per-watt.
+        """
+        metric = metric or PerformancePerWatt()
+        return cls(
+            {r.benchmark: metric.value(r) for r in suite_result.results},
+            system_name=system_name,
+        )
+
+    @property
+    def benchmarks(self) -> list:
+        """Covered benchmark names, sorted."""
+        return sorted(self._efficiencies)
+
+    def efficiency(self, benchmark: str) -> float:
+        """Reference efficiency for one benchmark."""
+        try:
+            return self._efficiencies[benchmark]
+        except KeyError:
+            raise ReferenceMismatchError(
+                f"reference set ({self.system_name}) has no entry for {benchmark!r}; "
+                f"covers {self.benchmarks}"
+            ) from None
+
+    def relative(self, benchmark: str, efficiency: float) -> float:
+        """REE for one benchmark measurement (Eq. 3)."""
+        return relative_efficiency(efficiency, self.efficiency(benchmark))
+
+    def check_covers(self, benchmarks) -> None:
+        """Raise unless every given benchmark has a reference entry."""
+        missing = [b for b in benchmarks if b not in self._efficiencies]
+        if missing:
+            raise ReferenceMismatchError(
+                f"reference set ({self.system_name}) missing benchmarks {missing}; "
+                f"covers {self.benchmarks}"
+            )
+
+    def as_dict(self) -> Dict[str, float]:
+        """A copy of the underlying mapping."""
+        return dict(self._efficiencies)
+
+    def __repr__(self) -> str:
+        entries = ", ".join(f"{k}={v:.4g}" for k, v in sorted(self._efficiencies.items()))
+        return f"ReferenceSet({self.system_name}: {entries})"

@@ -1,0 +1,84 @@
+"""Text reports for suite results, TGI results, and rankings."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..analysis.tables import render_table
+from ..benchmarks.suite import SuiteResult
+from ..units import (
+    format_energy,
+    format_power,
+    format_time,
+    si_format,
+)
+from .ranking import RankedSystem
+from .tgi import TGIResult
+
+__all__ = ["format_suite_result", "format_tgi_result", "format_ranking"]
+
+
+def format_suite_result(suite_result: SuiteResult, *, title: str = "") -> str:
+    """Render a suite run as a Table-I-style performance/power table."""
+    rows = []
+    for r in suite_result.results:
+        rows.append(
+            [
+                r.benchmark,
+                si_format(r.performance, r.metric_label),
+                format_time(r.time_s),
+                format_power(r.power_w),
+                format_energy(r.energy_j),
+                si_format(r.energy_efficiency, f"{r.metric_label}/W"),
+            ]
+        )
+    return render_table(
+        ["Benchmark", "Performance", "Time", "Power", "Energy", "EE"],
+        rows,
+        title=title or f"Suite results @ {suite_result.cores} cores",
+    )
+
+
+def format_tgi_result(result: TGIResult) -> str:
+    """Render one TGI computation with its ingredients."""
+    rows = []
+    for name in sorted(result.ree):
+        rows.append(
+            [
+                name,
+                f"{result.efficiencies[name]:.4g}",
+                f"{result.ree[name]:.4f}",
+                f"{result.weights[name]:.4f}",
+                f"{result.weights[name] * result.ree[name]:.4f}",
+            ]
+        )
+    table = render_table(
+        ["Benchmark", "EE", "REE", "Weight", "Contribution"],
+        rows,
+        title=(
+            f"TGI = {result.value:.4f}  "
+            f"(weights: {result.weighting_name}, reference: {result.reference_name}, "
+            f"{result.cores} cores)"
+        ),
+    )
+    return table
+
+
+def format_ranking(ranking: Sequence[RankedSystem]) -> str:
+    """Render a Green500-style TGI ranking."""
+    rows: List[List[object]] = []
+    for entry in ranking:
+        rows.append(
+            [
+                entry.rank,
+                entry.system_name,
+                f"{entry.value:.4f}",
+                entry.tgi.least_efficient_benchmark,
+            ]
+        )
+    return render_table(
+        ["Rank", "System", "TGI", "Weakest subsystem"],
+        rows,
+        title="TGI ranking (greener first)",
+        align_right_from=2,
+    )

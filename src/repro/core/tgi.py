@@ -1,0 +1,144 @@
+"""The Green Index (paper Section II, Eq. 4).
+
+:class:`TGICalculator` implements the four-step algorithm: compute each
+benchmark's efficiency, normalize by the reference system, weight, and sum.
+:meth:`TGICalculator.compute_series` applies it at every point of a scaling
+sweep, producing the curves of the paper's Figures 5 and 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..benchmarks.runner import SweepResult
+from ..benchmarks.suite import SuiteResult
+from ..exceptions import MetricError
+from .efficiency import EfficiencyMetric, PerformancePerWatt
+from .ree import ReferenceSet
+from .weights import ArithmeticMeanWeights, WeightingScheme, validate_weights
+
+__all__ = ["tgi_from_components", "TGIResult", "TGISeries", "TGICalculator"]
+
+
+def tgi_from_components(ree: Dict[str, float], weights: Dict[str, float]) -> float:
+    """Eq. 4: ``TGI = sum_i W_i * REE_i``.
+
+    ``ree`` and ``weights`` must cover exactly the same benchmarks and the
+    weights must satisfy the sum-to-one constraint.
+    """
+    if set(ree) != set(weights):
+        raise MetricError(
+            f"REE covers {sorted(ree)} but weights cover {sorted(weights)}"
+        )
+    validate_weights(weights)
+    for name, value in ree.items():
+        if value <= 0:
+            raise MetricError(f"REE for {name!r} must be > 0, got {value!r}")
+    return sum(weights[name] * ree[name] for name in ree)
+
+
+@dataclass(frozen=True)
+class TGIResult:
+    """TGI at one scale point, with its ingredients."""
+
+    cores: int
+    value: float
+    ree: Dict[str, float]
+    weights: Dict[str, float]
+    efficiencies: Dict[str, float]
+    weighting_name: str
+    reference_name: str
+
+    @property
+    def least_efficient_benchmark(self) -> str:
+        """The benchmark with the smallest REE (the paper expects TGI to
+        reflect this subsystem's behaviour)."""
+        return min(self.ree, key=self.ree.get)
+
+    def __str__(self) -> str:
+        parts = ", ".join(f"{k}={v:.3f}" for k, v in sorted(self.ree.items()))
+        return f"TGI[{self.weighting_name}]@{self.cores} cores = {self.value:.4f} (REE: {parts})"
+
+
+@dataclass(frozen=True)
+class TGISeries:
+    """TGI over a scaling sweep (one of the curves in Figures 5-6)."""
+
+    cores: Tuple[int, ...]
+    results: Tuple[TGIResult, ...]
+
+    @property
+    def values(self) -> np.ndarray:
+        """TGI at each scale point."""
+        return np.array([r.value for r in self.results])
+
+    def ree_series(self, benchmark: str) -> np.ndarray:
+        """One benchmark's REE at each scale point."""
+        return np.array([r.ree[benchmark] for r in self.results])
+
+    def efficiency_series(self, benchmark: str) -> np.ndarray:
+        """One benchmark's EE at each scale point."""
+        return np.array([r.efficiencies[benchmark] for r in self.results])
+
+    def weight_series(self, benchmark: str) -> np.ndarray:
+        """One benchmark's weight at each scale point."""
+        return np.array([r.weights[benchmark] for r in self.results])
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+
+class TGICalculator:
+    """Computes TGI for suite results against a fixed reference.
+
+    Parameters
+    ----------
+    reference:
+        Reference efficiencies (Eq. 3's denominators).
+    weighting:
+        Weighting scheme; arithmetic mean by default (Eq. 6).
+    metric:
+        Efficiency metric; performance-per-watt by default (Eq. 2).  The
+        same metric must have produced the reference set.
+    """
+
+    def __init__(
+        self,
+        reference: ReferenceSet,
+        *,
+        weighting: Optional[WeightingScheme] = None,
+        metric: Optional[EfficiencyMetric] = None,
+    ):
+        self.reference = reference
+        self.weighting = weighting or ArithmeticMeanWeights()
+        self.metric = metric or PerformancePerWatt()
+
+    def compute(self, suite_result: SuiteResult) -> TGIResult:
+        """TGI for one suite run (one point of Figure 5/6)."""
+        self.reference.check_covers(suite_result.names)
+        efficiencies = {
+            r.benchmark: self.metric.value(r) for r in suite_result.results
+        }
+        ree = {
+            name: self.reference.relative(name, ee)
+            for name, ee in efficiencies.items()
+        }
+        weights = self.weighting.weights(suite_result)
+        value = tgi_from_components(ree, weights)
+        return TGIResult(
+            cores=suite_result.cores,
+            value=value,
+            ree=ree,
+            weights=weights,
+            efficiencies=efficiencies,
+            weighting_name=self.weighting.name,
+            reference_name=self.reference.system_name,
+        )
+
+    def compute_series(self, sweep: SweepResult) -> TGISeries:
+        """TGI at every point of a scaling sweep."""
+        results = tuple(self.compute(suite) for suite in sweep.suites)
+        return TGISeries(cores=tuple(sweep.cores), results=results)

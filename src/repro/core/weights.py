@@ -1,0 +1,135 @@
+"""TGI weighting schemes (paper Section III, Eqs. 6 and 9-12).
+
+Each scheme assigns one weight per benchmark, summing to one:
+
+* :class:`ArithmeticMeanWeights` — ``W_i = 1/n`` (Eq. 6);
+* :class:`TimeWeights` — ``W_i = t_i / sum(t)`` (Eq. 10);
+* :class:`EnergyWeights` — ``W_i = e_i / sum(e)`` (Eq. 11);
+* :class:`PowerWeights` — ``W_i = p_i / sum(p)`` (Eq. 12);
+* :class:`CustomWeights` — user-specified, e.g. "weight memory highest
+  because my application is memory-bound" (the flexibility argument of
+  Section II).
+
+Weights that depend on run properties (time/energy/power) are computed from
+the suite result of the *system under test* at each scale point, matching
+Eqs. 13-15 where ``t_i``, ``e_i``, ``p_i`` are the benchmark's own
+measurements.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Dict, Mapping
+
+from ..benchmarks.suite import SuiteResult
+from ..exceptions import WeightError
+
+__all__ = [
+    "validate_weights",
+    "WeightingScheme",
+    "ArithmeticMeanWeights",
+    "TimeWeights",
+    "EnergyWeights",
+    "PowerWeights",
+    "CustomWeights",
+]
+
+#: Tolerance on the sum-to-one constraint.
+_SUM_TOL = 1e-9
+
+
+def validate_weights(weights: Mapping[str, float]) -> Dict[str, float]:
+    """Check the Section II constraint: all weights >= 0, summing to 1."""
+    if not weights:
+        raise WeightError("weights must cover at least one benchmark")
+    for name, w in weights.items():
+        if not math.isfinite(w) or w < 0:
+            raise WeightError(f"weight for {name!r} must be finite and >= 0, got {w!r}")
+    total = sum(weights.values())
+    if abs(total - 1.0) > _SUM_TOL:
+        raise WeightError(f"weights must sum to 1, got {total!r}")
+    return dict(weights)
+
+
+def _normalize(raw: Dict[str, float], what: str) -> Dict[str, float]:
+    total = sum(raw.values())
+    if total <= 0:
+        raise WeightError(f"cannot weight by {what}: total is {total}")
+    return {name: value / total for name, value in raw.items()}
+
+
+class WeightingScheme(abc.ABC):
+    """Produces per-benchmark weights for one suite result."""
+
+    #: Short name used in reports and experiment tables.
+    name: str = "weights"
+
+    @abc.abstractmethod
+    def weights(self, suite_result: SuiteResult) -> Dict[str, float]:
+        """benchmark name -> weight; guaranteed to satisfy the constraint."""
+
+
+class ArithmeticMeanWeights(WeightingScheme):
+    """Equal weights, Eq. 6: the TGI of Figure 5."""
+
+    name = "arithmetic-mean"
+
+    def weights(self, suite_result: SuiteResult) -> Dict[str, float]:
+        n = len(suite_result)
+        return validate_weights({r.benchmark: 1.0 / n for r in suite_result})
+
+
+class TimeWeights(WeightingScheme):
+    """Eq. 10: weights proportional to each benchmark's execution time.
+
+    The paper shows (Eq. 13) this preserves the desired inverse-energy
+    property for a given performance.
+    """
+
+    name = "time"
+
+    def weights(self, suite_result: SuiteResult) -> Dict[str, float]:
+        raw = {r.benchmark: r.time_s for r in suite_result}
+        return validate_weights(_normalize(raw, "time"))
+
+
+class EnergyWeights(WeightingScheme):
+    """Eq. 11: weights proportional to each benchmark's energy.
+
+    The paper shows (Eq. 14) this *cancels* the energy term — an undesired
+    property it demonstrates via Table II.
+    """
+
+    name = "energy"
+
+    def weights(self, suite_result: SuiteResult) -> Dict[str, float]:
+        raw = {r.benchmark: r.energy_j for r in suite_result}
+        return validate_weights(_normalize(raw, "energy"))
+
+
+class PowerWeights(WeightingScheme):
+    """Eq. 12: weights proportional to each benchmark's mean power (Eq. 15)."""
+
+    name = "power"
+
+    def weights(self, suite_result: SuiteResult) -> Dict[str, float]:
+        raw = {r.benchmark: r.power_w for r in suite_result}
+        return validate_weights(_normalize(raw, "power"))
+
+
+class CustomWeights(WeightingScheme):
+    """Fixed user-chosen weights (must cover the suite exactly)."""
+
+    def __init__(self, weights: Mapping[str, float], *, name: str = "custom"):
+        self._weights = validate_weights(weights)
+        self.name = name
+
+    def weights(self, suite_result: SuiteResult) -> Dict[str, float]:
+        names = set(suite_result.names)
+        covered = set(self._weights)
+        if names != covered:
+            raise WeightError(
+                f"custom weights cover {sorted(covered)}, suite has {sorted(names)}"
+            )
+        return dict(self._weights)

@@ -1,0 +1,191 @@
+"""Application-profile-driven TGI weights (Section II, advantage 1).
+
+"Each weighting factor can be assigned a value based [on] the specific
+needs of the user, e.g., assigning a higher weighting factor for the
+memory benchmark if we are evaluating a supercomputer to execute a
+memory-intensive application."  This module turns that sentence into a
+mechanism: describe the application as time fractions spent bound on each
+subsystem (:class:`ApplicationProfile`), map suite benchmarks to the
+subsystems they probe, and derive the weights.
+
+Subsystems an application can be bound on::
+
+    compute | memory_bandwidth | memory_latency | io | network
+
+Default benchmark mapping: HPL -> compute, STREAM -> memory_bandwidth,
+RandomAccess -> memory_latency, IOzone -> io, b_eff -> network.  Profile
+mass on subsystems the suite does not probe is redistributed
+proportionally over the probed ones (documented, validated, and visible in
+the returned weights).
+
+A few literature-shaped example profiles ship as module constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+from ..benchmarks.suite import SuiteResult
+from ..exceptions import WeightError
+from .weights import WeightingScheme, validate_weights
+
+__all__ = [
+    "SUBSYSTEMS",
+    "DEFAULT_BENCHMARK_SUBSYSTEMS",
+    "ApplicationProfile",
+    "WorkloadWeights",
+    "CFD_PROFILE",
+    "GENOMICS_PROFILE",
+    "CHECKPOINT_HEAVY_PROFILE",
+    "DENSE_LINALG_PROFILE",
+]
+
+#: Subsystems an application's time can be attributed to.
+SUBSYSTEMS = ("compute", "memory_bandwidth", "memory_latency", "io", "network")
+
+#: Which subsystem each known benchmark probes.
+DEFAULT_BENCHMARK_SUBSYSTEMS: Dict[str, str] = {
+    "HPL": "compute",
+    "STREAM": "memory_bandwidth",
+    "RandomAccess": "memory_latency",
+    "IOzone": "io",
+    "b_eff": "network",
+}
+
+
+@dataclass(frozen=True)
+class ApplicationProfile:
+    """Time fractions an application spends bound on each subsystem.
+
+    Fractions must be non-negative and sum to 1 (within rounding).
+    """
+
+    name: str
+    compute: float = 0.0
+    memory_bandwidth: float = 0.0
+    memory_latency: float = 0.0
+    io: float = 0.0
+    network: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise WeightError("profile name must be non-empty")
+        total = 0.0
+        for subsystem in SUBSYSTEMS:
+            value = getattr(self, subsystem)
+            if not 0.0 <= value <= 1.0:
+                raise WeightError(
+                    f"profile fraction {subsystem} must be in [0, 1], got {value!r}"
+                )
+            total += value
+        if abs(total - 1.0) > 1e-9:
+            raise WeightError(f"profile fractions must sum to 1, got {total!r}")
+
+    def fraction(self, subsystem: str) -> float:
+        """Time fraction for one subsystem."""
+        if subsystem not in SUBSYSTEMS:
+            raise WeightError(f"unknown subsystem {subsystem!r}; valid: {SUBSYSTEMS}")
+        return getattr(self, subsystem)
+
+    @property
+    def dominant_subsystem(self) -> str:
+        """The subsystem with the largest fraction (alphabetical tiebreak)."""
+        return max(sorted(SUBSYSTEMS), key=self.fraction)
+
+
+#: A pressure-solver CFD code: bandwidth-bound sparse kernels + halo exchange.
+CFD_PROFILE = ApplicationProfile(
+    name="CFD (sparse pressure solver)",
+    compute=0.15,
+    memory_bandwidth=0.50,
+    memory_latency=0.05,
+    io=0.05,
+    network=0.25,
+)
+
+#: Short-read alignment: pointer chasing over big indexes + file streaming.
+GENOMICS_PROFILE = ApplicationProfile(
+    name="Genomics (read alignment)",
+    compute=0.20,
+    memory_bandwidth=0.10,
+    memory_latency=0.40,
+    io=0.25,
+    network=0.05,
+)
+
+#: A tightly-coupled code dominated by defensive checkpointing.
+CHECKPOINT_HEAVY_PROFILE = ApplicationProfile(
+    name="Checkpoint-heavy simulation",
+    compute=0.35,
+    memory_bandwidth=0.10,
+    memory_latency=0.05,
+    io=0.40,
+    network=0.10,
+)
+
+#: Dense linear algebra: the workload HPL itself represents.
+DENSE_LINALG_PROFILE = ApplicationProfile(
+    name="Dense linear algebra",
+    compute=0.80,
+    memory_bandwidth=0.10,
+    memory_latency=0.02,
+    io=0.03,
+    network=0.05,
+)
+
+
+class WorkloadWeights(WeightingScheme):
+    """Derive TGI weights for a suite from an application profile.
+
+    Parameters
+    ----------
+    profile:
+        The application's subsystem time fractions.
+    benchmark_subsystems:
+        benchmark name -> subsystem it probes; defaults to
+        :data:`DEFAULT_BENCHMARK_SUBSYSTEMS`.  Every suite member must be
+        mapped, and no two members may probe the same subsystem (the
+        attribution would be ambiguous).
+    """
+
+    def __init__(
+        self,
+        profile: ApplicationProfile,
+        *,
+        benchmark_subsystems: Mapping[str, str] = None,
+    ):
+        self.profile = profile
+        self.benchmark_subsystems = dict(
+            benchmark_subsystems or DEFAULT_BENCHMARK_SUBSYSTEMS
+        )
+        for name, subsystem in self.benchmark_subsystems.items():
+            if subsystem not in SUBSYSTEMS:
+                raise WeightError(
+                    f"benchmark {name!r} mapped to unknown subsystem {subsystem!r}"
+                )
+        self.name = f"workload:{profile.name}"
+
+    def weights(self, suite_result: SuiteResult) -> Dict[str, float]:
+        names = suite_result.names
+        unmapped = [n for n in names if n not in self.benchmark_subsystems]
+        if unmapped:
+            raise WeightError(
+                f"no subsystem mapping for suite members {unmapped}; "
+                f"pass benchmark_subsystems"
+            )
+        subsystems = [self.benchmark_subsystems[n] for n in names]
+        if len(set(subsystems)) != len(subsystems):
+            raise WeightError(
+                f"two suite members probe the same subsystem: {subsystems}"
+            )
+        raw = {n: self.profile.fraction(s) for n, s in zip(names, subsystems)}
+        covered = sum(raw.values())
+        if covered <= 0:
+            raise WeightError(
+                f"profile {self.profile.name!r} has no mass on any subsystem "
+                f"this suite probes ({sorted(set(subsystems))})"
+            )
+        # redistribute unprobed mass proportionally
+        weights = {n: v / covered for n, v in raw.items()}
+        return validate_weights(weights)

@@ -1,0 +1,66 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "SpecError",
+    "PowerModelError",
+    "MeterError",
+    "SimulationError",
+    "PlacementError",
+    "BenchmarkError",
+    "MetricError",
+    "WeightError",
+    "ReferenceMismatchError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class SpecError(ReproError):
+    """A hardware specification (CPU, node, cluster, ...) is invalid."""
+
+
+class PowerModelError(ReproError):
+    """A power model was constructed with or evaluated at invalid values."""
+
+
+class MeterError(ReproError):
+    """A power meter was misconfigured or used incorrectly."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class PlacementError(SimulationError):
+    """A process placement request cannot be satisfied by the cluster."""
+
+
+class BenchmarkError(ReproError):
+    """A benchmark was configured or executed incorrectly."""
+
+
+class MetricError(ReproError):
+    """A metric (EE, REE, TGI, EDP) computation received invalid inputs."""
+
+
+class WeightError(MetricError):
+    """A weighting scheme is invalid (e.g. weights do not sum to one)."""
+
+
+class ReferenceMismatchError(MetricError):
+    """Suite results and reference results do not cover the same benchmarks."""
+
+
+class ExperimentError(ReproError):
+    """An experiment driver was invoked with an unknown id or bad config."""

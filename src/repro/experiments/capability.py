@@ -1,0 +1,85 @@
+"""Fire's capability run — the paper's "delivering 90? GFLOPS" sentence.
+
+The paper states Fire's LINPACK capability in a sentence whose digits the
+available text corrupts ("capable of delivering 90 GFLOPS").  This driver
+runs the capability configuration (memory-sized N, all 128 cores) on the
+modelled Fire and reports the Green500-entry view: Rmax, fraction of Rpeak,
+measured power, MFLOPS/W.  EXPERIMENTS.md discusses how the result bears on
+the corrupted figure (and on the Fire-interconnect question).  Registered
+as experiment id ``capability``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.tables import render_table
+from ..benchmarks.hpl import HPLBenchmark
+from ..units import MEGA
+from .config import build_executor
+from .runner import SharedContext
+
+__all__ = ["CapabilityResult", "run_fire_capability"]
+
+
+@dataclass(frozen=True)
+class CapabilityResult:
+    """Green500-entry view of the capability run."""
+
+    system: str
+    problem_size: int
+    rmax_flops: float
+    rpeak_flops: float
+    power_w: float
+    time_s: float
+
+    @property
+    def efficiency(self) -> float:
+        """Rmax / Rpeak."""
+        return self.rmax_flops / self.rpeak_flops
+
+    @property
+    def mflops_per_watt(self) -> float:
+        """The Green500 metric."""
+        return self.rmax_flops / self.power_w / MEGA
+
+    def format(self) -> str:
+        rows = [
+            [
+                self.system,
+                f"{self.rmax_flops / 1e9:.1f}",
+                f"{self.rpeak_flops / 1e9:.1f}",
+                f"{100 * self.efficiency:.1f} %",
+                f"{self.power_w / 1e3:.2f}",
+                f"{self.mflops_per_watt:.1f}",
+                f"{self.problem_size}",
+                f"{self.time_s / 60:.1f}",
+            ]
+        ]
+        return render_table(
+            ["System", "Rmax (GF)", "Rpeak (GF)", "eff.", "kW", "MFLOPS/W", "N", "min"],
+            rows,
+            title="Capability run: memory-sized HPL on Fire (Green500-entry view)",
+        )
+
+
+def run_fire_capability(context: SharedContext) -> CapabilityResult:
+    """Memory-sized HPL at full scale on the system under test."""
+    config = context.config
+    executor = build_executor(config)
+    bench = HPLBenchmark(
+        sizing=("memory", config.hpl_reference_memory_fraction),
+        rounds=config.hpl_rounds,
+        comm_volume_factor=config.hpl_comm_volume_factor,
+        contention_threshold=config.hpl_contention_threshold,
+        contention_slope=config.hpl_contention_slope,
+    )
+    result = bench.run(executor, executor.cluster.total_cores)
+    return CapabilityResult(
+        system=executor.cluster.name,
+        problem_size=int(result.details["problem_size"]),
+        rmax_flops=result.performance,
+        rpeak_flops=executor.cluster.peak_flops,
+        power_w=result.power_w,
+        time_s=result.time_s,
+    )

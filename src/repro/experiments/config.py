@@ -1,0 +1,129 @@
+"""Calibrated experiment configuration.
+
+These constants pin the run configuration used by every experiment driver.
+They were calibrated (see EXPERIMENTS.md, "Calibration") so that the
+simulated Fire/SystemG pair reproduces the paper's qualitative results —
+most importantly the Pearson correlations between the benchmark
+energy-efficiency curves and the TGI variants (Table II and the Section
+IV-B prose: IOzone ~.99, STREAM ~.96, HPL ~.58 against arithmetic-mean TGI).
+
+Configuration summary:
+
+* **Sweep**: cores 16..128 in steps of 16 on the 8-node Fire cluster,
+  breadth-first placement (Figures 2-6's x-axes).
+* **HPL**: fixed N = 36288 (strong scaling, the only configuration whose
+  energy-efficiency curve rolls off at scale the way Figure 2's does);
+  Hockney communication over Fire's GigE with volume prefactor 2.0; packing
+  contention threshold 4 ranks/node, slope 1.5.
+* **STREAM**: Triad, sized to ~45 s per point; cores at intensity 0.4
+  (bandwidth-stalled).
+* **IOzone**: write test, one instance per node, sized to ~45 s.
+* **Reference (SystemG)**: same suite, but HPL sized from memory (a
+  capability run — reference numbers are published full-machine numbers),
+  at the full 128 nodes / 1024 cores.
+* **Meters**: Watts Up? PRO model, seeds 7 (Fire) and 1 (SystemG).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..benchmarks import (
+    BenchmarkSuite,
+    HPLBenchmark,
+    IOzoneBenchmark,
+    StreamBenchmark,
+)
+from ..cluster import presets
+from ..cluster.cluster import ClusterSpec
+from ..core.ree import ReferenceSet
+from ..sim.executor import ClusterExecutor
+
+__all__ = ["ExperimentConfig", "PAPER_CONFIG", "build_suite", "build_reference", "build_executor"]
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Everything the experiment drivers need, in one immutable object."""
+
+    core_counts: Tuple[int, ...] = (16, 32, 48, 64, 80, 96, 112, 128)
+    # HPL (system under test): strong-scaling sweep
+    hpl_problem_size: int = 36288
+    hpl_rounds: int = 4
+    hpl_comm_volume_factor: float = 2.0
+    hpl_contention_threshold: int = 4
+    hpl_contention_slope: float = 1.5
+    # HPL (reference): capability run
+    hpl_reference_memory_fraction: float = 0.8
+    # STREAM
+    stream_target_seconds: float = 45.0
+    stream_intensity: float = 0.4
+    # IOzone
+    iozone_target_seconds: float = 45.0
+    # Meter seeds
+    fire_seed: int = 7
+    reference_seed: int = 1
+
+    def fire_cluster(self) -> ClusterSpec:
+        """The system under test."""
+        return presets.fire()
+
+    def reference_cluster(self) -> ClusterSpec:
+        """The reference system."""
+        return presets.system_g()
+
+
+#: The configuration used throughout the reproduction.
+PAPER_CONFIG = ExperimentConfig()
+
+
+def build_suite(config: ExperimentConfig = PAPER_CONFIG, *, reference: bool = False) -> BenchmarkSuite:
+    """The three-benchmark suite of Section IV-A.
+
+    ``reference=True`` selects the capability-sized HPL used for the
+    reference system's published numbers.
+    """
+    if reference:
+        hpl = HPLBenchmark(
+            sizing=("memory", config.hpl_reference_memory_fraction),
+            rounds=config.hpl_rounds,
+        )
+    else:
+        hpl = HPLBenchmark(
+            sizing=("fixed", config.hpl_problem_size),
+            rounds=config.hpl_rounds,
+            comm_volume_factor=config.hpl_comm_volume_factor,
+            contention_threshold=config.hpl_contention_threshold,
+            contention_slope=config.hpl_contention_slope,
+        )
+    return BenchmarkSuite(
+        [
+            hpl,
+            StreamBenchmark(
+                target_seconds=config.stream_target_seconds,
+                intensity=config.stream_intensity,
+            ),
+            IOzoneBenchmark(target_seconds=config.iozone_target_seconds),
+        ]
+    )
+
+
+def build_executor(config: ExperimentConfig = PAPER_CONFIG, *, reference: bool = False) -> ClusterExecutor:
+    """A metered executor for the system under test or the reference."""
+    if reference:
+        return ClusterExecutor(config.reference_cluster(), rng=config.reference_seed)
+    return ClusterExecutor(config.fire_cluster(), rng=config.fire_seed)
+
+
+def build_reference(config: ExperimentConfig = PAPER_CONFIG):
+    """Run the reference suite and return (ReferenceSet, SuiteResult).
+
+    This is the paper's Table I measurement: the full suite on SystemG at
+    its full 128-node / 1024-core configuration.
+    """
+    executor = build_executor(config, reference=True)
+    suite = build_suite(config, reference=True)
+    result = suite.run(executor, executor.cluster.total_cores)
+    reference = ReferenceSet.from_suite_result(result, system_name=executor.cluster.name)
+    return reference, result

@@ -1,0 +1,104 @@
+"""Figures 2-4: per-benchmark energy-efficiency scaling curves.
+
+Each result carries the x-axis (MPI processes or nodes), the
+energy-efficiency series in the paper's display units (MFLOPS/W for HPL,
+MB/s/W for STREAM and IOzone), and the underlying performance/power series,
+plus a ``format()`` that prints the figure as a table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..analysis.scaling import CurveShape, characterize_curve
+from ..analysis.tables import render_table
+from ..units import MEGA
+from .runner import SharedContext
+
+__all__ = [
+    "EfficiencyCurveResult",
+    "run_fig2_hpl",
+    "run_fig3_stream",
+    "run_fig4_iozone",
+]
+
+
+@dataclass(frozen=True)
+class EfficiencyCurveResult:
+    """One of Figures 2-4."""
+
+    figure: str
+    benchmark: str
+    x_label: str
+    unit_label: str  # display unit of the EE axis
+    x: Tuple[int, ...]
+    efficiency: Tuple[float, ...]  # in display units
+    performance: Tuple[float, ...]  # base units
+    power_w: Tuple[float, ...]
+    time_s: Tuple[float, ...]
+
+    @property
+    def shape(self) -> CurveShape:
+        """Qualitative shape of the EE curve."""
+        return characterize_curve(self.efficiency)
+
+    def format(self) -> str:
+        """Render the figure's series as a table."""
+        rows = []
+        for i, x in enumerate(self.x):
+            rows.append(
+                [
+                    x,
+                    f"{self.efficiency[i]:.2f}",
+                    f"{self.performance[i]:.4g}",
+                    f"{self.power_w[i]:.0f}",
+                    f"{self.time_s[i]:.1f}",
+                ]
+            )
+        return render_table(
+            [self.x_label, f"EE ({self.unit_label})", "Performance", "Power (W)", "Time (s)"],
+            rows,
+            title=f"{self.figure}: energy efficiency of {self.benchmark} (shape: {self.shape.value})",
+        )
+
+
+def _curve(
+    context: SharedContext, benchmark: str, figure: str, x_label: str, unit_label: str,
+    *, x_is_nodes: bool = False,
+) -> EfficiencyCurveResult:
+    sweep = context.sweep
+    if x_is_nodes:
+        cores_per_node = context.config.fire_cluster().node.cores
+        x = tuple(c // cores_per_node for c in sweep.cores)
+    else:
+        x = tuple(sweep.cores)
+    ee = sweep.efficiency_series(benchmark) / MEGA  # MFLOPS/W or MB/s/W
+    return EfficiencyCurveResult(
+        figure=figure,
+        benchmark=benchmark,
+        x_label=x_label,
+        unit_label=unit_label,
+        x=x,
+        efficiency=tuple(ee.tolist()),
+        performance=tuple(sweep.series(benchmark, "performance").tolist()),
+        power_w=tuple(sweep.series(benchmark, "power_w").tolist()),
+        time_s=tuple(sweep.series(benchmark, "time_s").tolist()),
+    )
+
+
+def run_fig2_hpl(context: SharedContext) -> EfficiencyCurveResult:
+    """Figure 2: MFLOPS/W of HPL vs. number of MPI processes on Fire."""
+    return _curve(context, "HPL", "Figure 2", "MPI processes", "MFLOPS/W")
+
+
+def run_fig3_stream(context: SharedContext) -> EfficiencyCurveResult:
+    """Figure 3: MB/s/W of STREAM Triad vs. number of MPI processes on Fire."""
+    return _curve(context, "STREAM", "Figure 3", "MPI processes", "MBPS/W")
+
+
+def run_fig4_iozone(context: SharedContext) -> EfficiencyCurveResult:
+    """Figure 4: MB/s/W of the IOzone write test vs. number of nodes on Fire."""
+    return _curve(
+        context, "IOzone", "Figure 4", "Nodes", "MBPS/W", x_is_nodes=True
+    )

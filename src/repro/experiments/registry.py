@@ -1,0 +1,67 @@
+"""Experiment registry: id -> driver."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from ..exceptions import ExperimentError
+from .curves import run_fig2_hpl, run_fig3_stream, run_fig4_iozone
+from .runner import SharedContext
+from .tables import run_table1_reference, run_table2_pcc
+from .tgi_curves import run_fig5_tgi_am, run_fig6_tgi_weighted
+from .uncertainty import run_table2_uncertainty
+from .capability import run_fire_capability
+
+__all__ = ["ExperimentEntry", "EXPERIMENTS", "get_experiment", "run_experiment"]
+
+
+@dataclass(frozen=True)
+class ExperimentEntry:
+    """One registered experiment."""
+
+    exp_id: str
+    description: str
+    run: Callable[[SharedContext], object]
+
+
+EXPERIMENTS: Dict[str, ExperimentEntry] = {
+    entry.exp_id: entry
+    for entry in (
+        ExperimentEntry("fig2", "Energy efficiency of HPL vs. MPI processes", run_fig2_hpl),
+        ExperimentEntry("fig3", "Energy efficiency of STREAM vs. MPI processes", run_fig3_stream),
+        ExperimentEntry("fig4", "Energy efficiency of IOzone vs. nodes", run_fig4_iozone),
+        ExperimentEntry("fig5", "TGI (arithmetic mean) vs. cores", run_fig5_tgi_am),
+        ExperimentEntry("fig6", "TGI under time/energy/power weights vs. cores", run_fig6_tgi_weighted),
+        ExperimentEntry("table1", "Suite performance and power on the reference system", run_table1_reference),
+        ExperimentEntry("table2", "PCC between benchmark EEs and TGI variants", run_table2_pcc),
+        ExperimentEntry(
+            "table2ci",
+            "Extension: bootstrap/jackknife uncertainty on Table II's PCCs",
+            run_table2_uncertainty,
+        ),
+        ExperimentEntry(
+            "capability",
+            "Fire's memory-sized HPL capability run (Green500-entry view)",
+            run_fire_capability,
+        ),
+    )
+}
+
+
+def get_experiment(exp_id: str) -> ExperimentEntry:
+    """Look up an experiment by id."""
+    try:
+        return EXPERIMENTS[exp_id]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown experiment {exp_id!r}; available: {sorted(EXPERIMENTS)}"
+        ) from None
+
+
+def run_experiment(exp_id: str, context: SharedContext = None):
+    """Run one experiment (fresh context unless one is supplied)."""
+    entry = get_experiment(exp_id)
+    if context is None:
+        context = SharedContext()
+    return entry.run(context)

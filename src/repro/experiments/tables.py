@@ -1,0 +1,104 @@
+"""Tables I and II.
+
+Table I reports the suite's performance and power on the reference system
+(SystemG).  Table II reports Pearson correlation coefficients between each
+benchmark's energy-efficiency curve and the TGI curve under time, energy,
+and power weights; the arithmetic-mean column (quoted in the paper's prose:
+IOzone .99, STREAM .96, HPL .58) is included as well.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..analysis.correlation import pearson
+from ..analysis.tables import render_table
+from ..benchmarks.suite import SuiteResult
+from ..core.report import format_suite_result
+from ..core.tgi import TGICalculator
+from ..core.weights import (
+    ArithmeticMeanWeights,
+    EnergyWeights,
+    PowerWeights,
+    TimeWeights,
+)
+from .runner import SharedContext
+
+__all__ = ["ReferenceTableResult", "PCCTableResult", "run_table1_reference", "run_table2_pcc"]
+
+#: Row order matches the paper's Table II.
+_TABLE2_BENCHMARKS = ("IOzone", "STREAM", "HPL")
+#: Column order: AM first (prose), then the paper's three weight columns.
+_TABLE2_WEIGHTINGS = ("arithmetic-mean", "time", "energy", "power")
+
+
+@dataclass(frozen=True)
+class ReferenceTableResult:
+    """Table I: performance and power of the suite on the reference."""
+
+    system_name: str
+    suite_result: SuiteResult
+
+    def format(self) -> str:
+        return format_suite_result(
+            self.suite_result,
+            title=f"Table I: performance on {self.system_name}",
+        )
+
+
+@dataclass(frozen=True)
+class PCCTableResult:
+    """Table II: PCC(benchmark EE, TGI) per weighting scheme."""
+
+    matrix: Dict[str, Dict[str, float]]  # benchmark -> weighting -> PCC
+
+    def pcc(self, benchmark: str, weighting: str) -> float:
+        """One cell of the table."""
+        return self.matrix[benchmark][weighting]
+
+    def format(self) -> str:
+        rows = []
+        for benchmark in _TABLE2_BENCHMARKS:
+            rows.append(
+                [benchmark]
+                + [f"{self.matrix[benchmark][w]:.3f}" for w in _TABLE2_WEIGHTINGS]
+            )
+        return render_table(
+            ["Benchmark"] + list(_TABLE2_WEIGHTINGS),
+            rows,
+            title=(
+                "Table II: PCC between energy efficiency of individual "
+                "benchmarks and the TGI metric using different weights"
+            ),
+        )
+
+
+def run_table1_reference(context: SharedContext) -> ReferenceTableResult:
+    """Table I: the reference suite run on SystemG (128 nodes, 1024 cores)."""
+    return ReferenceTableResult(
+        system_name=context.reference.system_name,
+        suite_result=context.reference_suite_result,
+    )
+
+
+def run_table2_pcc(context: SharedContext) -> PCCTableResult:
+    """Table II: correlations over the Fire sweep."""
+    sweep = context.sweep
+    weightings = {
+        "arithmetic-mean": ArithmeticMeanWeights(),
+        "time": TimeWeights(),
+        "energy": EnergyWeights(),
+        "power": PowerWeights(),
+    }
+    tgi_series = {
+        name: TGICalculator(context.reference, weighting=w).compute_series(sweep).values
+        for name, w in weightings.items()
+    }
+    matrix: Dict[str, Dict[str, float]] = {}
+    for benchmark in _TABLE2_BENCHMARKS:
+        ee = sweep.efficiency_series(benchmark)
+        matrix[benchmark] = {
+            name: pearson(ee, tgi) for name, tgi in tgi_series.items()
+        }
+    return PCCTableResult(matrix=matrix)

@@ -1,0 +1,81 @@
+"""Figures 5 and 6: TGI vs. cores under the different weighting schemes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..analysis.tables import render_table
+from ..core.tgi import TGICalculator, TGISeries
+from ..core.weights import (
+    ArithmeticMeanWeights,
+    EnergyWeights,
+    PowerWeights,
+    TimeWeights,
+)
+from .runner import SharedContext
+
+__all__ = ["TGICurveResult", "TGIWeightedResult", "run_fig5_tgi_am", "run_fig6_tgi_weighted"]
+
+
+@dataclass(frozen=True)
+class TGICurveResult:
+    """Figure 5: arithmetic-mean TGI vs. cores, with REE components."""
+
+    cores: Tuple[int, ...]
+    series: TGISeries
+
+    def format(self) -> str:
+        rows = []
+        benchmarks = sorted(self.series.results[0].ree)
+        for result in self.series.results:
+            rows.append(
+                [result.cores, f"{result.value:.4f}"]
+                + [f"{result.ree[b]:.4f}" for b in benchmarks]
+            )
+        return render_table(
+            ["Cores", "TGI"] + [f"REE({b})" for b in benchmarks],
+            rows,
+            title="Figure 5: TGI using the arithmetic mean on Fire",
+        )
+
+
+@dataclass(frozen=True)
+class TGIWeightedResult:
+    """Figure 6: TGI vs. cores for time/energy/power weights (AM included
+    for comparison, as in the paper's discussion)."""
+
+    cores: Tuple[int, ...]
+    series_by_weighting: Dict[str, TGISeries]
+
+    def format(self) -> str:
+        names = list(self.series_by_weighting)
+        rows = []
+        for i, cores in enumerate(self.cores):
+            rows.append(
+                [cores]
+                + [f"{self.series_by_weighting[n].values[i]:.4f}" for n in names]
+            )
+        return render_table(
+            ["Cores"] + [f"TGI({n})" for n in names],
+            rows,
+            title="Figure 6: TGI using weighted arithmetic means on Fire",
+        )
+
+
+def run_fig5_tgi_am(context: SharedContext) -> TGICurveResult:
+    """Figure 5: each point is TGI over (HPL, STREAM, IOzone) at that core
+    count, equal weights, SystemG reference."""
+    calculator = TGICalculator(context.reference, weighting=ArithmeticMeanWeights())
+    series = calculator.compute_series(context.sweep)
+    return TGICurveResult(cores=tuple(context.sweep.cores), series=series)
+
+
+def run_fig6_tgi_weighted(context: SharedContext) -> TGIWeightedResult:
+    """Figure 6: the same sweep aggregated with time, energy, and power
+    weights (Eqs. 10-12)."""
+    series: Dict[str, TGISeries] = {}
+    for weighting in (ArithmeticMeanWeights(), TimeWeights(), EnergyWeights(), PowerWeights()):
+        calculator = TGICalculator(context.reference, weighting=weighting)
+        series[weighting.name] = calculator.compute_series(context.sweep)
+    return TGIWeightedResult(cores=tuple(context.sweep.cores), series_by_weighting=series)

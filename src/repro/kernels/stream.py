@@ -1,0 +1,103 @@
+"""Real STREAM kernels on the host (NumPy-vectorized).
+
+Implements the four official STREAM operations with the official traffic
+accounting (Copy/Scale move 2 arrays per element, Add/Triad move 3).  The
+arrays are allocated once and operated on in place through preallocated
+outputs, so the measurement sees pure streaming and no allocator noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from ..exceptions import BenchmarkError
+from .timing import Timer
+
+__all__ = ["StreamKernelResult", "triad_bandwidth", "stream_kernels"]
+
+_BYTES = 8  # float64
+
+
+@dataclass(frozen=True)
+class StreamKernelResult:
+    """Outcome of one STREAM kernel measurement."""
+
+    kernel: str
+    array_elements: int
+    iterations: int
+    time_s: float
+    bytes_moved: float
+
+    @property
+    def bandwidth(self) -> float:
+        """Sustained bytes/s."""
+        return self.bytes_moved / self.time_s
+
+
+def triad_bandwidth(
+    array_elements: int = 5_000_000, *, iterations: int = 10, alpha: float = 3.0
+) -> StreamKernelResult:
+    """Time the Triad kernel ``c = alpha * a + b`` (paper Eq. 16)."""
+    if array_elements < 1 or iterations < 1:
+        raise BenchmarkError("array_elements and iterations must be >= 1")
+    a = np.ones(array_elements)
+    b = np.full(array_elements, 2.0)
+    c = np.empty(array_elements)
+    with Timer() as t:
+        for _ in range(iterations):
+            np.multiply(a, alpha, out=c)
+            c += b
+    bytes_moved = iterations * 3 * _BYTES * array_elements
+    return StreamKernelResult(
+        kernel="triad",
+        array_elements=array_elements,
+        iterations=iterations,
+        time_s=t.elapsed_s,
+        bytes_moved=bytes_moved,
+    )
+
+
+def stream_kernels(
+    array_elements: int = 5_000_000, *, iterations: int = 10, alpha: float = 3.0
+) -> Dict[str, StreamKernelResult]:
+    """Run all four kernels (Copy, Scale, Add, Triad); returns name -> result."""
+    if array_elements < 1 or iterations < 1:
+        raise BenchmarkError("array_elements and iterations must be >= 1")
+    a = np.ones(array_elements)
+    b = np.full(array_elements, 2.0)
+    c = np.empty(array_elements)
+    results: Dict[str, StreamKernelResult] = {}
+
+    def record(kernel: str, streams: int, timer: Timer) -> None:
+        results[kernel] = StreamKernelResult(
+            kernel=kernel,
+            array_elements=array_elements,
+            iterations=iterations,
+            time_s=timer.elapsed_s,
+            bytes_moved=iterations * streams * _BYTES * array_elements,
+        )
+
+    with Timer() as t:
+        for _ in range(iterations):
+            np.copyto(c, a)
+    record("copy", 2, t)
+
+    with Timer() as t:
+        for _ in range(iterations):
+            np.multiply(c, alpha, out=b)
+    record("scale", 2, t)
+
+    with Timer() as t:
+        for _ in range(iterations):
+            np.add(a, b, out=c)
+    record("add", 3, t)
+
+    with Timer() as t:
+        for _ in range(iterations):
+            np.multiply(a, alpha, out=c)
+            c += b
+    record("triad", 3, t)
+    return results

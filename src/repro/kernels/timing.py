@@ -1,0 +1,35 @@
+"""Monotonic timing helper."""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["Timer"]
+
+
+class Timer:
+    """Context-manager stopwatch over the monotonic clock.
+
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed_s > 0
+    True
+    """
+
+    def __init__(self):
+        self._start = None
+        self._elapsed = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._elapsed = time.perf_counter() - self._start
+
+    @property
+    def elapsed_s(self) -> float:
+        """Elapsed seconds (valid after the ``with`` block exits)."""
+        if self._elapsed is None:
+            raise RuntimeError("Timer has not completed a with-block yet")
+        return self._elapsed

@@ -1,0 +1,50 @@
+"""Analytic performance models for the benchmark suite.
+
+Each model predicts, for a given cluster and run configuration, the time
+breakdown and reported performance of one benchmark:
+
+* :mod:`~repro.perfmodels.hpl` — dense LU (HPL): flop count, DGEMM kernel
+  efficiency, block-cyclic communication cost (Hockney), per-node packing
+  contention;
+* :mod:`~repro.perfmodels.stream` — STREAM Triad: per-core streaming rate
+  saturating at the socket's sustained bandwidth;
+* :mod:`~repro.perfmodels.iozone` — IOzone sequential write: per-node disk
+  rate with a page-cache absorption window;
+* :mod:`~repro.perfmodels.amdahl` / :mod:`~repro.perfmodels.roofline` —
+  classic scaling-law helpers used by the analysis layer and tests.
+
+The predictions are consumed by :mod:`repro.benchmarks`, which compiles them
+into per-rank phase programs for the simulator.
+"""
+
+from .hpl import HPLModel, HPLPrediction
+from .stream import StreamModel, StreamPrediction
+from .iozone import IOzoneModel, IOzonePrediction
+from .randomaccess import RandomAccessModel, RandomAccessPrediction
+from .network import EffectiveBandwidthModel, EffectiveBandwidthPrediction
+from .amdahl import (
+    amdahl_speedup,
+    gustafson_speedup,
+    karp_flatt_serial_fraction,
+    parallel_efficiency,
+)
+from .roofline import RooflineModel, arithmetic_intensity
+
+__all__ = [
+    "HPLModel",
+    "HPLPrediction",
+    "StreamModel",
+    "StreamPrediction",
+    "IOzoneModel",
+    "IOzonePrediction",
+    "RandomAccessModel",
+    "RandomAccessPrediction",
+    "EffectiveBandwidthModel",
+    "EffectiveBandwidthPrediction",
+    "amdahl_speedup",
+    "gustafson_speedup",
+    "karp_flatt_serial_fraction",
+    "parallel_efficiency",
+    "RooflineModel",
+    "arithmetic_intensity",
+]

@@ -1,0 +1,151 @@
+"""HPCC RandomAccess (GUPS) performance model — suite extension.
+
+The paper motivates TGI via the HPC Challenge suite; RandomAccess is
+HPCC's memory-*latency* probe, complementing STREAM's bandwidth probe.
+The benchmark hammers a table spanning most of memory with random 8-byte
+read-modify-writes and reports **GUPS** (giga-updates per second).
+
+Per-core update rate is latency-bound with limited memory-level
+parallelism::
+
+    rate_core = mlp / access_latency
+
+saturating per socket once outstanding misses exhaust the memory
+controller's queues (modelled, like STREAM, with a cores-to-saturate knob —
+random access saturates with fewer cores than streaming).  The multi-node
+(MPI) variant must route most updates across the network in bucket
+exchanges, so the global rate is the *minimum* of the aggregate memory
+rate and the aggregate network rate::
+
+    rate_net = p * nic_bandwidth / (bytes_per_update * (p-1)/p)
+
+with ~2x8 bytes moved per remote update (index + value, HPCC's bucketed
+alltoall).  On GigE the network bound dominates quickly — the classic
+cliff between single-node and multi-node GUPS numbers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..cluster.cluster import ClusterSpec
+from ..exceptions import BenchmarkError
+from ..validation import check_positive, check_positive_int
+
+__all__ = ["RandomAccessModel", "RandomAccessPrediction"]
+
+#: Bytes crossing the network per remote update (bucketed index+value).
+_BYTES_PER_REMOTE_UPDATE = 16.0
+
+
+@dataclass(frozen=True)
+class RandomAccessPrediction:
+    """Predicted timing and update rate of one RandomAccess run."""
+
+    num_ranks: int
+    updates: float
+    time_s: float
+    updates_per_second: float
+    memory_bound_rate: float
+    network_bound_rate: float
+
+    @property
+    def gups(self) -> float:
+        """Giga-updates per second."""
+        return self.updates_per_second / 1e9
+
+    @property
+    def network_limited(self) -> bool:
+        """Whether the interconnect, not DRAM latency, set the rate."""
+        return self.network_bound_rate < self.memory_bound_rate
+
+
+@dataclass(frozen=True)
+class RandomAccessModel:
+    """GUPS predictor for one cluster.
+
+    Parameters
+    ----------
+    cluster:
+        The machine.
+    memory_level_parallelism:
+        Outstanding misses a single core sustains (era-typical 4-8).
+    cores_to_saturate:
+        Cores per socket that exhaust the controller's miss queues.
+    """
+
+    cluster: ClusterSpec
+    memory_level_parallelism: float = 6.0
+    cores_to_saturate: int = 3
+
+    def __post_init__(self) -> None:
+        check_positive(
+            self.memory_level_parallelism, "memory_level_parallelism", exc=BenchmarkError
+        )
+        check_positive_int(self.cores_to_saturate, "cores_to_saturate", exc=BenchmarkError)
+
+    def per_core_rate(self) -> float:
+        """Updates/s a single core sustains against local DRAM."""
+        return self.memory_level_parallelism / self.cluster.node.memory.access_latency_s
+
+    def node_memory_rate(self, ranks_on_node: int) -> float:
+        """Updates/s one node sustains with ``ranks_on_node`` ranks."""
+        check_positive_int(ranks_on_node, "ranks_on_node", exc=BenchmarkError)
+        node = self.cluster.node
+        if ranks_on_node > node.cores:
+            raise BenchmarkError(
+                f"{ranks_on_node} ranks exceed {node.cores} cores per node"
+            )
+        per_core = self.per_core_rate()
+        socket_cap = self.cores_to_saturate * per_core
+        base, extra = divmod(ranks_on_node, node.sockets)
+        total = 0.0
+        for socket in range(node.sockets):
+            on_socket = base + (1 if socket < extra else 0)
+            total += min(on_socket * per_core, socket_cap)
+        return total
+
+    def network_rate(self, num_ranks: int, nodes_used: int) -> float:
+        """Updates/s the fabric admits for the bucketed exchange."""
+        if nodes_used <= 1:
+            return math.inf
+        remote_fraction = (nodes_used - 1) / nodes_used
+        per_node = self.cluster.node.nic.bandwidth / (
+            _BYTES_PER_REMOTE_UPDATE * remote_fraction
+        )
+        return nodes_used * per_node
+
+    def predict(
+        self, num_ranks: int, *, updates_per_rank: float = 4e9, ranks_per_node: int = 0
+    ) -> RandomAccessPrediction:
+        """Predict a run of ``updates_per_rank`` updates per rank."""
+        check_positive_int(num_ranks, "num_ranks", exc=BenchmarkError)
+        check_positive(updates_per_rank, "updates_per_rank", exc=BenchmarkError)
+        if num_ranks > self.cluster.total_cores:
+            raise BenchmarkError(
+                f"{num_ranks} ranks exceed cluster capacity {self.cluster.total_cores}"
+            )
+        k = ranks_per_node or math.ceil(num_ranks / self.cluster.num_nodes)
+        k = min(k, num_ranks)
+        nodes_used = math.ceil(num_ranks / k)
+        mem_rate = nodes_used * self.node_memory_rate(k)
+        net_rate = self.network_rate(num_ranks, nodes_used)
+        rate = min(mem_rate, net_rate)
+        updates = updates_per_rank * num_ranks
+        return RandomAccessPrediction(
+            num_ranks=num_ranks,
+            updates=updates,
+            time_s=updates / rate,
+            updates_per_second=rate,
+            memory_bound_rate=mem_rate,
+            network_bound_rate=net_rate,
+        )
+
+    def updates_for_time(
+        self, target_seconds: float, num_ranks: int, *, ranks_per_node: int = 0
+    ) -> float:
+        """Per-rank update count whose predicted runtime is ~target."""
+        check_positive(target_seconds, "target_seconds", exc=BenchmarkError)
+        one = self.predict(num_ranks, updates_per_rank=1.0, ranks_per_node=ranks_per_node)
+        return max(1.0, target_seconds / one.time_s)

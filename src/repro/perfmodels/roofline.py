@@ -1,0 +1,57 @@
+"""Roofline model utilities.
+
+The roofline model bounds a kernel's attainable FLOP rate by
+``min(peak_flops, arithmetic_intensity * memory_bandwidth)``.  It is used in
+the library to sanity-check the benchmark models (HPL sits far right of the
+ridge; STREAM Triad far left) and in examples that explain *why* the two
+benchmarks stress different components.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cluster.node import NodeSpec
+from ..exceptions import MetricError
+from ..validation import check_non_negative, check_positive
+
+__all__ = ["arithmetic_intensity", "RooflineModel"]
+
+
+def arithmetic_intensity(flops: float, bytes_moved: float) -> float:
+    """FLOPs per byte of DRAM traffic."""
+    check_non_negative(flops, "flops", exc=MetricError)
+    check_positive(bytes_moved, "bytes_moved", exc=MetricError)
+    return flops / bytes_moved
+
+
+@dataclass(frozen=True)
+class RooflineModel:
+    """Roofline for one node (CPU peak vs. sustained DRAM bandwidth)."""
+
+    node: NodeSpec
+
+    @property
+    def peak_flops(self) -> float:
+        """The flat roof in FLOP/s."""
+        return self.node.peak_flops
+
+    @property
+    def memory_bandwidth(self) -> float:
+        """The slanted roof's slope in bytes/s."""
+        return self.node.sustained_memory_bandwidth
+
+    @property
+    def ridge_point(self) -> float:
+        """Arithmetic intensity (flops/byte) where the roofs meet."""
+        return self.peak_flops / self.memory_bandwidth
+
+    def attainable_flops(self, intensity: float) -> float:
+        """``min(peak, intensity * bandwidth)``."""
+        check_non_negative(intensity, "intensity", exc=MetricError)
+        return min(self.peak_flops, intensity * self.memory_bandwidth)
+
+    def is_memory_bound(self, intensity: float) -> bool:
+        """Whether a kernel of this intensity is left of the ridge."""
+        check_non_negative(intensity, "intensity", exc=MetricError)
+        return intensity < self.ridge_point

@@ -1,0 +1,57 @@
+"""Power substrate: utilization -> watts -> metered energy.
+
+The chain mirrors the paper's measurement setup (Figure 1):
+
+1. A benchmark run produces, per node, a piecewise-constant timeline of
+   component utilizations (:class:`~repro.power.components.NodeUtilization`).
+2. :class:`~repro.power.node_power.NodePowerModel` converts utilization to DC
+   watts per node from component models (CPU, DRAM, disk, NIC, accelerator).
+3. :class:`~repro.power.psu.PSUModel` converts DC watts to wall (AC) watts
+   through a load-dependent efficiency curve.
+4. :class:`~repro.power.meter.WallPlugMeter` — a model of the Watts Up? PRO
+   ES used in the paper — samples the aggregate wall power at 1 Hz with gain
+   error and quantization, producing a :class:`~repro.power.trace.PowerTrace`.
+5. Energy is the trapezoidal integral of the trace, exactly as one computes
+   it from a real meter log.
+"""
+
+from .components import (
+    NodeUtilization,
+    CPUPowerModel,
+    MemoryPowerModel,
+    StoragePowerModel,
+    NICPowerModel,
+    AcceleratorPowerModel,
+)
+from .node_power import NodePowerModel
+from .psu import PSUModel, IDEAL_PSU
+from .trace import PowerTrace, PiecewisePower
+from .meter import WallPlugMeter, MeterSpec, WATTS_UP_PRO
+from .energy import energy_delay_product, average_power, energy_to_solution
+from .cooling import CoolingModel, FixedPUECooling, COPCooling
+from .dvfs import DVFSOperatingPoint, DVFSModel
+
+__all__ = [
+    "NodeUtilization",
+    "CPUPowerModel",
+    "MemoryPowerModel",
+    "StoragePowerModel",
+    "NICPowerModel",
+    "AcceleratorPowerModel",
+    "NodePowerModel",
+    "PSUModel",
+    "IDEAL_PSU",
+    "PowerTrace",
+    "PiecewisePower",
+    "WallPlugMeter",
+    "MeterSpec",
+    "WATTS_UP_PRO",
+    "energy_delay_product",
+    "average_power",
+    "energy_to_solution",
+    "CoolingModel",
+    "FixedPUECooling",
+    "COPCooling",
+    "DVFSOperatingPoint",
+    "DVFSModel",
+]

@@ -1,0 +1,168 @@
+"""Component-level power models: utilization in, watts out.
+
+Each model maps a component's specification plus an instantaneous
+utilization to DC power draw.  The models are deliberately simple
+(linear-in-utilization between a measured idle floor and a measured
+full-load ceiling, with a CPU refinement described below) because the paper's
+metric consumes *whole-system wall power*; what matters for reproducing its
+curves is that the floors and ceilings are right and that partially-loaded
+nodes land in between monotonically.
+
+CPU refinement: a core that is awake but stalled (e.g. running STREAM,
+waiting on DRAM) still burns clock-tree and leakage power.  The model
+therefore splits the per-core dynamic range into an *awake floor*
+(:attr:`CPUPowerModel.awake_floor`) paid by any busy core, plus an
+intensity-proportional remainder — so compute-bound HPL draws close to TDP
+while memory-bound STREAM draws noticeably less at the same core count,
+matching the power gap the paper observes between its benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cluster.accelerator import AcceleratorSpec
+from ..cluster.cpu import CPUSpec
+from ..cluster.memory import MemorySpec
+from ..cluster.nic import InterconnectSpec
+from ..cluster.storage import StorageSpec
+from ..exceptions import PowerModelError
+from ..validation import check_fraction
+
+__all__ = [
+    "NodeUtilization",
+    "CPUPowerModel",
+    "MemoryPowerModel",
+    "StoragePowerModel",
+    "NICPowerModel",
+    "AcceleratorPowerModel",
+]
+
+
+@dataclass(frozen=True)
+class NodeUtilization:
+    """Instantaneous utilization of one node's components.
+
+    All fields are fractions in [0, 1].
+
+    Attributes
+    ----------
+    cpu_active_fraction:
+        Fraction of the node's cores that are busy (running a rank).
+    cpu_intensity:
+        How power-hungry the busy cores' work is: ~1.0 for dense compute
+        (HPL), ~0.6 for bandwidth-bound code (STREAM), ~0.15 for cores
+        blocked on I/O or messages.
+    memory:
+        Fraction of sustained memory bandwidth in use.
+    storage:
+        Fraction of disk bandwidth in use.
+    nic:
+        Fraction of link bandwidth in use.
+    accelerator:
+        Fraction of accelerator throughput in use (extension systems).
+    """
+
+    cpu_active_fraction: float = 0.0
+    cpu_intensity: float = 0.0
+    memory: float = 0.0
+    storage: float = 0.0
+    nic: float = 0.0
+    accelerator: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "cpu_active_fraction",
+            "cpu_intensity",
+            "memory",
+            "storage",
+            "nic",
+            "accelerator",
+        ):
+            check_fraction(getattr(self, name), name, exc=PowerModelError)
+
+    @classmethod
+    def idle(cls) -> "NodeUtilization":
+        """A fully idle node."""
+        return cls()
+
+
+def _linear(idle_w: float, active_w: float, util: float) -> float:
+    """Linear interpolation between a component's idle and active power."""
+    return idle_w + (active_w - idle_w) * util
+
+
+@dataclass(frozen=True)
+class CPUPowerModel:
+    """Power of all CPU packages in a node.
+
+    ``P = sockets * (idle + (tdp - idle) * active * (floor + (1-floor) * intensity))``
+
+    where ``active`` is the fraction of busy cores and ``floor`` the awake
+    floor described in the module docstring.
+    """
+
+    spec: CPUSpec
+    sockets: int
+    awake_floor: float = 0.45
+
+    def __post_init__(self) -> None:
+        if self.sockets < 1:
+            raise PowerModelError(f"sockets must be >= 1, got {self.sockets}")
+        check_fraction(self.awake_floor, "awake_floor", exc=PowerModelError)
+
+    def power(self, util: NodeUtilization) -> float:
+        """DC watts for the given utilization."""
+        dynamic_range = self.spec.tdp_watts - self.spec.idle_watts
+        per_core_load = self.awake_floor + (1.0 - self.awake_floor) * util.cpu_intensity
+        package = self.spec.idle_watts + dynamic_range * util.cpu_active_fraction * per_core_load
+        return self.sockets * package
+
+
+@dataclass(frozen=True)
+class MemoryPowerModel:
+    """Power of all DIMMs in a node (linear in bandwidth utilization)."""
+
+    spec: MemorySpec
+    sockets: int
+
+    def __post_init__(self) -> None:
+        if self.sockets < 1:
+            raise PowerModelError(f"sockets must be >= 1, got {self.sockets}")
+
+    def power(self, util: NodeUtilization) -> float:
+        """DC watts for the given utilization."""
+        return self.sockets * _linear(self.spec.idle_watts, self.spec.active_watts, util.memory)
+
+
+@dataclass(frozen=True)
+class StoragePowerModel:
+    """Power of the node's local storage device."""
+
+    spec: StorageSpec
+
+    def power(self, util: NodeUtilization) -> float:
+        """DC watts for the given utilization."""
+        return _linear(self.spec.idle_watts, self.spec.active_watts, util.storage)
+
+
+@dataclass(frozen=True)
+class NICPowerModel:
+    """Power of the node's network adapter."""
+
+    spec: InterconnectSpec
+
+    def power(self, util: NodeUtilization) -> float:
+        """DC watts for the given utilization."""
+        return _linear(self.spec.idle_watts, self.spec.active_watts, util.nic)
+
+
+@dataclass(frozen=True)
+class AcceleratorPowerModel:
+    """Power of one accelerator card (linear between idle and TDP)."""
+
+    spec: AcceleratorSpec
+
+    def power(self, util: NodeUtilization) -> float:
+        """DC watts for the given utilization."""
+        return _linear(self.spec.idle_watts, self.spec.tdp_watts, util.accelerator)

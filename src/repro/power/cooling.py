@@ -1,0 +1,88 @@
+"""Cooling / facility power models — the paper's "centre-wide TGI" extension.
+
+Section VI proposes extending TGI "to give a center-wide view of the energy
+efficiency by including components such as cooling infrastructure".  These
+models convert IT (wall) power into facility power so the same TGI pipeline
+can be run at the facility boundary (see ``examples/center_wide_tgi.py``):
+
+* :class:`FixedPUECooling` — facility power = PUE x IT power, the standard
+  data-centre accounting;
+* :class:`COPCooling` — facility power = IT x (1 + 1/COP) + fixed overhead,
+  a chiller-oriented model where the coefficient of performance says how
+  many watts of heat one watt of cooling removes.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from ..exceptions import PowerModelError
+from ..validation import check_non_negative, check_positive
+from .trace import PiecewisePower
+
+__all__ = ["CoolingModel", "FixedPUECooling", "COPCooling"]
+
+
+class CoolingModel(abc.ABC):
+    """Maps IT wall power to facility power (IT + cooling + distribution)."""
+
+    @abc.abstractmethod
+    def facility_watts(self, it_watts: float) -> float:
+        """Facility watts for a given IT draw."""
+
+    def apply(self, it_power: PiecewisePower) -> PiecewisePower:
+        """Lift a whole IT power curve to the facility boundary."""
+        return PiecewisePower(
+            [(t0, t1, self.facility_watts(w)) for t0, t1, w in it_power.segments]
+        )
+
+
+@dataclass(frozen=True)
+class FixedPUECooling(CoolingModel):
+    """Facility power = PUE x IT power.
+
+    A PUE of 1.0 is a facility with free cooling and lossless distribution;
+    2.0 was typical of machine rooms in the paper's era.
+    """
+
+    pue: float = 1.7
+
+    def __post_init__(self) -> None:
+        check_positive(self.pue, "pue", exc=PowerModelError)
+        if self.pue < 1.0:
+            raise PowerModelError(f"PUE must be >= 1, got {self.pue}")
+
+    def facility_watts(self, it_watts: float) -> float:
+        check_non_negative(it_watts, "it_watts", exc=PowerModelError)
+        return self.pue * it_watts
+
+
+@dataclass(frozen=True)
+class COPCooling(CoolingModel):
+    """Chiller model: cooling power = heat / COP, plus fixed overhead.
+
+    Parameters
+    ----------
+    cop:
+        Coefficient of performance of the chiller plant (watts of heat
+        removed per watt of cooling power); 3-5 is typical.
+    overhead_watts:
+        Load-independent facility overhead (lighting, UPS losses, pumps).
+    """
+
+    cop: float = 3.5
+    overhead_watts: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_positive(self.cop, "cop", exc=PowerModelError)
+        check_non_negative(self.overhead_watts, "overhead_watts", exc=PowerModelError)
+
+    def facility_watts(self, it_watts: float) -> float:
+        check_non_negative(it_watts, "it_watts", exc=PowerModelError)
+        return it_watts * (1.0 + 1.0 / self.cop) + self.overhead_watts
+
+    def effective_pue(self, it_watts: float) -> float:
+        """The PUE this model exhibits at a given IT load."""
+        check_positive(it_watts, "it_watts", exc=PowerModelError)
+        return self.facility_watts(it_watts) / it_watts

@@ -1,0 +1,87 @@
+"""Dynamic voltage/frequency scaling model (extension).
+
+The paper's systems run at fixed nominal frequency, but weight/sensitivity
+studies benefit from being able to ask "what would TGI look like if the
+system under test were clocked down?".  :class:`DVFSModel` derives scaled
+:class:`~repro.cluster.cpu.CPUSpec` instances using the classic CMOS scaling
+``P_dynamic ~ f * V^2`` with idle power scaled by ``V^2`` only (leakage
+tracks voltage, not clock).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Tuple
+
+from ..cluster.cpu import CPUSpec
+from ..exceptions import PowerModelError
+from ..validation import check_positive
+
+__all__ = ["DVFSOperatingPoint", "DVFSModel"]
+
+
+@dataclass(frozen=True)
+class DVFSOperatingPoint:
+    """One (frequency, voltage) P-state."""
+
+    frequency_hz: float
+    voltage_v: float
+
+    def __post_init__(self) -> None:
+        check_positive(self.frequency_hz, "frequency_hz", exc=PowerModelError)
+        check_positive(self.voltage_v, "voltage_v", exc=PowerModelError)
+
+
+@dataclass(frozen=True)
+class DVFSModel:
+    """A CPU's ladder of P-states, highest frequency first.
+
+    Parameters
+    ----------
+    nominal:
+        The P-state at which the base :class:`CPUSpec` numbers were taken.
+    points:
+        All available operating points (must include one matching
+        ``nominal``'s frequency).
+    """
+
+    nominal: DVFSOperatingPoint
+    points: Tuple[DVFSOperatingPoint, ...]
+
+    def __post_init__(self) -> None:
+        if not self.points:
+            raise PowerModelError("DVFSModel needs at least one operating point")
+        freqs = [p.frequency_hz for p in self.points]
+        if sorted(freqs, reverse=True) != freqs:
+            raise PowerModelError("operating points must be ordered by descending frequency")
+        if not any(abs(p.frequency_hz - self.nominal.frequency_hz) < 1 for p in self.points):
+            raise PowerModelError("nominal frequency must be among the operating points")
+
+    def dynamic_power_scale(self, point: DVFSOperatingPoint) -> float:
+        """``(f/f0) * (V/V0)^2`` relative to nominal."""
+        return (
+            (point.frequency_hz / self.nominal.frequency_hz)
+            * (point.voltage_v / self.nominal.voltage_v) ** 2
+        )
+
+    def static_power_scale(self, point: DVFSOperatingPoint) -> float:
+        """``(V/V0)^2`` relative to nominal (leakage follows voltage)."""
+        return (point.voltage_v / self.nominal.voltage_v) ** 2
+
+    def scale_cpu(self, cpu: CPUSpec, point: DVFSOperatingPoint) -> CPUSpec:
+        """A :class:`CPUSpec` re-rated at the given operating point.
+
+        The dynamic portion (TDP minus idle) scales with ``f * V^2``; the
+        idle floor scales with ``V^2``; the clock scales directly, which also
+        rescales peak FLOP/s.
+        """
+        if point not in self.points:
+            raise PowerModelError(f"{point} is not an operating point of this model")
+        dyn = (cpu.tdp_watts - cpu.idle_watts) * self.dynamic_power_scale(point)
+        idle = cpu.idle_watts * self.static_power_scale(point)
+        return replace(
+            cpu,
+            base_clock_hz=point.frequency_hz,
+            tdp_watts=idle + dyn,
+            idle_watts=idle,
+        )

@@ -1,0 +1,41 @@
+"""Energy accounting helpers.
+
+The paper's Section II notes that the TGI methodology is agnostic to the
+underlying energy-efficiency metric and names the energy-delay product (EDP)
+as an alternative to performance-per-watt; these helpers provide both
+ingredients.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import MetricError
+from ..validation import check_non_negative, check_positive
+
+__all__ = ["energy_delay_product", "average_power", "energy_to_solution"]
+
+
+def energy_delay_product(energy_joules: float, delay_seconds: float, *, weight: int = 1) -> float:
+    """EDP = energy x delay^weight.
+
+    ``weight=1`` is the classic EDP; ``weight=2`` the ED^2P variant that
+    de-emphasizes voltage scaling.  Lower is better.
+    """
+    check_non_negative(energy_joules, "energy_joules", exc=MetricError)
+    check_non_negative(delay_seconds, "delay_seconds", exc=MetricError)
+    if weight < 1:
+        raise MetricError(f"weight must be >= 1, got {weight}")
+    return energy_joules * delay_seconds**weight
+
+
+def average_power(energy_joules: float, duration_seconds: float) -> float:
+    """Mean watts over a run: E / t."""
+    check_non_negative(energy_joules, "energy_joules", exc=MetricError)
+    check_positive(duration_seconds, "duration_seconds", exc=MetricError)
+    return energy_joules / duration_seconds
+
+
+def energy_to_solution(average_watts: float, duration_seconds: float) -> float:
+    """Energy in joules for a run of ``duration_seconds`` at ``average_watts``."""
+    check_non_negative(average_watts, "average_watts", exc=MetricError)
+    check_non_negative(duration_seconds, "duration_seconds", exc=MetricError)
+    return average_watts * duration_seconds

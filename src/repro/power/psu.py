@@ -1,0 +1,87 @@
+"""Power-supply efficiency model.
+
+The wall-plug meter in the paper measures *AC* power; the components draw
+*DC*.  A PSU's efficiency depends on its load fraction — poor at very light
+load, peaking around 50 %, sagging slightly toward 100 % — which matters
+here because an idle cluster sits in the inefficient left part of the curve.
+
+:class:`PSUModel` interpolates a measured (load-fraction, efficiency) curve;
+the default points follow a typical non-80-PLUS server supply of the era
+modelled.  :data:`IDEAL_PSU` (efficiency 1 everywhere) is provided for
+ablations isolating the PSU's contribution to wall power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..exceptions import PowerModelError
+from ..validation import check_positive
+
+__all__ = ["PSUModel", "DEFAULT_EFFICIENCY_CURVE", "IDEAL_PSU"]
+
+#: (load fraction, efficiency) points for a typical late-2000s server PSU.
+DEFAULT_EFFICIENCY_CURVE: Tuple[Tuple[float, float], ...] = (
+    (0.0, 0.60),
+    (0.10, 0.75),
+    (0.20, 0.83),
+    (0.50, 0.87),
+    (0.80, 0.86),
+    (1.00, 0.84),
+)
+
+
+@dataclass(frozen=True)
+class PSUModel:
+    """Load-dependent AC->DC conversion.
+
+    Parameters
+    ----------
+    rated_watts:
+        DC output the supply is rated for.  Node load fraction is
+        ``dc_watts / rated_watts`` (clamped to [0, 1] — drawing beyond the
+        rating is treated as full load rather than an error because the
+        models occasionally overshoot nominal ceilings by a watt or two).
+    curve:
+        Monotone-in-load (load_fraction, efficiency) pairs; efficiency is
+        linearly interpolated between points.
+    """
+
+    rated_watts: float
+    curve: Tuple[Tuple[float, float], ...] = DEFAULT_EFFICIENCY_CURVE
+
+    def __post_init__(self) -> None:
+        check_positive(self.rated_watts, "rated_watts", exc=PowerModelError)
+        if len(self.curve) < 2:
+            raise PowerModelError("efficiency curve needs at least 2 points")
+        loads = [p[0] for p in self.curve]
+        effs = [p[1] for p in self.curve]
+        if loads != sorted(loads):
+            raise PowerModelError("efficiency curve loads must be sorted ascending")
+        if loads[0] != 0.0 or loads[-1] != 1.0:
+            raise PowerModelError("efficiency curve must span load fractions 0..1")
+        for eff in effs:
+            if not 0 < eff <= 1:
+                raise PowerModelError(f"efficiency {eff} outside (0, 1]")
+
+    def efficiency(self, dc_watts: float) -> float:
+        """Conversion efficiency at the given DC draw."""
+        if dc_watts < 0:
+            raise PowerModelError(f"dc_watts must be >= 0, got {dc_watts}")
+        load = min(dc_watts / self.rated_watts, 1.0)
+        loads = np.array([p[0] for p in self.curve])
+        effs = np.array([p[1] for p in self.curve])
+        return float(np.interp(load, loads, effs))
+
+    def wall_watts(self, dc_watts: float) -> float:
+        """AC power drawn from the outlet for the given DC load."""
+        if dc_watts == 0:
+            return 0.0
+        return dc_watts / self.efficiency(dc_watts)
+
+
+#: Lossless supply for ablation studies.
+IDEAL_PSU = PSUModel(rated_watts=1.0, curve=((0.0, 1.0), (1.0, 1.0)))

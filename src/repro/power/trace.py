@@ -1,0 +1,204 @@
+"""Power time series: the exact (piecewise-constant) truth and sampled traces.
+
+Two representations:
+
+* :class:`PiecewisePower` — the simulator's ground truth: wall power as a
+  piecewise-constant function of time.  Its energy integral is exact.
+* :class:`PowerTrace` — what a meter produces: (timestamp, watts) samples.
+  Its energy is the trapezoidal integral, exactly the arithmetic one applies
+  to a real Watts Up? log file.
+
+Keeping both lets tests quantify the measurement error the paper's
+methodology inherits from 1 Hz wall-plug metering (see
+``benchmarks/bench_ablation_meter.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import PowerModelError
+from ..units import format_energy, format_power, format_time
+
+__all__ = ["PiecewisePower", "PowerTrace"]
+
+
+class PiecewisePower:
+    """Piecewise-constant wall power over ``[0, duration]``.
+
+    Built from ``(t_start, t_end, watts)`` segments that must tile the
+    interval without gaps or overlaps (zero-length segments are dropped).
+    """
+
+    def __init__(self, segments: Iterable[Tuple[float, float, float]]):
+        cleaned: List[Tuple[float, float, float]] = []
+        for t0, t1, w in segments:
+            if t1 < t0:
+                raise PowerModelError(f"segment ends before it starts: ({t0}, {t1})")
+            if w < 0:
+                raise PowerModelError(f"negative power {w} in segment ({t0}, {t1})")
+            if t1 > t0:
+                cleaned.append((float(t0), float(t1), float(w)))
+        cleaned.sort(key=lambda s: s[0])
+        if not cleaned:
+            raise PowerModelError("PiecewisePower needs at least one non-empty segment")
+        for prev, cur in zip(cleaned, cleaned[1:]):
+            if abs(prev[1] - cur[0]) > 1e-9:
+                raise PowerModelError(
+                    f"segments must tile time: gap/overlap between t={prev[1]} and t={cur[0]}"
+                )
+        self._starts = np.array([s[0] for s in cleaned])
+        self._ends = np.array([s[1] for s in cleaned])
+        self._watts = np.array([s[2] for s in cleaned])
+
+    @property
+    def t_start(self) -> float:
+        """Start of the covered interval."""
+        return float(self._starts[0])
+
+    @property
+    def duration(self) -> float:
+        """Length of the covered interval in seconds."""
+        return float(self._ends[-1] - self._starts[0])
+
+    @property
+    def segments(self) -> List[Tuple[float, float, float]]:
+        """The (t_start, t_end, watts) segments."""
+        return list(zip(self._starts.tolist(), self._ends.tolist(), self._watts.tolist()))
+
+    def power_at(self, t: float) -> float:
+        """Wall watts at time ``t`` (right-continuous; endpoint included)."""
+        if t < self._starts[0] - 1e-12 or t > self._ends[-1] + 1e-12:
+            raise PowerModelError(
+                f"t={t} outside covered interval [{self._starts[0]}, {self._ends[-1]}]"
+            )
+        idx = int(np.searchsorted(self._ends, t, side="left"))
+        idx = min(idx, len(self._watts) - 1)
+        return float(self._watts[idx])
+
+    def power_at_many(self, times: Sequence[float]) -> np.ndarray:
+        """Vectorized :meth:`power_at`."""
+        times = np.asarray(times, dtype=float)
+        if times.size == 0:
+            return np.empty(0)
+        if times.min() < self._starts[0] - 1e-12 or times.max() > self._ends[-1] + 1e-12:
+            raise PowerModelError("sample times outside covered interval")
+        idx = np.searchsorted(self._ends, times, side="left")
+        idx = np.minimum(idx, len(self._watts) - 1)
+        return self._watts[idx]
+
+    def energy(self) -> float:
+        """Exact energy in joules over the whole interval."""
+        return float(np.sum((self._ends - self._starts) * self._watts))
+
+    def mean_power(self) -> float:
+        """Exact time-averaged watts."""
+        return self.energy() / self.duration
+
+    def max_power(self) -> float:
+        """Peak watts."""
+        return float(self._watts.max())
+
+    @classmethod
+    def constant(cls, watts: float, duration: float) -> "PiecewisePower":
+        """A constant-power interval (convenience for tests/examples)."""
+        return cls([(0.0, duration, watts)])
+
+    def __repr__(self) -> str:
+        return (
+            f"PiecewisePower({len(self._watts)} segments, "
+            f"{format_time(self.duration)}, mean {format_power(self.mean_power())})"
+        )
+
+
+class PowerTrace:
+    """Sampled (timestamp, watts) series — what a wall-plug meter logs."""
+
+    def __init__(self, times: Sequence[float], watts: Sequence[float]):
+        times_arr = np.asarray(times, dtype=float)
+        watts_arr = np.asarray(watts, dtype=float)
+        if times_arr.ndim != 1 or watts_arr.ndim != 1:
+            raise PowerModelError("times and watts must be 1-D")
+        if times_arr.size != watts_arr.size:
+            raise PowerModelError(
+                f"times ({times_arr.size}) and watts ({watts_arr.size}) differ in length"
+            )
+        if times_arr.size < 1:
+            raise PowerModelError("a PowerTrace needs at least one sample")
+        if np.any(np.diff(times_arr) <= 0):
+            raise PowerModelError("timestamps must be strictly increasing")
+        if np.any(watts_arr < 0):
+            raise PowerModelError("power samples must be non-negative")
+        self._times = times_arr
+        self._watts = watts_arr
+
+    @property
+    def times(self) -> np.ndarray:
+        """Sample timestamps in seconds (read-only view)."""
+        view = self._times.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def watts(self) -> np.ndarray:
+        """Sampled watts (read-only view)."""
+        view = self._watts.view()
+        view.flags.writeable = False
+        return view
+
+    def __len__(self) -> int:
+        return int(self._times.size)
+
+    @property
+    def duration(self) -> float:
+        """Seconds spanned by the samples."""
+        return float(self._times[-1] - self._times[0])
+
+    def energy(self) -> float:
+        """Trapezoidal energy in joules (0 for a single sample)."""
+        if len(self) < 2:
+            return 0.0
+        return float(np.trapezoid(self._watts, self._times))
+
+    def mean_power(self) -> float:
+        """Time-weighted mean watts (simple mean for a single sample)."""
+        if len(self) < 2:
+            return float(self._watts[0])
+        return self.energy() / self.duration
+
+    def max_power(self) -> float:
+        """Peak sampled watts."""
+        return float(self._watts.max())
+
+    def min_power(self) -> float:
+        """Minimum sampled watts."""
+        return float(self._watts.min())
+
+    def slice(self, t0: float, t1: float) -> "PowerTrace":
+        """Samples with ``t0 <= t <= t1`` (must contain at least one)."""
+        if t1 < t0:
+            raise PowerModelError(f"t1 ({t1}) must be >= t0 ({t0})")
+        mask = (self._times >= t0) & (self._times <= t1)
+        if not mask.any():
+            raise PowerModelError(f"no samples in [{t0}, {t1}]")
+        return PowerTrace(self._times[mask], self._watts[mask])
+
+    def concat(self, other: "PowerTrace") -> "PowerTrace":
+        """This trace followed by ``other`` (timestamps must keep increasing)."""
+        return PowerTrace(
+            np.concatenate([self._times, other._times]),
+            np.concatenate([self._watts, other._watts]),
+        )
+
+    def shifted(self, dt: float) -> "PowerTrace":
+        """A copy with all timestamps moved by ``dt``."""
+        return PowerTrace(self._times + dt, self._watts)
+
+    def __repr__(self) -> str:
+        return (
+            f"PowerTrace({len(self)} samples over {format_time(self.duration)}, "
+            f"mean {format_power(self.mean_power())}, "
+            f"energy {format_energy(self.energy())})"
+        )

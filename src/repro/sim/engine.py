@@ -1,0 +1,153 @@
+"""Discrete-event engine: execute rank programs, resolving barriers.
+
+The engine advances each rank through its phases on a shared virtual clock.
+Phases have fixed durations (precomputed by the performance models), so the
+only interaction between ranks is the barrier: a rank reaching a
+:data:`~repro.sim.workload.PhaseKind.BARRIER` phase blocks until every rank
+has reached the barrier with the same ordinal, then all proceed from the
+latest arrival time.  Early arrivers get an explicit
+:data:`~repro.sim.workload.PhaseKind.WAIT` interval (cores blocked in MPI
+still burn their awake-floor power — see :mod:`repro.power.components`).
+
+The output is, per rank, a gap-free list of :class:`RankInterval` from t=0
+to that rank's completion.  Ranks may finish at different times; the run
+ends at the latest completion.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..exceptions import SimulationError
+from .workload import Phase, PhaseKind, RankProgram, WAIT_INTENSITY
+
+__all__ = ["RankInterval", "SimulationEngine"]
+
+#: Numerical slack when validating interval continuity.
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class RankInterval:
+    """One contiguous span of one rank's execution."""
+
+    rank: int
+    t_start: float
+    t_end: float
+    phase: Phase
+
+    @property
+    def duration(self) -> float:
+        """Seconds spanned."""
+        return self.t_end - self.t_start
+
+
+_WAIT_PHASE = Phase(
+    kind=PhaseKind.WAIT,
+    duration_s=0.0,  # actual duration carried by the interval bounds
+    cpu_intensity=WAIT_INTENSITY,
+    label="barrier-wait",
+)
+
+
+class SimulationEngine:
+    """Executes a set of rank programs (see module docstring)."""
+
+    def __init__(self, programs: Sequence[RankProgram]):
+        if not programs:
+            raise SimulationError("need at least one rank program")
+        ranks = sorted(p.rank for p in programs)
+        if ranks != list(range(len(programs))):
+            raise SimulationError(f"rank ids must be 0..{len(programs) - 1}, got {ranks}")
+        barrier_counts = {p.barrier_count for p in programs}
+        if len(barrier_counts) != 1:
+            raise SimulationError(
+                f"all ranks must have the same number of barriers, got {sorted(barrier_counts)}"
+            )
+        self._programs: Dict[int, RankProgram] = {p.rank: p for p in programs}
+        self._num_ranks = len(programs)
+
+    def run(self) -> List[List[RankInterval]]:
+        """Execute and return per-rank interval lists (index = rank id).
+
+        Implementation: an event queue keyed on (time, sequence number)
+        drives rank progress; barriers collect arrivals and release all
+        ranks at the max arrival time.
+        """
+        intervals: List[List[RankInterval]] = [[] for _ in range(self._num_ranks)]
+        # Per-rank cursor into its phase list and local clock.
+        cursor = [0] * self._num_ranks
+        clock = [0.0] * self._num_ranks
+        # Barrier bookkeeping: ordinal -> list of (arrival_time, rank).
+        barrier_arrivals: Dict[int, List] = {}
+        barrier_ordinal = [0] * self._num_ranks
+
+        counter = itertools.count()
+        heap: List = [(0.0, next(counter), r) for r in range(self._num_ranks)]
+        heapq.heapify(heap)
+        blocked: Dict[int, float] = {}  # rank -> arrival time at its barrier
+
+        while heap:
+            t, _, rank = heapq.heappop(heap)
+            program = self._programs[rank].phases
+            i = cursor[rank]
+            if i >= len(program):
+                continue  # rank already finished
+            phase = program[i]
+            if phase.kind is PhaseKind.BARRIER:
+                ordinal = barrier_ordinal[rank]
+                barrier_ordinal[rank] += 1
+                cursor[rank] += 1
+                arrivals = barrier_arrivals.setdefault(ordinal, [])
+                arrivals.append((t, rank))
+                blocked[rank] = t
+                if len(arrivals) == self._num_ranks:
+                    release = max(at for at, _ in arrivals)
+                    for at, r in arrivals:
+                        if release > at + _EPS:
+                            intervals[r].append(
+                                RankInterval(rank=r, t_start=at, t_end=release, phase=_WAIT_PHASE)
+                            )
+                        clock[r] = release
+                        del blocked[r]
+                        heapq.heappush(heap, (release, next(counter), r))
+                continue
+            # Ordinary phase: record its interval and schedule its end.
+            t_end = t + phase.duration_s
+            if phase.duration_s > 0:
+                intervals[rank].append(
+                    RankInterval(rank=rank, t_start=t, t_end=t_end, phase=phase)
+                )
+            cursor[rank] += 1
+            clock[rank] = t_end
+            heapq.heappush(heap, (t_end, next(counter), rank))
+
+        if blocked:
+            stuck = sorted(blocked)
+            raise SimulationError(
+                f"deadlock: ranks {stuck} blocked at a barrier no other rank reaches"
+            )
+        self._validate_continuity(intervals)
+        return intervals
+
+    def makespan(self, intervals: List[List[RankInterval]]) -> float:
+        """Completion time of the slowest rank."""
+        return max((per_rank[-1].t_end if per_rank else 0.0) for per_rank in intervals)
+
+    @staticmethod
+    def _validate_continuity(intervals: List[List[RankInterval]]) -> None:
+        for per_rank in intervals:
+            t = 0.0
+            for iv in per_rank:
+                if iv.t_start < t - _EPS:
+                    raise SimulationError(
+                        f"overlapping intervals for rank {iv.rank} at t={iv.t_start}"
+                    )
+                if iv.t_start > t + _EPS:
+                    raise SimulationError(
+                        f"gap in rank {iv.rank}'s timeline at t={t}..{iv.t_start}"
+                    )
+                t = iv.t_end

@@ -1,0 +1,121 @@
+"""Argument-validation helpers shared across the library.
+
+Specifications and models validate eagerly at construction time so that a
+misconfigured cluster or power model fails with a precise message instead of
+producing silently wrong energy numbers several layers downstream.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional, Sequence, Type
+
+from .exceptions import ReproError
+
+__all__ = [
+    "require",
+    "check_positive",
+    "check_non_negative",
+    "check_fraction",
+    "check_in_range",
+    "check_positive_int",
+    "check_finite",
+    "check_monotonic",
+    "check_same_length",
+]
+
+
+def require(condition: bool, message: str, *, exc: Type[ReproError] = ReproError) -> None:
+    """Raise ``exc(message)`` unless ``condition`` holds."""
+    if not condition:
+        raise exc(message)
+
+
+def check_finite(value: float, name: str, *, exc: Type[ReproError] = ReproError) -> float:
+    """Ensure ``value`` is a finite real number; return it as float."""
+    value = float(value)
+    if not math.isfinite(value):
+        raise exc(f"{name} must be finite, got {value!r}")
+    return value
+
+
+def check_positive(value: float, name: str, *, exc: Type[ReproError] = ReproError) -> float:
+    """Ensure ``value`` is finite and strictly positive; return it as float."""
+    value = check_finite(value, name, exc=exc)
+    if value <= 0:
+        raise exc(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_non_negative(value: float, name: str, *, exc: Type[ReproError] = ReproError) -> float:
+    """Ensure ``value`` is finite and >= 0; return it as float."""
+    value = check_finite(value, name, exc=exc)
+    if value < 0:
+        raise exc(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_fraction(value: float, name: str, *, exc: Type[ReproError] = ReproError) -> float:
+    """Ensure ``value`` lies in the closed interval [0, 1]; return it as float."""
+    value = check_finite(value, name, exc=exc)
+    if not 0.0 <= value <= 1.0:
+        raise exc(f"{name} must be in [0, 1], got {value!r}")
+    return value
+
+
+def check_in_range(
+    value: float,
+    name: str,
+    *,
+    low: Optional[float] = None,
+    high: Optional[float] = None,
+    exc: Type[ReproError] = ReproError,
+) -> float:
+    """Ensure ``low <= value <= high`` (bounds optional); return it as float."""
+    value = check_finite(value, name, exc=exc)
+    if low is not None and value < low:
+        raise exc(f"{name} must be >= {low}, got {value!r}")
+    if high is not None and value > high:
+        raise exc(f"{name} must be <= {high}, got {value!r}")
+    return value
+
+
+def check_positive_int(value: int, name: str, *, exc: Type[ReproError] = ReproError) -> int:
+    """Ensure ``value`` is an integer >= 1; return it as int.
+
+    Booleans are rejected: ``True`` counting as "1 node" is always a bug.
+    """
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise exc(f"{name} must be an int, got {type(value).__name__}")
+    if value < 1:
+        raise exc(f"{name} must be >= 1, got {value!r}")
+    return value
+
+
+def check_monotonic(
+    values: Sequence[float],
+    name: str,
+    *,
+    strict: bool = False,
+    exc: Type[ReproError] = ReproError,
+) -> None:
+    """Ensure ``values`` is non-decreasing (or strictly increasing)."""
+    for i in range(1, len(values)):
+        if strict and values[i] <= values[i - 1]:
+            raise exc(f"{name} must be strictly increasing at index {i}")
+        if not strict and values[i] < values[i - 1]:
+            raise exc(f"{name} must be non-decreasing at index {i}")
+
+
+def check_same_length(
+    name_a: str,
+    a: Iterable,
+    name_b: str,
+    b: Iterable,
+    *,
+    exc: Type[ReproError] = ReproError,
+) -> None:
+    """Ensure two sized iterables have equal length."""
+    la, lb = len(list(a)), len(list(b))
+    if la != lb:
+        raise exc(f"{name_a} (len {la}) and {name_b} (len {lb}) must have equal length")

@@ -1,0 +1,136 @@
+"""Terminal visualization: ASCII line charts for figure series.
+
+The experiment drivers print their series as tables; for a quick visual
+read of the *shapes* (the thing the reproduction is judged on) this module
+renders multi-series ASCII charts with no plotting dependency:
+
+>>> from repro.viz import ascii_chart
+>>> print(ascii_chart({"EE": [1, 4, 9, 16]}, x=[1, 2, 3, 4]))   # doctest: +SKIP
+
+Used by ``tgi run <fig> --plot`` and the examples.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from .exceptions import ReproError
+
+__all__ = ["ascii_chart", "ascii_sparkline"]
+
+_MARKERS = "*o+x#@"
+_SPARK_LEVELS = " .:-=+*#%@"
+
+
+def ascii_chart(
+    series: Dict[str, Sequence[float]],
+    *,
+    x: Optional[Sequence[float]] = None,
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+    y_label: str = "",
+    x_label: str = "",
+) -> str:
+    """Render one or more series as an ASCII line chart.
+
+    All series must share a length; ``x`` defaults to the sample index.
+    Each series gets its own marker; a legend line maps markers to names.
+    """
+    if not series:
+        raise ReproError("need at least one series")
+    lengths = {len(v) for v in series.values()}
+    if len(lengths) != 1:
+        raise ReproError(f"series lengths differ: {sorted(lengths)}")
+    n = lengths.pop()
+    if n < 2:
+        raise ReproError("series need at least 2 points")
+    if len(series) > len(_MARKERS):
+        raise ReproError(f"at most {len(_MARKERS)} series supported")
+    if x is None:
+        x = list(range(n))
+    if len(x) != n:
+        raise ReproError(f"x has {len(x)} values, series have {n}")
+    if width < 8 or height < 4:
+        raise ReproError("chart must be at least 8x4")
+
+    all_values = [float(v) for values in series.values() for v in values]
+    y_min, y_max = min(all_values), max(all_values)
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    x_min, x_max = float(min(x)), float(max(x))
+    if x_max == x_min:
+        x_max = x_min + 1.0
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+
+    def to_col(xv: float) -> int:
+        return round((xv - x_min) / (x_max - x_min) * (width - 1))
+
+    def to_row(yv: float) -> int:
+        return (height - 1) - round((yv - y_min) / (y_max - y_min) * (height - 1))
+
+    for marker, (name, values) in zip(_MARKERS, series.items()):
+        # connect consecutive points with interpolated dots, then overlay
+        # the data points with the series marker
+        cols = [to_col(float(xv)) for xv in x]
+        rows = [to_row(float(yv)) for yv in values]
+        for (c0, r0), (c1, r1) in zip(zip(cols, rows), zip(cols[1:], rows[1:])):
+            steps = max(abs(c1 - c0), abs(r1 - r0), 1)
+            for s in range(steps + 1):
+                cc = round(c0 + (c1 - c0) * s / steps)
+                rr = round(r0 + (r1 - r0) * s / steps)
+                if grid[rr][cc] == " ":
+                    grid[rr][cc] = "."
+        for cc, rr in zip(cols, rows):
+            grid[rr][cc] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    label_width = max(len(f"{y_max:.3g}"), len(f"{y_min:.3g}"))
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = f"{y_max:.3g}".rjust(label_width)
+        elif i == height - 1:
+            label = f"{y_min:.3g}".rjust(label_width)
+        else:
+            label = " " * label_width
+        lines.append(f"{label} |{''.join(row)}")
+    axis = " " * label_width + " +" + "-" * width
+    lines.append(axis)
+    x_line = (
+        " " * label_width
+        + "  "
+        + f"{x_min:.3g}".ljust(width - len(f"{x_max:.3g}"))
+        + f"{x_max:.3g}"
+    )
+    lines.append(x_line)
+    if x_label or y_label:
+        lines.append(" " * label_width + f"  x: {x_label}   y: {y_label}".rstrip())
+    legend = "   ".join(
+        f"{marker} {name}" for marker, name in zip(_MARKERS, series.keys())
+    )
+    lines.append(" " * label_width + "  " + legend)
+    return "\n".join(lines)
+
+
+def ascii_sparkline(values: Sequence[float], *, width: Optional[int] = None) -> str:
+    """A one-line sparkline (resampled to ``width`` if given)."""
+    vals = [float(v) for v in values]
+    if not vals:
+        raise ReproError("need at least one value")
+    if width is not None and width >= 1 and len(vals) != width:
+        # nearest-neighbour resample
+        vals = [
+            vals[min(len(vals) - 1, round(i * (len(vals) - 1) / max(1, width - 1)))]
+            for i in range(width)
+        ]
+    lo, hi = min(vals), max(vals)
+    if hi == lo:
+        return _SPARK_LEVELS[len(_SPARK_LEVELS) // 2] * len(vals)
+    out = []
+    for v in vals:
+        idx = round((v - lo) / (hi - lo) * (len(_SPARK_LEVELS) - 1))
+        out.append(_SPARK_LEVELS[idx])
+    return "".join(out)

@@ -1,0 +1,71 @@
+"""Shared fixtures.
+
+Expensive artifacts (the full experiment campaign, the reference run) are
+session-scoped so the experiment/integration tests pay for them once.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchmarks import (
+    BenchmarkSuite,
+    HPLBenchmark,
+    IOzoneBenchmark,
+    StreamBenchmark,
+)
+from repro.cluster import presets
+from repro.experiments import PAPER_CONFIG, SharedContext
+from repro.sim import ClusterExecutor
+
+
+@pytest.fixture
+def fire():
+    """The 8-node system under test."""
+    return presets.fire()
+
+
+@pytest.fixture
+def fire_small():
+    """A 2-node Fire variant for cheap simulation tests."""
+    return presets.fire(num_nodes=2)
+
+
+@pytest.fixture
+def system_g_small():
+    """A 4-node SystemG variant for cheap reference tests."""
+    return presets.system_g(num_nodes=4)
+
+
+@pytest.fixture
+def executor(fire):
+    """Seeded executor on the full Fire cluster."""
+    return ClusterExecutor(fire, rng=7)
+
+
+@pytest.fixture
+def small_executor(fire_small):
+    """Seeded executor on the 2-node Fire cluster."""
+    return ClusterExecutor(fire_small, rng=7)
+
+
+@pytest.fixture
+def quick_suite():
+    """A fast three-benchmark suite (short targets, small HPL)."""
+    return BenchmarkSuite(
+        [
+            HPLBenchmark(sizing=("fixed", 4480), rounds=2),
+            StreamBenchmark(target_seconds=10, intensity=0.4),
+            IOzoneBenchmark(target_seconds=10),
+        ]
+    )
+
+
+@pytest.fixture(scope="session")
+def paper_context():
+    """The full calibrated campaign (reference + Fire sweep), computed once."""
+    context = SharedContext(PAPER_CONFIG)
+    # Touch both lazily-computed artifacts so every consumer sees them warm.
+    _ = context.reference
+    _ = context.sweep
+    return context

@@ -1,0 +1,86 @@
+"""Bootstrap / jackknife uncertainty tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import bootstrap_pearson_ci, jackknife_pearson, pearson
+from repro.exceptions import MetricError
+
+
+class TestBootstrapCI:
+    def test_interval_contains_estimate_for_clean_data(self):
+        rng = np.random.default_rng(0)
+        x = np.linspace(0, 1, 40)
+        y = x + 0.05 * rng.standard_normal(40)
+        ci = bootstrap_pearson_ci(x, y, rng=1)
+        assert ci.low <= ci.estimate <= ci.high
+
+    def test_deterministic_given_seed(self):
+        x = [1, 2, 3, 4, 5, 6, 7, 8]
+        y = [2, 1, 4, 3, 6, 5, 8, 7]
+        a = bootstrap_pearson_ci(x, y, rng=5)
+        b = bootstrap_pearson_ci(x, y, rng=5)
+        assert (a.low, a.high) == (b.low, b.high)
+
+    def test_tight_relationship_gives_narrow_interval(self):
+        x = np.linspace(0, 1, 50)
+        exact = bootstrap_pearson_ci(x, 3 * x + 1, rng=0)
+        noisy_y = x + np.random.default_rng(0).standard_normal(50)
+        noisy = bootstrap_pearson_ci(x, noisy_y, rng=0)
+        assert exact.width < noisy.width
+
+    def test_eight_point_interval_is_wide(self):
+        """The honesty check on Table II: with only 8 scale points even a
+        strong-looking r = 0.58 has a CI spanning tens of points."""
+        x = list(range(8))
+        y = [61.6, 84.5, 89.9, 90.9, 90.0, 88.2, 86.0, 83.7]  # Fig-2 shape
+        ci = bootstrap_pearson_ci(x, y, rng=2)
+        assert ci.width > 0.2
+
+    def test_bounds_within_valid_range(self):
+        x = [1, 2, 3, 4, 5, 6, 7, 8]
+        y = [1, 3, 2, 5, 4, 7, 6, 8]
+        ci = bootstrap_pearson_ci(x, y, rng=3)
+        assert -1.0 <= ci.low <= ci.high <= 1.0
+
+    def test_contains_helper(self):
+        x = np.linspace(0, 1, 30)
+        ci = bootstrap_pearson_ci(x, 2 * x, rng=0)
+        assert ci.contains(1.0)
+        assert not ci.contains(-1.0)
+
+    def test_bad_confidence_rejected(self):
+        with pytest.raises(MetricError):
+            bootstrap_pearson_ci([1, 2, 3], [1, 2, 3], confidence=1.0)
+
+    def test_too_few_resamples_rejected(self):
+        with pytest.raises(MetricError):
+            bootstrap_pearson_ci([1, 2, 3], [1, 2, 3], resamples=5)
+
+
+class TestJackknife:
+    def test_values_near_full_sample_for_smooth_data(self):
+        x = np.linspace(0, 1, 20)
+        y = x + 0.01 * np.sin(10 * x)
+        full = pearson(x, y)
+        for _, r in jackknife_pearson(x, y):
+            assert r == pytest.approx(full, abs=0.02)
+
+    def test_detects_influential_point(self):
+        """One outlier manufactures the correlation; removing it collapses
+        the coefficient — the jackknife flags this."""
+        x = [0, 0.1, 0.05, 0.12, 0.03, 10.0]
+        y = [0.02, 0.0, 0.11, 0.07, 0.05, 10.0]
+        values = dict(jackknife_pearson(x, y))
+        without_outlier = values[5]
+        with_outlier = pearson(x, y)
+        assert with_outlier > 0.99
+        assert without_outlier < 0.7
+
+    def test_entry_count(self):
+        out = jackknife_pearson([1, 2, 3, 4], [4, 3, 2, 1])
+        assert [i for i, _ in out] == [0, 1, 2, 3]
+
+    def test_needs_three_points(self):
+        with pytest.raises(MetricError):
+            jackknife_pearson([1, 2], [2, 1])

@@ -1,0 +1,87 @@
+"""Correlation tests (Eq. 17)."""
+
+import numpy as np
+import pytest
+import scipy.stats
+
+from repro.analysis import correlation_matrix, pearson, spearman
+from repro.exceptions import MetricError
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        x = [1, 2, 3, 4]
+        assert pearson(x, [2, 4, 6, 8]) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        assert pearson([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_matches_scipy(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal(50)
+        y = 0.3 * x + rng.standard_normal(50)
+        ours = pearson(x, y)
+        theirs = scipy.stats.pearsonr(x, y).statistic
+        assert ours == pytest.approx(theirs, rel=1e-12)
+
+    def test_shift_and_scale_invariant(self):
+        x = [1.0, 5.0, 2.0, 8.0]
+        y = [0.2, 0.9, 0.4, 0.7]
+        assert pearson(x, y) == pytest.approx(pearson([10 * v + 3 for v in x], y))
+
+    def test_constant_series_rejected(self):
+        with pytest.raises(MetricError):
+            pearson([1, 1, 1], [1, 2, 3])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(MetricError):
+            pearson([1, 2], [1, 2, 3])
+
+    def test_too_short_rejected(self):
+        with pytest.raises(MetricError):
+            pearson([1], [2])
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(MetricError):
+            pearson([1, np.nan, 3], [1, 2, 3])
+
+    def test_clamped_to_unit_interval(self):
+        x = np.linspace(0, 1, 10)
+        assert -1.0 <= pearson(x, x) <= 1.0
+
+
+class TestSpearman:
+    def test_monotone_nonlinear_is_one(self):
+        x = [1, 2, 3, 4, 5]
+        y = [v**3 for v in x]
+        assert spearman(x, y) == pytest.approx(1.0)
+
+    def test_matches_scipy_with_ties(self):
+        x = [1, 2, 2, 3, 5, 5, 7]
+        y = [2, 1, 4, 4, 6, 8, 8]
+        ours = spearman(x, y)
+        theirs = scipy.stats.spearmanr(x, y).statistic
+        assert ours == pytest.approx(theirs, rel=1e-12)
+
+    def test_reversal_is_minus_one(self):
+        assert spearman([1, 2, 3, 4], [9, 7, 5, 3]) == pytest.approx(-1.0)
+
+
+class TestCorrelationMatrix:
+    def test_table_two_shape(self):
+        series = {"IOzone": [1, 2, 3, 4], "HPL": [1, 3, 2, 1]}
+        targets = {"am": [1, 2, 3, 4], "energy": [2, 3, 3, 2]}
+        matrix = correlation_matrix(series, targets)
+        assert set(matrix) == {"IOzone", "HPL"}
+        assert set(matrix["IOzone"]) == {"am", "energy"}
+        assert matrix["IOzone"]["am"] == pytest.approx(1.0)
+
+    def test_spearman_method(self):
+        series = {"a": [1, 2, 3]}
+        targets = {"t": [1, 8, 27]}
+        matrix = correlation_matrix(series, targets, method="spearman")
+        assert matrix["a"]["t"] == pytest.approx(1.0)
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(MetricError):
+            correlation_matrix({"a": [1, 2]}, {"b": [1, 2]}, method="kendall")

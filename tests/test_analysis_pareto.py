@@ -1,0 +1,126 @@
+"""Pareto-frontier tests (deterministic + hypothesis)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import ParetoPoint, dominated_by, pareto_front
+from repro.exceptions import MetricError
+
+
+def P(name, perf, power):
+    return ParetoPoint(name=name, performance=perf, power_w=power)
+
+
+class TestDominance:
+    def test_strictly_better_dominates(self):
+        assert P("a", 10, 5).dominates(P("b", 8, 6))
+
+    def test_equal_does_not_dominate(self):
+        assert not P("a", 10, 5).dominates(P("b", 10, 5))
+
+    def test_better_on_one_axis_only(self):
+        assert P("a", 10, 5).dominates(P("b", 10, 6))
+        assert P("a", 11, 5).dominates(P("b", 10, 5))
+
+    def test_crossed_points_do_not_dominate(self):
+        a, b = P("a", 10, 5), P("b", 12, 8)
+        assert not a.dominates(b)
+        assert not b.dominates(a)
+
+
+class TestFront:
+    def test_simple_front(self):
+        points = [P("slowlow", 5, 2), P("midmid", 8, 4), P("fasthigh", 12, 8),
+                  P("dominated", 7, 5)]
+        front = pareto_front(points)
+        assert [p.name for p in front] == ["slowlow", "midmid", "fasthigh"]
+
+    def test_single_point(self):
+        assert pareto_front([P("only", 1, 1)])[0].name == "only"
+
+    def test_one_machine_dominates_all(self):
+        points = [P("best", 100, 1), P("x", 50, 2), P("y", 10, 3)]
+        front = pareto_front(points)
+        assert [p.name for p in front] == ["best"]
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(MetricError):
+            pareto_front([P("a", 1, 1), P("a", 2, 2)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(MetricError):
+            pareto_front([])
+
+    def test_dominated_by_map(self):
+        points = [P("king", 10, 1), P("pawn", 5, 2), P("bishop", 8, 3)]
+        dom = dominated_by(points)
+        assert dom["king"] == []
+        assert dom["pawn"] == ["king"]
+        assert dom["bishop"] == ["king"]
+
+
+class TestFrontProperties:
+    @st.composite
+    def point_sets(draw):
+        n = draw(st.integers(min_value=1, max_value=30))
+        perfs = draw(st.lists(st.floats(min_value=0, max_value=1e6), min_size=n, max_size=n))
+        powers = draw(st.lists(st.floats(min_value=1e-3, max_value=1e5), min_size=n, max_size=n))
+        return [P(f"s{i}", perf, pw) for i, (perf, pw) in enumerate(zip(perfs, powers))]
+
+    @given(points=point_sets())
+    @settings(max_examples=80, deadline=None)
+    def test_front_members_are_mutually_non_dominating(self, points):
+        front = pareto_front(points)
+        for a in front:
+            for b in front:
+                if a is not b:
+                    assert not a.dominates(b)
+
+    @given(points=point_sets())
+    @settings(max_examples=80, deadline=None)
+    def test_every_non_front_point_is_dominated(self, points):
+        front = pareto_front(points)
+        front_names = {p.name for p in front}
+        for p in points:
+            if p.name not in front_names:
+                assert any(q.dominates(p) for q in front)
+
+    @given(points=point_sets())
+    @settings(max_examples=80, deadline=None)
+    def test_front_sorted_by_power(self, points):
+        front = pareto_front(points)
+        powers = [p.power_w for p in front]
+        assert powers == sorted(powers)
+
+    @given(points=point_sets())
+    @settings(max_examples=80, deadline=None)
+    def test_front_agrees_with_dominated_by(self, points):
+        front_names = {p.name for p in pareto_front(points)}
+        dom = dominated_by(points)
+        for p in points:
+            if not dom[p.name]:
+                # non-dominated => on the front (up to exact duplicates,
+                # where the sweep keeps the co-located representative)
+                duplicates = [
+                    q for q in points
+                    if (q.performance, q.power_w) == (p.performance, p.power_w)
+                ]
+                assert any(q.name in front_names for q in duplicates)
+
+
+class TestFleetFrontier:
+    def test_fleet_frontier_and_tgi_agree_on_extremes(self, paper_context):
+        """Across the sweep's scale points, the highest-TGI point must not
+        be Pareto-dominated in (aggregate suite performance proxy, power)."""
+        sweep = paper_context.sweep
+        points = []
+        for i, cores in enumerate(sweep.cores):
+            suite = sweep.suites[i]
+            # HPL perf as the performance proxy; suite-mean power
+            perf = suite["HPL"].performance
+            power = sum(suite.powers_w.values()) / 3
+            points.append(P(f"{cores}c", perf, power))
+        dom = dominated_by(points)
+        # full scale delivers the most HPL performance: never dominated
+        assert dom["128c"] == []

@@ -1,0 +1,118 @@
+"""Curve-shape and weight-sensitivity tests."""
+
+import pytest
+
+from repro.analysis import (
+    CurveShape,
+    WeightSensitivity,
+    characterize_curve,
+    dominant_benchmark,
+    relative_range,
+    sweep_weight_simplex,
+)
+from repro.exceptions import MetricError
+
+
+class TestCharacterizeCurve:
+    def test_rising(self):
+        assert characterize_curve([1, 2, 3, 4]) is CurveShape.RISING
+
+    def test_falling(self):
+        assert characterize_curve([4, 3, 2, 1]) is CurveShape.FALLING
+
+    def test_peaked(self):
+        assert characterize_curve([1, 3, 5, 4, 2]) is CurveShape.PEAKED
+
+    def test_valley(self):
+        assert characterize_curve([5, 2, 1, 3, 6]) is CurveShape.VALLEY
+
+    def test_irregular(self):
+        assert characterize_curve([1, 5, 2, 6, 1]) is CurveShape.IRREGULAR
+
+    def test_constant(self):
+        assert characterize_curve([2, 2, 2]) is CurveShape.CONSTANT
+
+    def test_tolerance_flattens_jitter(self):
+        # tiny dips within tolerance of the span do not break "rising"
+        curve = [1.0, 2.0, 1.9999, 3.0]
+        assert characterize_curve(curve, rel_tol=0.01) is CurveShape.RISING
+
+    def test_too_short_rejected(self):
+        with pytest.raises(MetricError):
+            characterize_curve([1.0])
+
+
+class TestRelativeRange:
+    def test_value(self):
+        assert relative_range([1.0, 3.0]) == pytest.approx(1.0)
+
+    def test_constant_is_zero(self):
+        assert relative_range([5, 5, 5]) == 0.0
+
+    def test_zero_mean_rejected(self):
+        with pytest.raises(MetricError):
+            relative_range([-1.0, 1.0])
+
+
+class TestSimplexSweep:
+    def test_count_for_three_benchmarks(self):
+        grid = list(sweep_weight_simplex(("a", "b", "c"), steps=10))
+        assert len(grid) == 66  # C(12, 2)
+
+    def test_all_valid(self):
+        for weights in sweep_weight_simplex(("a", "b"), steps=4):
+            assert sum(weights.values()) == pytest.approx(1.0)
+            assert all(w >= 0 for w in weights.values())
+
+    def test_vertices_included(self):
+        grid = list(sweep_weight_simplex(("a", "b"), steps=2))
+        assert {"a": 1.0, "b": 0.0} in grid
+        assert {"a": 0.0, "b": 1.0} in grid
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(MetricError):
+            list(sweep_weight_simplex(("a", "a"), steps=2))
+
+
+class TestDominantBenchmark:
+    def test_largest_weight_wins(self):
+        assert dominant_benchmark({"HPL": 0.5, "STREAM": 0.3, "IOzone": 0.2}) == "HPL"
+
+    def test_tie_broken_alphabetically(self):
+        assert dominant_benchmark({"b": 0.5, "a": 0.5}) == "a"
+
+    def test_empty_rejected(self):
+        with pytest.raises(MetricError):
+            dominant_benchmark({})
+
+
+class TestWeightSensitivity:
+    @pytest.fixture
+    def sens(self):
+        return WeightSensitivity(ree={"HPL": 0.4, "STREAM": 2.0, "IOzone": 1.0}, steps=10)
+
+    def test_range_is_ree_extremes(self, sens):
+        lo, hi = sens.tgi_range()
+        assert lo == pytest.approx(0.4)
+        assert hi == pytest.approx(2.0)
+
+    def test_extreme_weights_are_vertices(self, sens):
+        w_lo, w_hi = sens.extremes()
+        assert w_lo["HPL"] == 1.0
+        assert w_hi["STREAM"] == 1.0
+
+    def test_grid_values_within_range(self, sens):
+        lo, hi = sens.tgi_range()
+        for _, tgi in sens.grid():
+            assert lo - 1e-9 <= tgi <= hi + 1e-9
+
+    def test_grid_contains_arithmetic_mean_point(self, sens):
+        # steps=10 cannot represent 1/3 exactly; use steps=3
+        sens3 = WeightSensitivity(ree=sens.ree, steps=3)
+        values = [tgi for w, tgi in sens3.grid() if all(abs(v - 1 / 3) < 1e-9 for v in w.values())]
+        assert len(values) == 1
+        assert values[0] == pytest.approx((0.4 + 2.0 + 1.0) / 3)
+
+    def test_rejects_non_positive_ree(self):
+        with pytest.raises(MetricError):
+            WeightSensitivity(ree={"a": 0.0})

@@ -1,0 +1,85 @@
+"""Central-tendency tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    arithmetic_mean,
+    geometric_mean,
+    harmonic_mean,
+    weighted_arithmetic_mean,
+    weighted_geometric_mean,
+    weighted_harmonic_mean,
+)
+from repro.exceptions import MetricError
+
+
+class TestMeans:
+    def test_arithmetic(self):
+        assert arithmetic_mean([1, 2, 3]) == pytest.approx(2.0)
+
+    def test_geometric(self):
+        assert geometric_mean([1, 4, 16]) == pytest.approx(4.0)
+
+    def test_harmonic(self):
+        assert harmonic_mean([1, 2, 4]) == pytest.approx(3 / (1 + 0.5 + 0.25))
+
+    def test_am_gm_hm_inequality(self):
+        values = [1.5, 7.2, 3.3, 9.9, 0.4]
+        am = arithmetic_mean(values)
+        gm = geometric_mean(values)
+        hm = harmonic_mean(values)
+        assert am > gm > hm
+
+    def test_equal_values_collapse(self):
+        for mean in (arithmetic_mean, geometric_mean, harmonic_mean):
+            assert mean([5.0, 5.0, 5.0]) == pytest.approx(5.0)
+
+    def test_geometric_rejects_non_positive(self):
+        with pytest.raises(MetricError):
+            geometric_mean([1.0, 0.0])
+
+    def test_harmonic_rejects_non_positive(self):
+        with pytest.raises(MetricError):
+            harmonic_mean([1.0, -2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(MetricError):
+            arithmetic_mean([])
+
+
+class TestWeightedMeans:
+    def test_weighted_arithmetic_eq9(self):
+        assert weighted_arithmetic_mean([10, 20], [0.25, 0.75]) == pytest.approx(17.5)
+
+    def test_uniform_weights_recover_plain_means(self):
+        values = [2.0, 8.0, 5.0]
+        w = [1 / 3] * 3
+        assert weighted_arithmetic_mean(values, w) == pytest.approx(arithmetic_mean(values))
+        assert weighted_geometric_mean(values, w) == pytest.approx(geometric_mean(values))
+        assert weighted_harmonic_mean(values, w) == pytest.approx(harmonic_mean(values))
+
+    def test_degenerate_weight_selects_value(self):
+        values = [3.0, 7.0]
+        assert weighted_arithmetic_mean(values, [0.0, 1.0]) == pytest.approx(7.0)
+        assert weighted_geometric_mean(values, [1.0, 0.0]) == pytest.approx(3.0)
+
+    def test_weights_must_sum_to_one(self):
+        with pytest.raises(MetricError):
+            weighted_arithmetic_mean([1, 2], [0.4, 0.4])
+
+    def test_weight_length_mismatch(self):
+        with pytest.raises(MetricError):
+            weighted_arithmetic_mean([1, 2, 3], [0.5, 0.5])
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(MetricError):
+            weighted_arithmetic_mean([1, 2], [-0.5, 1.5])
+
+    def test_weighted_am_gm_hm_inequality(self):
+        values = [1.0, 9.0, 4.0]
+        w = [0.2, 0.3, 0.5]
+        am = weighted_arithmetic_mean(values, w)
+        gm = weighted_geometric_mean(values, w)
+        hm = weighted_harmonic_mean(values, w)
+        assert am > gm > hm

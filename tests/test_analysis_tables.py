@@ -1,0 +1,44 @@
+"""ASCII table-rendering tests."""
+
+import pytest
+
+from repro.analysis import render_table
+
+
+class TestRenderTable:
+    def test_basic_layout(self):
+        text = render_table(["Name", "Value"], [["a", 1], ["bb", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("Name")
+        assert set(lines[1]) <= {"-", " "}
+        assert len(lines) == 4
+
+    def test_title(self):
+        text = render_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_numeric_columns_right_aligned(self):
+        text = render_table(["Name", "Value"], [["a", 5], ["b", 12345]])
+        rows = text.splitlines()[2:]
+        assert rows[0].endswith("    5")
+        assert rows[1].endswith("12345")
+
+    def test_label_column_left_aligned(self):
+        text = render_table(["Name", "V"], [["a", 1], ["long-name", 2]])
+        assert text.splitlines()[2].startswith("a ")
+
+    def test_wrong_cell_count_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ValueError):
+            render_table([], [])
+
+    def test_no_rows_is_fine(self):
+        text = render_table(["a"], [])
+        assert "a" in text
+
+    def test_align_right_from_override(self):
+        text = render_table(["A", "B"], [["x", "y"]], align_right_from=99)
+        assert "x" in text

@@ -1,0 +1,115 @@
+"""CLI tests (fast paths; `run`/`rank` are exercised in the bench suite)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_command_takes_experiment(self):
+        args = build_parser().parse_args(["run", "fig5"])
+        assert args.experiment == "fig5"
+
+    def test_rank_default_cores(self):
+        args = build_parser().parse_args(["rank"])
+        assert args.cores == 0
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["--version"])
+        assert exc.value.code == 0
+
+
+class TestCommands:
+    def test_list_prints_all_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for exp_id in ("fig2", "fig3", "fig4", "fig5", "fig6", "table1", "table2"):
+            assert exp_id in out
+
+    def test_specs_prints_presets(self, capsys):
+        assert main(["specs"]) == 0
+        out = capsys.readouterr().out
+        assert "Fire" in out and "SystemG" in out
+
+    def test_run_unknown_experiment_raises(self):
+        from repro.exceptions import ExperimentError
+
+        with pytest.raises(ExperimentError):
+            main(["run", "fig99"])
+
+
+class TestExtendedCommands:
+    def test_sensitivity_command(self, capsys):
+        assert main(["sensitivity"]) == 0
+        out = capsys.readouterr().out
+        assert "TGI range" in out
+        assert "minimized by weighting" in out
+
+    def test_archive_round_trip(self, tmp_path, capsys):
+        path = tmp_path / "campaign.json"
+        assert main(["archive", str(path)]) == 0
+        from repro.core import TGICalculator
+        from repro.serialization import (
+            load_json,
+            reference_from_dict,
+            sweep_result_from_dict,
+        )
+
+        data = load_json(path)
+        sweep = sweep_result_from_dict(data["sweep"])
+        reference = reference_from_dict(data["reference"])
+        series = TGICalculator(reference).compute_series(sweep)
+        assert len(series) == 8
+        assert series.values[-1] > series.values[0]
+
+    def test_run_with_plot_renders_chart(self, capsys):
+        assert main(["run", "fig4", "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "* IOzone" in out  # chart legend
+
+    def test_run_table_with_plot_has_no_chart(self, capsys):
+        assert main(["run", "table1", "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+
+    def test_rank_command(self, capsys):
+        assert main(["rank"]) == 0
+        out = capsys.readouterr().out
+        # all four presets ranked, greener machines first
+        for name in ("ModernEPYC", "FermiGPU", "Fire", "SystemG"):
+            assert name in out
+        lines = [l for l in out.splitlines() if l and l[0].isdigit()]
+        assert lines[0].startswith("1")
+
+    def test_rank_with_profile(self, capsys):
+        assert main(["rank", "--profile", "cfd"]) == 0
+        out = capsys.readouterr().out
+        assert "CFD" in out and "Rank" in out
+
+    def test_rank_rejects_unknown_profile(self):
+        with pytest.raises(SystemExit):
+            main(["rank", "--profile", "raytracing"])
+
+    def test_run_capability(self, capsys):
+        assert main(["run", "capability"]) == 0
+        out = capsys.readouterr().out
+        assert "Rmax" in out and "MFLOPS/W" in out
+
+    def test_suite_command(self, capsys):
+        assert main(["suite", "--system", "fire", "--cores", "32", "--breakdown"]) == 0
+        out = capsys.readouterr().out
+        assert "Fire @ 32 cores" in out
+        assert "HPL" in out and "psu_loss" in out
+
+    def test_suite_rejects_unknown_system(self):
+        with pytest.raises(SystemExit):
+            main(["suite", "--system", "bluegene"])

@@ -1,0 +1,198 @@
+"""Component-spec tests: CPU, memory, storage, NIC, accelerator."""
+
+import pytest
+
+from repro.cluster import (
+    AcceleratorSpec,
+    CPUSpec,
+    InterconnectSpec,
+    MemorySpec,
+    StorageKind,
+    StorageSpec,
+)
+from repro.exceptions import SpecError
+from repro.units import GIB
+
+
+def make_cpu(**kw):
+    base = dict(
+        model="test-cpu",
+        cores=8,
+        base_clock_hz=2.3e9,
+        flops_per_cycle=4.0,
+        tdp_watts=85.0,
+        idle_watts=24.0,
+    )
+    base.update(kw)
+    return CPUSpec(**base)
+
+
+class TestCPUSpec:
+    def test_peak_flops(self):
+        cpu = make_cpu()
+        assert cpu.peak_flops == pytest.approx(8 * 2.3e9 * 4)
+
+    def test_peak_flops_per_core(self):
+        assert make_cpu().peak_flops_per_core == pytest.approx(9.2e9)
+
+    def test_rejects_idle_above_tdp(self):
+        with pytest.raises(SpecError):
+            make_cpu(idle_watts=100.0)
+
+    def test_rejects_zero_cores(self):
+        with pytest.raises(SpecError):
+            make_cpu(cores=0)
+
+    def test_rejects_empty_model(self):
+        with pytest.raises(SpecError):
+            make_cpu(model="")
+
+    def test_rejects_negative_clock(self):
+        with pytest.raises(SpecError):
+            make_cpu(base_clock_hz=-1)
+
+    def test_str_mentions_model(self):
+        assert "test-cpu" in str(make_cpu())
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            make_cpu().cores = 16
+
+
+def make_memory(**kw):
+    base = dict(
+        technology="DDR3-1333",
+        capacity_bytes=16 * GIB,
+        channels=4,
+        channel_bandwidth=10.667e9,
+        stream_efficiency=0.5,
+        cores_to_saturate=4,
+        dimms=4,
+        dimm_idle_watts=1.5,
+        dimm_active_watts=4.0,
+    )
+    base.update(kw)
+    return MemorySpec(**base)
+
+
+class TestMemorySpec:
+    def test_peak_bandwidth(self):
+        assert make_memory().peak_bandwidth == pytest.approx(4 * 10.667e9)
+
+    def test_sustained_bandwidth(self):
+        mem = make_memory()
+        assert mem.sustained_bandwidth == pytest.approx(mem.peak_bandwidth * 0.5)
+
+    def test_idle_and_active_watts(self):
+        mem = make_memory()
+        assert mem.idle_watts == pytest.approx(6.0)
+        assert mem.active_watts == pytest.approx(16.0)
+
+    def test_rejects_zero_stream_efficiency(self):
+        with pytest.raises(SpecError):
+            make_memory(stream_efficiency=0.0)
+
+    def test_rejects_efficiency_above_one(self):
+        with pytest.raises(SpecError):
+            make_memory(stream_efficiency=1.2)
+
+    def test_rejects_active_below_idle(self):
+        with pytest.raises(SpecError):
+            make_memory(dimm_active_watts=1.0)
+
+    def test_rejects_zero_channels(self):
+        with pytest.raises(SpecError):
+            make_memory(channels=0)
+
+
+def make_storage(**kw):
+    base = dict(
+        model="test-disk",
+        kind=StorageKind.HDD,
+        capacity_bytes=500e9,
+        seq_write_bandwidth=110e6,
+        seq_read_bandwidth=125e6,
+        idle_watts=5.0,
+        active_watts=9.5,
+    )
+    base.update(kw)
+    return StorageSpec(**base)
+
+
+class TestStorageSpec:
+    def test_valid(self):
+        disk = make_storage()
+        assert disk.kind is StorageKind.HDD
+
+    def test_rejects_bad_kind(self):
+        with pytest.raises(SpecError):
+            make_storage(kind="spinning-rust")
+
+    def test_rejects_active_below_idle(self):
+        with pytest.raises(SpecError):
+            make_storage(active_watts=1.0)
+
+    def test_rejects_zero_bandwidth(self):
+        with pytest.raises(SpecError):
+            make_storage(seq_write_bandwidth=0)
+
+    def test_kind_enum_values(self):
+        assert StorageKind("ssd") is StorageKind.SSD
+        assert StorageKind.NVME.value == "nvme"
+
+
+class TestInterconnectSpec:
+    def make(self, **kw):
+        base = dict(name="GigE", latency_s=50e-6, bandwidth=118e6)
+        base.update(kw)
+        return InterconnectSpec(**base)
+
+    def test_transfer_time_single_hop(self):
+        nic = self.make()
+        assert nic.transfer_time(118e6) == pytest.approx(50e-6 + 1.0)
+
+    def test_transfer_time_multi_hop_adds_latency_only(self):
+        nic = self.make()
+        t1 = nic.transfer_time(1e6, hops=1)
+        t3 = nic.transfer_time(1e6, hops=3)
+        assert t3 - t1 == pytest.approx(2 * 50e-6)
+
+    def test_zero_bytes_costs_latency(self):
+        assert self.make().transfer_time(0) == pytest.approx(50e-6)
+
+    def test_rejects_zero_hops(self):
+        with pytest.raises(SpecError):
+            self.make().transfer_time(1, hops=0)
+
+    def test_rejects_negative_bytes(self):
+        with pytest.raises(SpecError):
+            self.make().transfer_time(-1)
+
+
+class TestAcceleratorSpec:
+    def make(self, **kw):
+        base = dict(
+            model="test-gpu",
+            peak_flops=515e9,
+            memory_bandwidth=148e9,
+            memory_bytes=3 * GIB,
+            tdp_watts=225.0,
+            idle_watts=30.0,
+            hpl_efficiency=0.58,
+        )
+        base.update(kw)
+        return AcceleratorSpec(**base)
+
+    def test_sustained_hpl_flops(self):
+        acc = self.make()
+        assert acc.sustained_hpl_flops == pytest.approx(515e9 * 0.58)
+
+    def test_rejects_idle_above_tdp(self):
+        with pytest.raises(SpecError):
+            self.make(idle_watts=300.0)
+
+    def test_rejects_bad_efficiency(self):
+        with pytest.raises(SpecError):
+            self.make(hpl_efficiency=0.0)
+        with pytest.raises(SpecError):
+            self.make(hpl_efficiency=1.5)

@@ -1,0 +1,88 @@
+"""Interconnect-topology tests."""
+
+import pytest
+
+from repro.cluster.topology import (
+    Topology,
+    fat_tree_topology,
+    ring_topology,
+    star_topology,
+)
+from repro.exceptions import SpecError
+
+
+class TestStar:
+    def test_pairwise_hops(self):
+        star = star_topology(8)
+        assert star.hops(0, 7) == 2
+
+    def test_self_hops_zero(self):
+        assert star_topology(8).hops(3, 3) == 0
+
+    def test_single_node(self):
+        assert star_topology(1).hops(0, 0) == 0
+
+    def test_max_hops(self):
+        assert star_topology(8).max_hops() == 2
+
+    def test_mean_hops(self):
+        assert star_topology(8).mean_hops() == pytest.approx(2.0)
+
+    def test_bisection(self):
+        # every pair of halves is separated by the 4 links of one half
+        assert star_topology(8).bisection_links() == 4
+
+    def test_rejects_out_of_range_endpoint(self):
+        with pytest.raises(SpecError):
+            star_topology(4).hops(0, 4)
+
+
+class TestRing:
+    def test_adjacent(self):
+        assert ring_topology(8).hops(0, 1) == 1
+
+    def test_wraparound(self):
+        assert ring_topology(8).hops(0, 7) == 1
+
+    def test_diameter(self):
+        assert ring_topology(8).max_hops() == 4
+
+    def test_two_nodes(self):
+        assert ring_topology(2).hops(0, 1) == 1
+
+    def test_bisection_is_two(self):
+        assert ring_topology(8).bisection_links() == 2
+
+
+class TestFatTree:
+    def test_same_leaf_two_hops(self):
+        ft = fat_tree_topology(32, leaf_radix=16)
+        assert ft.hops(0, 15) == 2
+
+    def test_cross_leaf_four_hops(self):
+        ft = fat_tree_topology(32, leaf_radix=16)
+        assert ft.hops(0, 16) == 4
+
+    def test_mean_hops_between_two_and_four(self):
+        ft = fat_tree_topology(32, leaf_radix=16)
+        assert 2 < ft.mean_hops() < 4
+
+    def test_single_leaf_degenerate(self):
+        ft = fat_tree_topology(8, leaf_radix=16)
+        assert ft.max_hops() == 2
+
+    def test_bisection_counts_uplink_multiplicity(self):
+        # two leaves of radix 16 -> 8 uplinks each; the cut is one leaf's
+        # uplink bundle
+        ft = fat_tree_topology(32, leaf_radix=16)
+        assert ft.bisection_links() == 8
+
+
+class TestTopologyValidation:
+    def test_missing_compute_node_rejected(self):
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_node(0)
+        with pytest.raises(SpecError):
+            Topology(name="broken", num_nodes=2, graph=g)

@@ -1,0 +1,115 @@
+"""Efficiency-metric (Eq. 2) and REE (Eq. 3) tests."""
+
+import pytest
+
+from repro.core import (
+    InverseEDP,
+    PerformancePerWatt,
+    ReferenceSet,
+    energy_efficiency,
+    relative_efficiency,
+)
+from repro.exceptions import MetricError, ReferenceMismatchError
+
+
+class TestEnergyEfficiency:
+    def test_eq2(self):
+        assert energy_efficiency(901e9, 2136.0) == pytest.approx(901e9 / 2136.0)
+
+    def test_rejects_zero_power(self):
+        with pytest.raises(MetricError):
+            energy_efficiency(1e9, 0.0)
+
+    def test_rejects_negative_performance(self):
+        with pytest.raises(MetricError):
+            energy_efficiency(-1.0, 100.0)
+
+    def test_flops_per_watt_equals_flop_per_joule(self):
+        """Eq. 5: (FLOP/s) / (J/s) = FLOP/J."""
+        flops_rate, watts, seconds = 2e12, 4000.0, 100.0
+        total_flop = flops_rate * seconds
+        total_joules = watts * seconds
+        assert energy_efficiency(flops_rate, watts) == pytest.approx(
+            total_flop / total_joules
+        )
+
+
+class TestMetricObjects:
+    def test_perf_per_watt_on_result(self, quick_suite, executor):
+        result = quick_suite.run(executor, 16)["STREAM"]
+        metric = PerformancePerWatt()
+        assert metric.value(result) == pytest.approx(result.performance / result.power_w)
+
+    def test_inverse_edp_on_result(self, quick_suite, executor):
+        result = quick_suite.run(executor, 16)["STREAM"]
+        metric = InverseEDP()
+        assert metric.value(result) == pytest.approx(
+            1.0 / (result.energy_j * result.time_s)
+        )
+
+    def test_inverse_ed2p_weight(self, quick_suite, executor):
+        result = quick_suite.run(executor, 16)["STREAM"]
+        assert InverseEDP(weight=2).value(result) < InverseEDP(weight=1).value(result)
+
+    def test_inverse_edp_rejects_bad_weight(self):
+        with pytest.raises(MetricError):
+            InverseEDP(weight=0)
+
+
+class TestRelativeEfficiency:
+    def test_eq3(self):
+        assert relative_efficiency(400e6, 200e6) == pytest.approx(2.0)
+
+    def test_rejects_zero_reference(self):
+        with pytest.raises(MetricError):
+            relative_efficiency(1.0, 0.0)
+
+
+class TestReferenceSet:
+    def test_from_dict(self):
+        ref = ReferenceSet({"HPL": 2e8, "STREAM": 2.5e7}, system_name="SystemG")
+        assert ref.efficiency("HPL") == 2e8
+        assert ref.benchmarks == ["HPL", "STREAM"]
+
+    def test_relative(self):
+        ref = ReferenceSet({"HPL": 2e8})
+        assert ref.relative("HPL", 4e8) == pytest.approx(2.0)
+
+    def test_missing_benchmark_raises(self):
+        ref = ReferenceSet({"HPL": 2e8})
+        with pytest.raises(ReferenceMismatchError):
+            ref.efficiency("STREAM")
+
+    def test_check_covers(self):
+        ref = ReferenceSet({"HPL": 2e8, "STREAM": 1.0})
+        ref.check_covers(["HPL"])
+        with pytest.raises(ReferenceMismatchError):
+            ref.check_covers(["HPL", "IOzone"])
+
+    def test_rejects_non_positive_reference(self):
+        with pytest.raises(MetricError):
+            ReferenceSet({"HPL": 0.0})
+
+    def test_rejects_empty(self):
+        with pytest.raises(MetricError):
+            ReferenceSet({})
+
+    def test_from_suite_result(self, quick_suite, executor):
+        suite_result = quick_suite.run(executor, 16)
+        ref = ReferenceSet.from_suite_result(suite_result, system_name="Fire")
+        for r in suite_result:
+            assert ref.efficiency(r.benchmark) == pytest.approx(r.energy_efficiency)
+
+    def test_from_suite_result_with_edp_metric(self, quick_suite, executor):
+        suite_result = quick_suite.run(executor, 16)
+        ref = ReferenceSet.from_suite_result(suite_result, metric=InverseEDP())
+        for r in suite_result:
+            assert ref.efficiency(r.benchmark) == pytest.approx(
+                1.0 / (r.energy_j * r.time_s)
+            )
+
+    def test_as_dict_is_copy(self):
+        ref = ReferenceSet({"HPL": 1.0})
+        d = ref.as_dict()
+        d["HPL"] = 99.0
+        assert ref.efficiency("HPL") == 1.0

@@ -1,0 +1,88 @@
+"""Desired-property tests (Section III, Eqs. 5 and 13-15)."""
+
+import pytest
+
+from repro.core import (
+    ReferenceSet,
+    energy_weighted_identity,
+    inverse_energy_property_holds,
+    power_weighted_identity,
+    time_weighted_identity,
+)
+from repro.exceptions import MetricError
+
+
+@pytest.fixture
+def suite_result(quick_suite, executor):
+    return quick_suite.run(executor, 64)
+
+
+@pytest.fixture
+def reference(quick_suite, small_executor, fire_small):
+    ref = quick_suite.run(small_executor, fire_small.total_cores)
+    return ReferenceSet.from_suite_result(ref, system_name="mini-ref")
+
+
+class TestInverseEnergyProperty:
+    def test_performance_per_watt_has_it(self):
+        """EE = (work/t)/(E/t) = work/E: scaling E by k scales EE by 1/k."""
+
+        def perf_per_watt(work, time_s, energy_j):
+            return (work / time_s) / (energy_j / time_s)
+
+        assert inverse_energy_property_holds(perf_per_watt)
+
+    def test_inverse_edp_has_it(self):
+        def inv_edp(work, time_s, energy_j):
+            return 1.0 / (energy_j * time_s)
+
+        assert inverse_energy_property_holds(inv_edp)
+
+    def test_raw_performance_lacks_it(self):
+        """Plain FLOPS ignores energy entirely — the property fails."""
+
+        def raw_perf(work, time_s, energy_j):
+            return work / time_s
+
+        assert not inverse_energy_property_holds(raw_perf)
+
+    def test_energy_squared_metric_lacks_it(self):
+        def too_strong(work, time_s, energy_j):
+            return work / energy_j**2
+
+        assert not inverse_energy_property_holds(too_strong)
+
+    def test_rejects_non_positive_base(self):
+        with pytest.raises(MetricError):
+            inverse_energy_property_holds(lambda w, t, e: 1.0, energy_j=0.0)
+
+
+class TestWeightedIdentities:
+    def test_eq13_time_weights(self, suite_result, reference):
+        left, right = time_weighted_identity(suite_result, reference)
+        assert left == pytest.approx(right, rel=1e-9)
+
+    def test_eq14_energy_weights(self, suite_result, reference):
+        left, right = energy_weighted_identity(suite_result, reference)
+        assert left == pytest.approx(right, rel=1e-9)
+
+    def test_eq15_power_weights(self, suite_result, reference):
+        left, right = power_weighted_identity(suite_result, reference)
+        assert left == pytest.approx(right, rel=1e-9)
+
+    def test_energy_cancellation_is_real(self, suite_result, reference):
+        """Eq. 14's closed form depends only on total energy: scaling ONE
+        benchmark's energy while keeping M_i and t_i changes TGI_e only
+        through the denominator sum — verify the structure numerically by
+        recomputing the right-hand side with perturbed per-benchmark
+        energies that keep the total fixed."""
+        data = {
+            r.benchmark: (r.performance, r.time_s, r.energy_j)
+            for r in suite_result.results
+        }
+        total_energy = sum(e for _, _, e in data.values())
+        rhs = sum(
+            m * t / reference.efficiency(name) for name, (m, t, _) in data.items()
+        ) / total_energy
+        _, right = energy_weighted_identity(suite_result, reference)
+        assert right == pytest.approx(rhs)

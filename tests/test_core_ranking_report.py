@@ -1,0 +1,90 @@
+"""Ranking (Eq. 1, Green500-style) and report-rendering tests."""
+
+import pytest
+
+from repro.core import (
+    ReferenceSet,
+    TGICalculator,
+    format_ranking,
+    format_suite_result,
+    format_tgi_result,
+    rank_systems,
+    spec_rating,
+)
+from repro.exceptions import MetricError
+
+
+@pytest.fixture
+def reference(quick_suite, small_executor, fire_small):
+    ref = quick_suite.run(small_executor, fire_small.total_cores)
+    return ReferenceSet.from_suite_result(ref, system_name="mini-ref")
+
+
+class TestSpecRating:
+    def test_eq1(self):
+        assert spec_rating(250.0, 10.0) == pytest.approx(25.0)
+
+    def test_reference_rates_one(self):
+        assert spec_rating(100.0, 100.0) == pytest.approx(1.0)
+
+    def test_rejects_zero_time(self):
+        with pytest.raises(MetricError):
+            spec_rating(100.0, 0.0)
+
+
+class TestRankSystems:
+    def test_descending_by_tgi(self, quick_suite, executor, small_executor, fire_small, reference):
+        calc = TGICalculator(reference)
+        entries = [
+            ("Fire-full", quick_suite.run(executor, 128)),
+            ("Fire-small", quick_suite.run(small_executor, fire_small.total_cores)),
+        ]
+        ranking = rank_systems(entries, calc)
+        assert [r.rank for r in ranking] == [1, 2]
+        assert ranking[0].value >= ranking[1].value
+
+    def test_reference_itself_ranks_with_tgi_one(self, quick_suite, small_executor, fire_small, reference):
+        calc = TGICalculator(reference)
+        # A *re-measured* run of the reference system: the meter's noise
+        # stream advances between runs, so TGI lands at 1 only within the
+        # instrument's sample-noise budget.
+        entries = [("mini-ref", quick_suite.run(small_executor, fire_small.total_cores))]
+        ranking = rank_systems(entries, calc)
+        assert ranking[0].value == pytest.approx(1.0, rel=5e-3)
+
+    def test_duplicate_names_rejected(self, quick_suite, small_executor, fire_small, reference):
+        result = quick_suite.run(small_executor, fire_small.total_cores)
+        with pytest.raises(MetricError):
+            rank_systems([("x", result), ("x", result)], TGICalculator(reference))
+
+    def test_empty_rejected(self, reference):
+        with pytest.raises(MetricError):
+            rank_systems([], TGICalculator(reference))
+
+
+class TestReports:
+    def test_suite_table_contains_all_benchmarks(self, quick_suite, executor):
+        result = quick_suite.run(executor, 32)
+        text = format_suite_result(result)
+        for name in result.names:
+            assert name in text
+
+    def test_suite_table_title_override(self, quick_suite, executor):
+        result = quick_suite.run(executor, 32)
+        assert "Table I" in format_suite_result(result, title="Table I: x")
+
+    def test_tgi_report_contains_value_and_weights(self, quick_suite, executor, reference):
+        result = quick_suite.run(executor, 32)
+        tgi = TGICalculator(reference).compute(result)
+        text = format_tgi_result(tgi)
+        assert f"{tgi.value:.4f}" in text
+        assert "REE" in text and "Weight" in text
+
+    def test_ranking_report(self, quick_suite, executor, small_executor, fire_small, reference):
+        calc = TGICalculator(reference)
+        entries = [
+            ("A", quick_suite.run(executor, 64)),
+            ("B", quick_suite.run(small_executor, 16)),
+        ]
+        text = format_ranking(rank_systems(entries, calc))
+        assert "A" in text and "B" in text and "Rank" in text

@@ -1,0 +1,104 @@
+"""Weighting-scheme tests (Eqs. 6, 9-12)."""
+
+import pytest
+
+from repro.core import (
+    ArithmeticMeanWeights,
+    CustomWeights,
+    EnergyWeights,
+    PowerWeights,
+    TimeWeights,
+    validate_weights,
+)
+from repro.exceptions import WeightError
+
+
+@pytest.fixture
+def suite_result(quick_suite, executor):
+    return quick_suite.run(executor, 32)
+
+
+class TestValidateWeights:
+    def test_accepts_valid(self):
+        validate_weights({"a": 0.5, "b": 0.5})
+
+    def test_rejects_sum_off_one(self):
+        with pytest.raises(WeightError):
+            validate_weights({"a": 0.5, "b": 0.6})
+
+    def test_rejects_negative(self):
+        with pytest.raises(WeightError):
+            validate_weights({"a": -0.5, "b": 1.5})
+
+    def test_rejects_empty(self):
+        with pytest.raises(WeightError):
+            validate_weights({})
+
+    def test_allows_zero_weight(self):
+        validate_weights({"a": 0.0, "b": 1.0})
+
+
+class TestArithmeticMean:
+    def test_equal_thirds(self, suite_result):
+        weights = ArithmeticMeanWeights().weights(suite_result)
+        assert all(w == pytest.approx(1 / 3) for w in weights.values())
+
+    def test_covers_all_members(self, suite_result):
+        assert set(ArithmeticMeanWeights().weights(suite_result)) == set(
+            suite_result.names
+        )
+
+
+class TestMeasuredWeights:
+    def test_time_weights_proportional(self, suite_result):
+        weights = TimeWeights().weights(suite_result)
+        times = suite_result.times_s
+        total = sum(times.values())
+        for name in times:
+            assert weights[name] == pytest.approx(times[name] / total)
+
+    def test_energy_weights_proportional(self, suite_result):
+        weights = EnergyWeights().weights(suite_result)
+        energies = suite_result.energies_j
+        total = sum(energies.values())
+        for name in energies:
+            assert weights[name] == pytest.approx(energies[name] / total)
+
+    def test_power_weights_proportional(self, suite_result):
+        weights = PowerWeights().weights(suite_result)
+        powers = suite_result.powers_w
+        total = sum(powers.values())
+        for name in powers:
+            assert weights[name] == pytest.approx(powers[name] / total)
+
+    def test_all_sum_to_one(self, suite_result):
+        for scheme in (TimeWeights(), EnergyWeights(), PowerWeights()):
+            assert sum(scheme.weights(suite_result).values()) == pytest.approx(1.0)
+
+    def test_scheme_names(self):
+        assert ArithmeticMeanWeights().name == "arithmetic-mean"
+        assert TimeWeights().name == "time"
+        assert EnergyWeights().name == "energy"
+        assert PowerWeights().name == "power"
+
+
+class TestCustomWeights:
+    def test_fixed_weights_returned(self, suite_result):
+        scheme = CustomWeights({"HPL": 0.2, "STREAM": 0.5, "IOzone": 0.3})
+        assert scheme.weights(suite_result)["STREAM"] == 0.5
+
+    def test_memory_heavy_use_case(self, suite_result):
+        """Section II's example: weight memory highest for a memory-bound
+        application."""
+        scheme = CustomWeights({"HPL": 0.1, "STREAM": 0.8, "IOzone": 0.1})
+        weights = scheme.weights(suite_result)
+        assert max(weights, key=weights.get) == "STREAM"
+
+    def test_invalid_at_construction(self):
+        with pytest.raises(WeightError):
+            CustomWeights({"HPL": 0.9})
+
+    def test_coverage_mismatch_at_use(self, suite_result):
+        scheme = CustomWeights({"HPL": 0.5, "STREAM": 0.5})
+        with pytest.raises(WeightError):
+            scheme.weights(suite_result)

@@ -1,0 +1,85 @@
+"""Energy-attribution tests: the per-component breakdown of a run."""
+
+import pytest
+
+from repro.benchmarks import HPLBenchmark, IOzoneBenchmark, StreamBenchmark
+from repro.cluster import presets
+from repro.power.meter import PERFECT_METER, WallPlugMeter
+from repro.sim import ClusterExecutor, breadth_first_placement, RankProgram, compute_phase, idle_phase
+
+
+@pytest.fixture
+def exact_executor(fire):
+    return ClusterExecutor(fire, meter=WallPlugMeter(PERFECT_METER, rng=0))
+
+
+class TestBreakdownConservation:
+    def test_components_sum_to_true_energy(self, exact_executor):
+        result = HPLBenchmark(sizing=("fixed", 8960), rounds=2).run(exact_executor, 64)
+        breakdown = result.record.energy_breakdown
+        assert sum(breakdown.values()) == pytest.approx(
+            result.record.true_energy_j, rel=1e-9
+        )
+
+    def test_expected_component_keys(self, exact_executor):
+        result = StreamBenchmark(target_seconds=10).run(exact_executor, 32)
+        breakdown = result.record.energy_breakdown
+        assert set(breakdown) == {"base", "cpu", "memory", "storage", "nic", "psu_loss"}
+
+    def test_gpu_runs_include_accelerators(self):
+        gpu = presets.gpu_cluster()
+        executor = ClusterExecutor(gpu, meter=WallPlugMeter(PERFECT_METER, rng=0))
+        result = HPLBenchmark(sizing=("fixed", 8960), rounds=1).run(
+            executor, gpu.total_cores
+        )
+        breakdown = result.record.energy_breakdown
+        assert "accelerators" in breakdown
+        # the Fermi cards dominate a GPU node's HPL energy
+        assert breakdown["accelerators"] > breakdown["cpu"]
+
+    def test_all_components_positive(self, exact_executor):
+        result = IOzoneBenchmark(target_seconds=10).run(exact_executor, 4)
+        assert all(v > 0 for v in result.record.energy_breakdown.values())
+
+
+class TestBreakdownShape:
+    def test_cpu_dominates_hpl_dynamic_energy(self, exact_executor):
+        result = HPLBenchmark(sizing=("fixed", 8960), rounds=2).run(exact_executor, 128)
+        breakdown = result.record.energy_breakdown
+        assert breakdown["cpu"] > breakdown["memory"]
+        assert breakdown["cpu"] > breakdown["storage"]
+
+    def test_memory_share_larger_in_stream_than_hpl(self, exact_executor):
+        hpl = HPLBenchmark(sizing=("fixed", 8960), rounds=2).run(exact_executor, 128)
+        stream = StreamBenchmark(target_seconds=10).run(exact_executor, 128)
+
+        def memory_share(result):
+            breakdown = result.record.energy_breakdown
+            return breakdown["memory"] / sum(breakdown.values())
+
+        assert memory_share(stream) > memory_share(hpl)
+
+    def test_idle_nodes_attributed(self, fire, exact_executor):
+        """A 1-node IOzone run still books the other 7 nodes' idle energy."""
+        result = IOzoneBenchmark(target_seconds=10).run(exact_executor, 1)
+        breakdown = result.record.energy_breakdown
+        # base power alone: >= 8 nodes x 45 W x 10 s
+        assert breakdown["base"] >= 8 * 45.0 * 10.0 * 0.99
+
+    def test_psu_loss_fraction_realistic(self, exact_executor):
+        result = HPLBenchmark(sizing=("fixed", 8960), rounds=2).run(exact_executor, 64)
+        breakdown = result.record.energy_breakdown
+        loss_fraction = breakdown["psu_loss"] / sum(breakdown.values())
+        assert 0.05 < loss_fraction < 0.3
+
+    def test_active_node_metering_books_fewer_nodes(self, fire):
+        system = ClusterExecutor(
+            fire, meter=WallPlugMeter(PERFECT_METER, rng=0), metering="system"
+        )
+        active = ClusterExecutor(
+            fire, meter=WallPlugMeter(PERFECT_METER, rng=0), metering="active-nodes"
+        )
+        bench = IOzoneBenchmark(target_seconds=10)
+        full = bench.run(system, 1).record.energy_breakdown
+        partial = bench.run(active, 1).record.energy_breakdown
+        assert partial["base"] < 0.2 * full["base"]

@@ -1,0 +1,53 @@
+"""Import-smoke tests for the examples.
+
+Full example runs take seconds to minutes, so CI-speed coverage here is:
+every example imports cleanly (no syntax/import rot) and exposes a
+``main()``.  The quickstart's logic is additionally exercised end-to-end
+in ``test_integration.py``.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def load_example(path: Path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    # examples guard execution behind __main__, so loading is side-effect free
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_expected_examples_present(self):
+        names = {p.stem for p in EXAMPLE_FILES}
+        assert {
+            "quickstart",
+            "reproduce_paper",
+            "rank_clusters",
+            "weight_sensitivity",
+            "center_wide_tgi",
+            "gpu_system_tgi",
+            "meter_fidelity",
+            "extended_suite",
+            "dvfs_study",
+            "application_weighted_tgi",
+            "energy_breakdown",
+            "green500_style_list",
+        } <= names
+
+    @pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.stem)
+    def test_example_imports_and_has_main(self, path):
+        module = load_example(path)
+        assert callable(getattr(module, "main", None)), f"{path.stem} lacks main()"
+
+    @pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.stem)
+    def test_example_has_docstring(self, path):
+        module = load_example(path)
+        assert module.__doc__ and len(module.__doc__.strip()) > 40

@@ -1,0 +1,52 @@
+"""Exception-hierarchy tests: one except clause catches the library."""
+
+import pytest
+
+from repro import exceptions
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in exceptions.__all__:
+            exc = getattr(exceptions, name)
+            assert issubclass(exc, exceptions.ReproError)
+
+    def test_weight_error_is_metric_error(self):
+        assert issubclass(exceptions.WeightError, exceptions.MetricError)
+
+    def test_reference_mismatch_is_metric_error(self):
+        assert issubclass(exceptions.ReferenceMismatchError, exceptions.MetricError)
+
+    def test_placement_error_is_simulation_error(self):
+        assert issubclass(exceptions.PlacementError, exceptions.SimulationError)
+
+    def test_catching_base_catches_everything_raised_by_library(self, fire):
+        """A representative failure from each layer lands under ReproError."""
+        from repro.cluster.cpu import CPUSpec
+        from repro.core import validate_weights
+        from repro.perfmodels import HPLModel
+        from repro.power import PiecewisePower
+        from repro.sim import breadth_first_placement
+
+        failures = [
+            lambda: CPUSpec(
+                model="x", cores=0, base_clock_hz=1, flops_per_cycle=1,
+                tdp_watts=1, idle_watts=0,
+            ),
+            lambda: PiecewisePower([]),
+            lambda: breadth_first_placement(fire, 10_000),
+            lambda: HPLModel(cluster=fire).predict(100, 100_000),
+            lambda: validate_weights({"a": 2.0}),
+        ]
+        for fail in failures:
+            with pytest.raises(exceptions.ReproError):
+                fail()
+
+    def test_library_errors_are_not_value_errors(self):
+        """Library failures are distinguishable from stdlib ones."""
+        with pytest.raises(exceptions.ReproError):
+            try:
+                exceptions.ReproError("x").args
+                raise exceptions.MetricError("boom")
+            except ValueError:  # pragma: no cover - must not trigger
+                pytest.fail("library error was a ValueError")

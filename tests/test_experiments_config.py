@@ -1,0 +1,97 @@
+"""Experiment configuration and shared-context tests."""
+
+import pytest
+
+from repro.benchmarks import HPLBenchmark
+from repro.experiments import (
+    PAPER_CONFIG,
+    ExperimentConfig,
+    SharedContext,
+    build_executor,
+    build_reference,
+    build_suite,
+)
+
+
+class TestExperimentConfig:
+    def test_paper_sweep_points(self):
+        assert PAPER_CONFIG.core_counts == (16, 32, 48, 64, 80, 96, 112, 128)
+
+    def test_calibrated_constants_pinned(self):
+        """These values are the calibration contract with EXPERIMENTS.md."""
+        assert PAPER_CONFIG.hpl_problem_size == 36288
+        assert PAPER_CONFIG.hpl_comm_volume_factor == 2.0
+        assert PAPER_CONFIG.hpl_contention_threshold == 4
+        assert PAPER_CONFIG.hpl_contention_slope == 1.5
+        assert PAPER_CONFIG.stream_intensity == 0.4
+
+    def test_clusters_match_paper(self):
+        assert PAPER_CONFIG.fire_cluster().total_cores == 128
+        assert PAPER_CONFIG.reference_cluster().total_cores == 1024
+
+    def test_suite_members_and_order(self):
+        suite = build_suite(PAPER_CONFIG)
+        assert suite.names == ["HPL", "STREAM", "IOzone"]
+
+    def test_sut_hpl_is_strong_scaled(self):
+        suite = build_suite(PAPER_CONFIG)
+        hpl = suite.benchmarks[0]
+        assert isinstance(hpl, HPLBenchmark)
+        assert hpl.sizing == ("fixed", PAPER_CONFIG.hpl_problem_size)
+
+    def test_reference_hpl_is_memory_sized(self):
+        suite = build_suite(PAPER_CONFIG, reference=True)
+        hpl = suite.benchmarks[0]
+        assert hpl.sizing == ("memory", PAPER_CONFIG.hpl_reference_memory_fraction)
+
+    def test_executors_bind_correct_clusters(self):
+        assert build_executor(PAPER_CONFIG).cluster.name == "Fire"
+        assert build_executor(PAPER_CONFIG, reference=True).cluster.name == "SystemG"
+
+    def test_custom_config_round_trips(self):
+        config = ExperimentConfig(core_counts=(8, 16), hpl_problem_size=4480)
+        suite = build_suite(config)
+        assert suite.benchmarks[0].sizing == ("fixed", 4480)
+
+    def test_config_is_frozen(self):
+        with pytest.raises(Exception):
+            PAPER_CONFIG.hpl_problem_size = 1
+
+
+class TestBuildReference:
+    def test_reference_covers_suite(self):
+        small = ExperimentConfig(
+            core_counts=(8,),
+            hpl_problem_size=4480,
+            stream_target_seconds=5,
+            iozone_target_seconds=5,
+        )
+
+        # shrink the reference machine for speed by monkeypatching via a
+        # derived config object is not possible (frozen); run the real one
+        # only in the session-scoped fixture — here just check the API on
+        # the full config is exposed correctly via SharedContext laziness.
+        context = SharedContext(small)
+        assert context.config is small
+
+
+class TestSharedContextLaziness:
+    def test_nothing_computed_at_construction(self):
+        context = SharedContext(PAPER_CONFIG)
+        assert context._reference is None
+        assert context._sweep is None
+
+    def test_reference_cached(self, paper_context):
+        assert paper_context.reference is paper_context.reference
+
+    def test_sweep_cached(self, paper_context):
+        assert paper_context.sweep is paper_context.sweep
+
+    def test_reference_suite_result_consistent(self, paper_context):
+        ref = paper_context.reference
+        result = paper_context.reference_suite_result
+        for r in result:
+            assert ref.efficiency(r.benchmark) == pytest.approx(r.energy_efficiency)
+
+    def test_sweep_covers_configured_points(self, paper_context):
+        assert paper_context.sweep.cores == list(PAPER_CONFIG.core_counts)

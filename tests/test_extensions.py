@@ -1,0 +1,102 @@
+"""Extension tests: GPU systems, DVFS-derived specs, centre-wide cooling —
+the paper's Section VI future-work items realized."""
+
+import dataclasses
+
+import pytest
+
+from repro.benchmarks import BenchmarkSuite, HPLBenchmark, IOzoneBenchmark, StreamBenchmark
+from repro.cluster import ClusterSpec, presets
+from repro.core import ReferenceSet, TGICalculator
+from repro.perfmodels import HPLModel
+from repro.power import FixedPUECooling
+from repro.sim import ClusterExecutor
+
+
+class TestGPUHPL:
+    def test_accelerators_raise_hpl_rate(self):
+        gpu = presets.gpu_cluster()
+        with_acc = HPLModel(cluster=gpu, use_accelerators=True)
+        without = HPLModel(cluster=gpu, use_accelerators=False)
+        n = 20160
+        p = gpu.total_cores
+        assert (
+            with_acc.predict(n, p).performance_flops
+            > 2 * without.predict(n, p).performance_flops
+        )
+
+    def test_gpu_benchmark_run_reports_hybrid_rate(self):
+        gpu = presets.gpu_cluster()
+        executor = ClusterExecutor(gpu, rng=11)
+        result = HPLBenchmark(sizing=("fixed", 20160), rounds=2).run(
+            executor, gpu.total_cores
+        )
+        # 4 nodes x 2 M2050 sustain ~2.4 TFLOPS alone; CPU adds ~400 GFLOPS
+        assert result.performance > 1e12
+
+    def test_gpu_power_reflects_card_draw(self):
+        gpu = presets.gpu_cluster()
+        executor = ClusterExecutor(gpu, rng=11)
+        hpl = HPLBenchmark(sizing=("fixed", 20160), rounds=2).run(executor, gpu.total_cores)
+        stream = StreamBenchmark(target_seconds=10).run(executor, gpu.total_cores)
+        # HPL lights up the GPUs; STREAM leaves them idle
+        assert hpl.power_w > stream.power_w + 4 * 2 * 100  # >> 100 W per card extra
+
+    def test_gpu_system_tgi_beats_cpu_peer(self):
+        """The GPU system wins TGI against its CPU-only twin when the suite
+        is HPL-weighted — the kind of question Section VI poses."""
+        gpu = presets.gpu_cluster()
+        cpu_twin = ClusterSpec(
+            name="CPUonly",
+            node=dataclasses.replace(gpu.node, accelerators=()),
+            num_nodes=gpu.num_nodes,
+        )
+        suite = BenchmarkSuite(
+            [
+                HPLBenchmark(sizing=("fixed", 13440), rounds=1),
+                StreamBenchmark(target_seconds=5),
+                IOzoneBenchmark(target_seconds=5),
+            ]
+        )
+        cpu_res = suite.run(ClusterExecutor(cpu_twin, rng=2), cpu_twin.total_cores)
+        gpu_res = suite.run(ClusterExecutor(gpu, rng=2), gpu.total_cores)
+        ref = ReferenceSet.from_suite_result(cpu_res, system_name="CPUonly")
+        from repro.core import CustomWeights
+
+        calc = TGICalculator(
+            ref, weighting=CustomWeights({"HPL": 0.8, "STREAM": 0.1, "IOzone": 0.1})
+        )
+        assert calc.compute(gpu_res).value > calc.compute(cpu_res).value
+
+
+class TestCenterWideTGI:
+    def test_common_pue_cancels_in_ree(self, quick_suite, small_executor, fire_small):
+        """If both systems sit in the same facility, centre-wide TGI equals
+        IT-level TGI (PUE cancels in Eq. 3)."""
+        result = quick_suite.run(small_executor, fire_small.total_cores)
+        pue = FixedPUECooling(pue=1.9)
+        it_ref = ReferenceSet.from_suite_result(result)
+        facility_ref = ReferenceSet(
+            {r.benchmark: r.performance / pue.facility_watts(r.power_w) for r in result}
+        )
+        facility_ee = {
+            r.benchmark: r.performance / pue.facility_watts(r.power_w) for r in result
+        }
+        for name, ee in facility_ee.items():
+            assert facility_ref.relative(name, ee) == pytest.approx(
+                it_ref.relative(name, result[name].energy_efficiency)
+            )
+
+    def test_worse_facility_lowers_centre_wide_tgi(self, quick_suite, small_executor, fire_small):
+        """Different facilities: the machine in the leakier data centre
+        scores a proportionally lower centre-wide TGI."""
+        result = quick_suite.run(small_executor, fire_small.total_cores)
+        ref = ReferenceSet.from_suite_result(result)  # reference at PUE 1.0
+        leaky = FixedPUECooling(pue=2.0)
+        facility_ee = {
+            r.benchmark: r.performance / leaky.facility_watts(r.power_w)
+            for r in result
+        }
+        ree = {name: ref.relative(name, ee) for name, ee in facility_ee.items()}
+        for value in ree.values():
+            assert value == pytest.approx(0.5)

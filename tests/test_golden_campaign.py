@@ -1,0 +1,88 @@
+"""Golden regression tests for the calibrated campaign.
+
+These pin the headline numbers of the reproduction (with tolerances wide
+enough for legitimate floating-point churn but tight enough to catch a
+silent recalibration).  If a deliberate model change moves these numbers,
+update EXPERIMENTS.md alongside this file.
+"""
+
+import pytest
+
+from repro.experiments.tables import run_table1_reference, run_table2_pcc
+from repro.experiments.tgi_curves import run_fig5_tgi_am
+
+
+class TestGoldenTable2:
+    """The reproduction's contract with the paper."""
+
+    @pytest.fixture(scope="class")
+    def table2(self, paper_context):
+        return run_table2_pcc(paper_context)
+
+    def test_golden_am_column(self, table2):
+        assert table2.pcc("IOzone", "arithmetic-mean") == pytest.approx(0.991, abs=0.01)
+        assert table2.pcc("STREAM", "arithmetic-mean") == pytest.approx(0.992, abs=0.01)
+        assert table2.pcc("HPL", "arithmetic-mean") == pytest.approx(0.581, abs=0.02)
+
+    def test_golden_energy_column(self, table2):
+        assert table2.pcc("HPL", "energy") == pytest.approx(0.632, abs=0.02)
+
+    def test_golden_power_column(self, table2):
+        assert table2.pcc("HPL", "power") == pytest.approx(0.620, abs=0.02)
+
+
+class TestGoldenFig5:
+    def test_golden_tgi_endpoints(self, paper_context):
+        fig5 = run_fig5_tgi_am(paper_context)
+        values = fig5.series.values
+        assert values[0] == pytest.approx(0.503, abs=0.01)
+        assert values[-1] == pytest.approx(2.351, abs=0.03)
+
+    def test_golden_full_scale_ree(self, paper_context):
+        fig5 = run_fig5_tgi_am(paper_context)
+        ree = fig5.series.results[-1].ree
+        assert ree["HPL"] == pytest.approx(0.370, abs=0.01)
+        assert ree["STREAM"] == pytest.approx(3.189, abs=0.05)
+        assert ree["IOzone"] == pytest.approx(3.493, abs=0.05)
+
+
+class TestGoldenTable1:
+    def test_golden_reference_numbers(self, paper_context):
+        suite = run_table1_reference(paper_context).suite_result
+        hpl = suite["HPL"]
+        assert hpl.performance == pytest.approx(9.42e12, rel=0.02)
+        assert hpl.power_w == pytest.approx(41_730, rel=0.02)
+        assert suite["STREAM"].performance == pytest.approx(1.05e12, rel=0.02)
+        assert suite["IOzone"].performance == pytest.approx(14.15e9, rel=0.02)
+
+
+class TestGoldenFigureShapes:
+    def test_hpl_peak_location(self, paper_context):
+        """The calibrated HPL EE curve peaks at 64 processes."""
+        ee = paper_context.sweep.efficiency_series("HPL")
+        cores = paper_context.sweep.cores
+        assert cores[int(ee.argmax())] == 64
+
+    def test_stream_saturation_point(self, paper_context):
+        """STREAM bandwidth stops growing between 112 and 128 processes."""
+        perf = paper_context.sweep.series("STREAM", "performance")
+        assert perf[-1] == pytest.approx(perf[-2], rel=0.01)
+
+    def test_iozone_linearity(self, paper_context):
+        """Aggregate IOzone bandwidth is exactly linear in node count."""
+        perf = paper_context.sweep.series("IOzone", "performance")
+        assert perf[-1] == pytest.approx(8 * perf[0], rel=1e-6)
+
+
+class TestGoldenCapability:
+    def test_capability_numbers(self, paper_context):
+        """The memory-sized HPL capability run on the calibrated Fire
+        (discussed against the paper's OCR-damaged quote in
+        EXPERIMENTS.md)."""
+        from repro.experiments.capability import run_fire_capability
+
+        cap = run_fire_capability(paper_context)
+        assert cap.rmax_flops == pytest.approx(346.9e9, rel=0.02)
+        assert cap.efficiency == pytest.approx(0.295, abs=0.01)
+        assert cap.mflops_per_watt == pytest.approx(156.0, rel=0.03)
+        assert cap.problem_size == 165760

@@ -1,0 +1,90 @@
+"""Amdahl/Gustafson/roofline helper tests."""
+
+import pytest
+
+from repro.exceptions import MetricError
+from repro.perfmodels import (
+    RooflineModel,
+    amdahl_speedup,
+    arithmetic_intensity,
+    gustafson_speedup,
+    karp_flatt_serial_fraction,
+    parallel_efficiency,
+)
+
+
+class TestAmdahl:
+    def test_no_serial_fraction_is_ideal(self):
+        assert amdahl_speedup(0.0, 16) == pytest.approx(16.0)
+
+    def test_all_serial_is_one(self):
+        assert amdahl_speedup(1.0, 16) == pytest.approx(1.0)
+
+    def test_classic_value(self):
+        # 5% serial, 16 processors -> ~9.14x
+        assert amdahl_speedup(0.05, 16) == pytest.approx(16 / (0.05 * 16 + 0.95))
+
+    def test_bounded_by_inverse_serial_fraction(self):
+        assert amdahl_speedup(0.1, 10_000) < 10.0
+
+
+class TestGustafson:
+    def test_no_serial_fraction(self):
+        assert gustafson_speedup(0.0, 64) == pytest.approx(64.0)
+
+    def test_exceeds_amdahl_for_scaled_problems(self):
+        s, p = 0.1, 64
+        assert gustafson_speedup(s, p) > amdahl_speedup(s, p)
+
+
+class TestKarpFlatt:
+    def test_recovers_serial_fraction(self):
+        s = 0.07
+        p = 32
+        speedup = amdahl_speedup(s, p)
+        assert karp_flatt_serial_fraction(speedup, p) == pytest.approx(s)
+
+    def test_rejects_single_processor(self):
+        with pytest.raises(MetricError):
+            karp_flatt_serial_fraction(1.0, 1)
+
+
+class TestParallelEfficiency:
+    def test_ideal(self):
+        assert parallel_efficiency(16.0, 16) == pytest.approx(1.0)
+
+    def test_half(self):
+        assert parallel_efficiency(8.0, 16) == pytest.approx(0.5)
+
+
+class TestRoofline:
+    def test_arithmetic_intensity(self):
+        assert arithmetic_intensity(100.0, 50.0) == pytest.approx(2.0)
+
+    def test_intensity_rejects_zero_bytes(self):
+        with pytest.raises(MetricError):
+            arithmetic_intensity(1.0, 0.0)
+
+    def test_triad_is_memory_bound_on_fire(self, fire):
+        roof = RooflineModel(node=fire.node)
+        # Triad: 2 flops per 24 bytes
+        assert roof.is_memory_bound(2 / 24)
+
+    def test_dgemm_is_compute_bound_on_fire(self, fire):
+        roof = RooflineModel(node=fire.node)
+        # blocked DGEMM with nb=224 has intensity ~ nb/12 flops/byte
+        assert not roof.is_memory_bound(224 / 12)
+
+    def test_attainable_below_ridge_scales_with_intensity(self, fire):
+        roof = RooflineModel(node=fire.node)
+        low = roof.attainable_flops(0.01)
+        assert low == pytest.approx(0.01 * roof.memory_bandwidth)
+
+    def test_attainable_caps_at_peak(self, fire):
+        roof = RooflineModel(node=fire.node)
+        assert roof.attainable_flops(1e6) == roof.peak_flops
+
+    def test_ridge_point_consistency(self, fire):
+        roof = RooflineModel(node=fire.node)
+        at_ridge = roof.attainable_flops(roof.ridge_point)
+        assert at_ridge == pytest.approx(roof.peak_flops)

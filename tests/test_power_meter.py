@@ -1,0 +1,127 @@
+"""Wall-plug meter model tests."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import MeterError
+from repro.power import MeterSpec, PiecewisePower, WallPlugMeter
+from repro.power.meter import PERFECT_METER, WATTS_UP_PRO
+
+
+class TestMeterSpec:
+    def test_watts_up_defaults(self):
+        assert WATTS_UP_PRO.sample_interval_s == 1.0
+        assert WATTS_UP_PRO.gain_error_fraction == pytest.approx(0.015)
+        assert WATTS_UP_PRO.resolution_watts == pytest.approx(0.1)
+
+    def test_uncapped_range_allowed(self):
+        assert WATTS_UP_PRO.max_watts == float("inf")
+
+    def test_rejects_zero_interval(self):
+        with pytest.raises(MeterError):
+            MeterSpec(name="bad", sample_interval_s=0)
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(MeterError):
+            MeterSpec(name="")
+
+
+class TestWallPlugMeter:
+    def test_deterministic_given_seed(self):
+        truth = PiecewisePower.constant(1000, 30)
+        a = WallPlugMeter(rng=3).measure(truth)
+        b = WallPlugMeter(rng=3).measure(truth)
+        assert (a.watts == b.watts).all()
+
+    def test_different_seeds_differ(self):
+        truth = PiecewisePower.constant(1000, 30)
+        a = WallPlugMeter(rng=3).measure(truth)
+        b = WallPlugMeter(rng=4).measure(truth)
+        assert not (a.watts == b.watts).all()
+
+    def test_gain_within_spec(self):
+        for seed in range(20):
+            meter = WallPlugMeter(rng=seed)
+            assert abs(meter.realized_gain - 1.0) <= WATTS_UP_PRO.gain_error_fraction
+
+    def test_sample_count_matches_one_hertz(self):
+        truth = PiecewisePower.constant(500, 120)
+        trace = WallPlugMeter(rng=0).measure(truth)
+        assert len(trace) == 120
+
+    def test_short_run_still_sampled(self):
+        truth = PiecewisePower.constant(500, 0.3)
+        trace = WallPlugMeter(rng=0).measure(truth)
+        assert len(trace) == 1
+
+    def test_measured_power_close_to_truth(self):
+        truth = PiecewisePower.constant(1000, 300)
+        trace = WallPlugMeter(rng=0).measure(truth)
+        assert trace.mean_power() == pytest.approx(1000, rel=0.02)
+
+    def test_quantization_to_resolution(self):
+        truth = PiecewisePower.constant(123.456, 10)
+        trace = WallPlugMeter(rng=0).measure(truth)
+        steps = np.round(trace.watts / 0.1)
+        assert np.allclose(trace.watts, steps * 0.1, atol=1e-9)
+
+    def test_perfect_meter_is_exact(self):
+        truth = PiecewisePower([(0, 10, 100), (10, 20, 300)])
+        trace = WallPlugMeter(PERFECT_METER, rng=0).measure(truth)
+        assert trace.mean_power() == pytest.approx(truth.mean_power(), rel=1e-6)
+
+    def test_clipping_at_max_watts(self):
+        capped = MeterSpec(name="capped", max_watts=500.0)
+        truth = PiecewisePower.constant(1000, 10)
+        trace = WallPlugMeter(capped, rng=0).measure(truth)
+        assert trace.max_power() <= 500.0
+
+    def test_steps_are_resolved(self):
+        """A step in the truth shows up in the sampled trace."""
+        truth = PiecewisePower([(0, 30, 100), (30, 60, 900)])
+        trace = WallPlugMeter(rng=0).measure(truth)
+        first_half = trace.slice(0, 29).mean_power()
+        second_half = trace.slice(31, 60).mean_power()
+        assert second_half > 5 * first_half
+
+
+class TestDropout:
+    def test_no_dropout_by_default(self):
+        truth = PiecewisePower.constant(500, 100)
+        trace = WallPlugMeter(rng=0).measure(truth)
+        assert len(trace) == 100
+
+    def test_dropout_loses_samples(self):
+        spec = MeterSpec(name="flaky", dropout_probability=0.3)
+        truth = PiecewisePower.constant(500, 200)
+        trace = WallPlugMeter(spec, rng=0).measure(truth)
+        assert 100 < len(trace) < 180  # ~140 expected
+
+    def test_dropout_keeps_first_sample(self):
+        spec = MeterSpec(name="flaky", dropout_probability=0.9)
+        truth = PiecewisePower.constant(500, 50)
+        trace = WallPlugMeter(spec, rng=1).measure(truth)
+        assert trace.times[0] == pytest.approx(0.5)
+
+    def test_dropout_energy_still_accurate_on_steady_load(self):
+        """Trapezoid bridging across gaps is exact for constant power."""
+        spec = MeterSpec(
+            name="flaky", dropout_probability=0.4,
+            gain_error_fraction=0.0, noise_counts=0.0,
+        )
+        truth = PiecewisePower.constant(1000, 300)
+        trace = WallPlugMeter(spec, rng=2).measure(truth)
+        assert trace.mean_power() == pytest.approx(1000, rel=1e-3)
+
+    def test_dropout_is_deterministic(self):
+        spec = MeterSpec(name="flaky", dropout_probability=0.3)
+        truth = PiecewisePower.constant(500, 100)
+        a = WallPlugMeter(spec, rng=7).measure(truth)
+        b = WallPlugMeter(spec, rng=7).measure(truth)
+        assert (a.times == b.times).all()
+
+    def test_invalid_dropout_rejected(self):
+        with pytest.raises(MeterError):
+            MeterSpec(name="bad", dropout_probability=1.0)
+        with pytest.raises(MeterError):
+            MeterSpec(name="bad", dropout_probability=-0.1)

@@ -1,0 +1,82 @@
+"""Node-level power aggregation tests."""
+
+import pytest
+
+from repro.cluster import presets
+from repro.power import NodePowerModel, NodeUtilization, PSUModel
+from repro.power.psu import IDEAL_PSU
+
+
+@pytest.fixture
+def model(fire):
+    return NodePowerModel(node=fire.node)
+
+
+class TestNodePowerModel:
+    def test_idle_dc_matches_nominal(self, fire, model):
+        assert model.dc_power(NodeUtilization.idle()) == pytest.approx(
+            fire.node.nominal_idle_watts
+        )
+
+    def test_full_dc_matches_nominal(self, fire, model):
+        full = NodeUtilization(
+            cpu_active_fraction=1.0,
+            cpu_intensity=1.0,
+            memory=1.0,
+            storage=1.0,
+            nic=1.0,
+            accelerator=1.0,
+        )
+        assert model.dc_power(full) == pytest.approx(fire.node.nominal_max_watts)
+
+    def test_wall_above_dc(self, model):
+        util = NodeUtilization(cpu_active_fraction=0.5, cpu_intensity=0.8)
+        assert model.wall_power(util) > model.dc_power(util)
+
+    def test_idle_wall_between_dc_and_double(self, model):
+        idle_dc = model.dc_power(NodeUtilization.idle())
+        idle_wall = model.idle_wall_power()
+        assert idle_dc < idle_wall < 2 * idle_dc
+
+    def test_ideal_psu_makes_wall_equal_dc(self, fire):
+        model = NodePowerModel(node=fire.node, psu=IDEAL_PSU)
+        util = NodeUtilization(cpu_active_fraction=1.0, cpu_intensity=1.0)
+        assert model.wall_power(util) == pytest.approx(model.dc_power(util))
+
+    def test_breakdown_sums_to_dc(self, model):
+        util = NodeUtilization(
+            cpu_active_fraction=0.75, cpu_intensity=0.9, memory=0.4, storage=0.2, nic=0.1
+        )
+        breakdown = model.component_breakdown(util)
+        assert sum(breakdown.values()) == pytest.approx(model.dc_power(util))
+
+    def test_breakdown_includes_accelerators_when_present(self):
+        gpu = presets.gpu_cluster()
+        model = NodePowerModel(node=gpu.node)
+        util = NodeUtilization(accelerator=1.0)
+        breakdown = model.component_breakdown(util)
+        assert breakdown["accelerators"] == pytest.approx(2 * 225.0)
+
+    def test_gpu_node_max_wall_dominated_by_gpus(self):
+        gpu = presets.gpu_cluster()
+        model = NodePowerModel(node=gpu.node)
+        assert model.max_wall_power() > 700  # 2 x 225 W GPUs alone
+
+    def test_custom_psu_respected(self, fire):
+        tiny = PSUModel(rated_watts=10_000)  # very light load -> poor efficiency
+        model = NodePowerModel(node=fire.node, psu=tiny)
+        default = NodePowerModel(node=fire.node)
+        assert model.idle_wall_power() > default.idle_wall_power()
+
+    def test_monotone_in_intensity(self, model):
+        powers = [
+            model.wall_power(NodeUtilization(cpu_active_fraction=1.0, cpu_intensity=i))
+            for i in (0.0, 0.3, 0.6, 1.0)
+        ]
+        assert powers == sorted(powers)
+
+    def test_fire_node_realistic_envelope(self, model):
+        """Sanity band: a 2010 dual-socket node idles at 100-200 W and
+        peaks at 250-400 W at the wall."""
+        assert 100 < model.idle_wall_power() < 200
+        assert 250 < model.max_wall_power() < 400

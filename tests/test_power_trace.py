@@ -1,0 +1,121 @@
+"""Power-trace and piecewise-power tests."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import PowerModelError
+from repro.power import PiecewisePower, PowerTrace
+
+
+class TestPiecewisePower:
+    def test_constant_energy(self):
+        truth = PiecewisePower.constant(100.0, 60.0)
+        assert truth.energy() == pytest.approx(6000.0)
+
+    def test_segment_energy_sums(self):
+        truth = PiecewisePower([(0, 10, 100), (10, 30, 200)])
+        assert truth.energy() == pytest.approx(1000 + 4000)
+
+    def test_mean_power(self):
+        truth = PiecewisePower([(0, 10, 100), (10, 30, 200)])
+        assert truth.mean_power() == pytest.approx(5000 / 30)
+
+    def test_max_power(self):
+        truth = PiecewisePower([(0, 10, 100), (10, 30, 200)])
+        assert truth.max_power() == 200.0
+
+    def test_power_at(self):
+        truth = PiecewisePower([(0, 10, 100), (10, 30, 200)])
+        assert truth.power_at(5) == 100.0
+        assert truth.power_at(15) == 200.0
+        assert truth.power_at(30) == 200.0
+
+    def test_power_at_many_matches_scalar(self):
+        truth = PiecewisePower([(0, 10, 100), (10, 30, 200)])
+        times = [0.5, 9.9, 10.1, 29.9]
+        many = truth.power_at_many(times)
+        assert list(many) == [truth.power_at(t) for t in times]
+
+    def test_rejects_gap(self):
+        with pytest.raises(PowerModelError):
+            PiecewisePower([(0, 10, 100), (11, 20, 100)])
+
+    def test_rejects_overlap(self):
+        with pytest.raises(PowerModelError):
+            PiecewisePower([(0, 10, 100), (9, 20, 100)])
+
+    def test_rejects_negative_power(self):
+        with pytest.raises(PowerModelError):
+            PiecewisePower([(0, 10, -1)])
+
+    def test_rejects_reversed_segment(self):
+        with pytest.raises(PowerModelError):
+            PiecewisePower([(10, 0, 100)])
+
+    def test_drops_zero_length_segments(self):
+        truth = PiecewisePower([(0, 10, 100), (10, 10, 500), (10, 20, 100)])
+        assert truth.max_power() == 100.0
+
+    def test_query_outside_interval_rejected(self):
+        truth = PiecewisePower.constant(100, 10)
+        with pytest.raises(PowerModelError):
+            truth.power_at(11)
+
+    def test_unsorted_segments_accepted(self):
+        truth = PiecewisePower([(10, 20, 200), (0, 10, 100)])
+        assert truth.power_at(5) == 100.0
+
+
+class TestPowerTrace:
+    def test_trapezoid_energy(self):
+        trace = PowerTrace([0, 1, 2], [100, 200, 100])
+        assert trace.energy() == pytest.approx(np.trapezoid([100, 200, 100], [0, 1, 2]))
+
+    def test_mean_power_time_weighted(self):
+        trace = PowerTrace([0, 1, 3], [100, 100, 400])
+        # energy = 100 + 2*(250) = 600 over 3 s
+        assert trace.mean_power() == pytest.approx(600 / 3)
+
+    def test_single_sample(self):
+        trace = PowerTrace([5.0], [250.0])
+        assert trace.energy() == 0.0
+        assert trace.mean_power() == 250.0
+
+    def test_min_max(self):
+        trace = PowerTrace([0, 1, 2], [100, 300, 200])
+        assert trace.max_power() == 300.0
+        assert trace.min_power() == 100.0
+
+    def test_slice(self):
+        trace = PowerTrace([0, 1, 2, 3], [10, 20, 30, 40])
+        part = trace.slice(1, 2)
+        assert list(part.watts) == [20, 30]
+
+    def test_slice_empty_rejected(self):
+        trace = PowerTrace([0, 1], [10, 20])
+        with pytest.raises(PowerModelError):
+            trace.slice(5, 6)
+
+    def test_concat_and_shift(self):
+        a = PowerTrace([0, 1], [10, 10])
+        b = PowerTrace([0, 1], [20, 20]).shifted(2)
+        both = a.concat(b)
+        assert len(both) == 4
+        assert both.duration == pytest.approx(3.0)
+
+    def test_rejects_non_increasing_times(self):
+        with pytest.raises(PowerModelError):
+            PowerTrace([0, 0, 1], [1, 2, 3])
+
+    def test_rejects_negative_power(self):
+        with pytest.raises(PowerModelError):
+            PowerTrace([0, 1], [5, -5])
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(PowerModelError):
+            PowerTrace([0, 1, 2], [5, 5])
+
+    def test_views_are_read_only(self):
+        trace = PowerTrace([0, 1], [10, 20])
+        with pytest.raises(ValueError):
+            trace.watts[0] = 99

@@ -1,0 +1,75 @@
+"""Reference-sensitivity tests: the SPEC-normalization pathology."""
+
+import pytest
+
+from repro.analysis import (
+    find_reference_flip,
+    ranking_under_references,
+    tgi_under_reference,
+)
+from repro.exceptions import MetricError
+
+# Two systems with crossed strengths: A is a compute machine, B an I/O one.
+SYSTEM_A = {"HPL": 400e6, "STREAM": 50e6, "IOzone": 0.4e6}
+SYSTEM_B = {"HPL": 150e6, "STREAM": 60e6, "IOzone": 1.6e6}
+
+
+class TestTgiUnderReference:
+    def test_self_reference_is_one(self):
+        assert tgi_under_reference(SYSTEM_A, SYSTEM_A) == pytest.approx(1.0)
+
+    def test_custom_weights_respected(self):
+        ref = {"HPL": 200e6, "STREAM": 50e6, "IOzone": 0.8e6}
+        hpl_only = tgi_under_reference(
+            SYSTEM_A, ref, weights={"HPL": 1.0, "STREAM": 0.0, "IOzone": 0.0}
+        )
+        assert hpl_only == pytest.approx(2.0)
+
+    def test_coverage_mismatch_rejected(self):
+        with pytest.raises(MetricError):
+            tgi_under_reference(SYSTEM_A, {"HPL": 1.0})
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(MetricError):
+            tgi_under_reference({"HPL": 0.0}, {"HPL": 1.0})
+
+
+class TestRankingUnderReferences:
+    def test_orderings_per_reference(self):
+        systems = {"A": SYSTEM_A, "B": SYSTEM_B}
+        references = {
+            "weak-io-ref": {"HPL": 300e6, "STREAM": 55e6, "IOzone": 0.1e6},
+            "weak-cpu-ref": {"HPL": 50e6, "STREAM": 55e6, "IOzone": 1.0e6},
+        }
+        rankings = ranking_under_references(systems, references)
+        # a reference weak on I/O inflates everyone's IOzone REE; B (the
+        # I/O machine) wins there
+        assert rankings["weak-io-ref"][0] == "B"
+        # a reference weak on CPU hands the win to A
+        assert rankings["weak-cpu-ref"][0] == "A"
+
+    def test_empty_rejected(self):
+        with pytest.raises(MetricError):
+            ranking_under_references({}, {})
+
+
+class TestFindReferenceFlip:
+    def test_crossed_systems_flip(self):
+        """Systems with crossed strengths can be ordered either way by
+        choosing the reference — the non-invariance Smith (1988) warns
+        about, inherited by TGI's arithmetic mean of ratios."""
+        flip = find_reference_flip(SYSTEM_A, SYSTEM_B)
+        assert flip is not None
+        pro_a, pro_b = flip
+        assert tgi_under_reference(SYSTEM_A, pro_a) > tgi_under_reference(SYSTEM_B, pro_a)
+        assert tgi_under_reference(SYSTEM_B, pro_b) > tgi_under_reference(SYSTEM_A, pro_b)
+
+    def test_dominated_system_cannot_flip(self):
+        """When A beats B on every benchmark, every REE ratio orders them
+        the same way: no reference can rescue B."""
+        dominated = {name: 0.5 * value for name, value in SYSTEM_A.items()}
+        assert find_reference_flip(SYSTEM_A, dominated) is None
+
+    def test_mismatched_coverage_rejected(self):
+        with pytest.raises(MetricError):
+            find_reference_flip(SYSTEM_A, {"HPL": 1.0})

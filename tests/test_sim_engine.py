@@ -1,0 +1,123 @@
+"""Discrete-event engine tests."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.sim import RankProgram, SimulationEngine, barrier, compute_phase, idle_phase
+from repro.sim.workload import PhaseKind
+
+
+def programs_of(*phase_lists):
+    return [RankProgram(rank=i, phases=list(pl)) for i, pl in enumerate(phase_lists)]
+
+
+class TestBasicExecution:
+    def test_single_rank_sequence(self):
+        engine = SimulationEngine(
+            programs_of([compute_phase(2.0), compute_phase(3.0)])
+        )
+        intervals = engine.run()
+        assert len(intervals[0]) == 2
+        assert intervals[0][0].t_start == 0.0
+        assert intervals[0][1].t_end == pytest.approx(5.0)
+        assert engine.makespan(intervals) == pytest.approx(5.0)
+
+    def test_two_ranks_independent(self):
+        engine = SimulationEngine(
+            programs_of([compute_phase(2.0)], [compute_phase(5.0)])
+        )
+        intervals = engine.run()
+        assert engine.makespan(intervals) == pytest.approx(5.0)
+        assert intervals[0][-1].t_end == pytest.approx(2.0)
+
+    def test_zero_duration_phase_skipped_in_intervals(self):
+        engine = SimulationEngine(programs_of([compute_phase(0.0), compute_phase(1.0)]))
+        intervals = engine.run()
+        assert len(intervals[0]) == 1
+
+
+class TestBarriers:
+    def test_barrier_synchronizes(self):
+        engine = SimulationEngine(
+            programs_of(
+                [compute_phase(1.0), barrier(), compute_phase(1.0)],
+                [compute_phase(4.0), barrier(), compute_phase(1.0)],
+            )
+        )
+        intervals = engine.run()
+        # rank 0 waits 3 s at the barrier
+        waits = [iv for iv in intervals[0] if iv.phase.kind is PhaseKind.WAIT]
+        assert len(waits) == 1
+        assert waits[0].duration == pytest.approx(3.0)
+        # both finish together
+        assert intervals[0][-1].t_end == pytest.approx(5.0)
+        assert intervals[1][-1].t_end == pytest.approx(5.0)
+
+    def test_fast_rank_gets_no_wait_when_synchronized(self):
+        engine = SimulationEngine(
+            programs_of(
+                [compute_phase(2.0), barrier()],
+                [compute_phase(2.0), barrier()],
+            )
+        )
+        intervals = engine.run()
+        for per_rank in intervals:
+            assert all(iv.phase.kind is not PhaseKind.WAIT for iv in per_rank)
+
+    def test_multiple_barriers(self):
+        engine = SimulationEngine(
+            programs_of(
+                [compute_phase(1.0), barrier(), compute_phase(3.0), barrier()],
+                [compute_phase(2.0), barrier(), compute_phase(1.0), barrier()],
+            )
+        )
+        intervals = engine.run()
+        assert engine.makespan(intervals) == pytest.approx(5.0)
+        # rank 1 waits at both barriers? first: no (it is slower); second: yes
+        waits1 = [iv for iv in intervals[1] if iv.phase.kind is PhaseKind.WAIT]
+        assert len(waits1) == 1
+        assert waits1[0].duration == pytest.approx(2.0)
+
+    def test_mismatched_barrier_counts_rejected(self):
+        with pytest.raises(SimulationError, match="barrier"):
+            SimulationEngine(
+                programs_of(
+                    [compute_phase(1.0), barrier()],
+                    [compute_phase(1.0)],
+                )
+            )
+
+    def test_many_ranks_barrier_releases_at_max(self):
+        programs = programs_of(*[[compute_phase(float(i + 1)), barrier(), compute_phase(1.0)] for i in range(8)])
+        engine = SimulationEngine(programs)
+        intervals = engine.run()
+        assert engine.makespan(intervals) == pytest.approx(9.0)
+
+
+class TestTimelineIntegrity:
+    def test_intervals_are_gap_free(self):
+        engine = SimulationEngine(
+            programs_of(
+                [compute_phase(1.5), barrier(), idle_phase(2.0), compute_phase(0.5)],
+                [compute_phase(3.0), barrier(), compute_phase(1.0)],
+            )
+        )
+        intervals = engine.run()
+        for per_rank in intervals:
+            t = 0.0
+            for iv in per_rank:
+                assert iv.t_start == pytest.approx(t)
+                t = iv.t_end
+
+    def test_rank_ids_must_be_dense(self):
+        with pytest.raises(SimulationError):
+            SimulationEngine([RankProgram(rank=5, phases=[compute_phase(1.0)])])
+
+    def test_empty_program_list_rejected(self):
+        with pytest.raises(SimulationError):
+            SimulationEngine([])
+
+    def test_idle_phase_recorded_but_core_free(self):
+        engine = SimulationEngine(programs_of([idle_phase(2.0)]))
+        intervals = engine.run()
+        assert intervals[0][0].phase.occupies_core is False

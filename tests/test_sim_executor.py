@@ -1,0 +1,148 @@
+"""Cluster-executor tests: utilization folding and metered power."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.power import NodePowerModel, NodeUtilization
+from repro.power.meter import PERFECT_METER, WallPlugMeter
+from repro.sim import (
+    ClusterExecutor,
+    RankProgram,
+    barrier,
+    breadth_first_placement,
+    compute_phase,
+    idle_phase,
+    io_phase,
+    memory_phase,
+)
+
+
+def uniform_programs(num_ranks, phases_factory):
+    return [RankProgram(rank=r, phases=phases_factory()) for r in range(num_ranks)]
+
+
+class TestExecute:
+    def test_idle_cluster_power_floor(self, fire):
+        """One nearly-idle rank: power must equal the whole cluster's idle
+        wall power plus a whisker — the Figure 1 whole-system-metering
+        property that shapes every EE curve."""
+        executor = ClusterExecutor(fire, meter=WallPlugMeter(PERFECT_METER, rng=0))
+        placement = breadth_first_placement(fire, 1)
+        programs = uniform_programs(1, lambda: [idle_phase(30.0)])
+        record = executor.execute(placement, programs)
+        idle_wall = 8 * executor.node_power.idle_wall_power()
+        assert record.true_mean_power_w == pytest.approx(idle_wall, rel=1e-6)
+
+    def test_full_load_power_ceiling(self, fire):
+        executor = ClusterExecutor(fire, meter=WallPlugMeter(PERFECT_METER, rng=0))
+        placement = breadth_first_placement(fire, 128)
+        programs = uniform_programs(128, lambda: [compute_phase(30.0, memory=1 / 16)])
+        record = executor.execute(placement, programs)
+        # all cores compute-bound, memory saturated
+        full_util = NodeUtilization(cpu_active_fraction=1.0, cpu_intensity=1.0, memory=1.0)
+        expected = 8 * executor.node_power.wall_power(full_util)
+        assert record.true_mean_power_w == pytest.approx(expected, rel=1e-6)
+
+    def test_makespan_matches_longest_rank(self, small_executor, fire_small):
+        placement = breadth_first_placement(fire_small, 2)
+        programs = [
+            RankProgram(rank=0, phases=[compute_phase(10.0)]),
+            RankProgram(rank=1, phases=[compute_phase(25.0)]),
+        ]
+        record = small_executor.execute(placement, programs)
+        assert record.makespan_s == pytest.approx(25.0)
+
+    def test_power_falls_after_fast_rank_finishes(self, fire_small):
+        executor = ClusterExecutor(fire_small, meter=WallPlugMeter(PERFECT_METER, rng=0))
+        placement = breadth_first_placement(fire_small, 2)
+        programs = [
+            RankProgram(rank=0, phases=[compute_phase(10.0)]),
+            RankProgram(rank=1, phases=[compute_phase(30.0)]),
+        ]
+        record = executor.execute(placement, programs)
+        early = record.truth.power_at(5.0)
+        late = record.truth.power_at(20.0)
+        assert late < early
+
+    def test_bandwidth_demands_add_and_saturate(self, fire_small):
+        executor = ClusterExecutor(fire_small, meter=WallPlugMeter(PERFECT_METER, rng=0))
+        # 16 ranks on node 0, each demanding 0.2 of node memory bandwidth:
+        # the sum saturates at 1.0, not 3.2
+        placement = breadth_first_placement(fire_small, 2)
+        programs = uniform_programs(2, lambda: [memory_phase(10.0, memory=0.2)])
+        record2 = executor.execute(placement, programs)
+        placement16 = breadth_first_placement(fire_small, 16)
+        programs16 = uniform_programs(16, lambda: [memory_phase(10.0, memory=0.2)])
+        record16 = executor.execute(placement16, programs16)
+        # 16 ranks: memory saturated on both nodes; power must be higher
+        # than 2 ranks but far below 16x the increment
+        assert record16.true_mean_power_w > record2.true_mean_power_w
+
+    def test_mismatched_program_count_rejected(self, small_executor, fire_small):
+        placement = breadth_first_placement(fire_small, 2)
+        with pytest.raises(SimulationError):
+            small_executor.execute(placement, uniform_programs(3, lambda: [compute_phase(1.0)]))
+
+    def test_zero_duration_run_rejected(self, small_executor, fire_small):
+        placement = breadth_first_placement(fire_small, 1)
+        with pytest.raises(SimulationError):
+            small_executor.execute(placement, uniform_programs(1, list))
+
+    def test_measured_energy_close_to_truth(self, executor, fire):
+        placement = breadth_first_placement(fire, 32)
+        programs = uniform_programs(
+            32, lambda: [compute_phase(60.0), barrier(), io_phase(30.0, storage=0.4)]
+        )
+        record = executor.execute(placement, programs)
+        assert abs(record.measurement_error_fraction) < 0.05
+
+    def test_record_label(self, small_executor, fire_small):
+        placement = breadth_first_placement(fire_small, 1)
+        record = small_executor.execute(
+            placement, uniform_programs(1, lambda: [compute_phase(5.0)]), label="smoke"
+        )
+        assert record.label == "smoke"
+
+    def test_io_phase_draws_less_than_compute(self, fire_small):
+        executor = ClusterExecutor(fire_small, meter=WallPlugMeter(PERFECT_METER, rng=0))
+        placement = breadth_first_placement(fire_small, 16)
+        compute_rec = executor.execute(
+            placement, uniform_programs(16, lambda: [compute_phase(10.0)])
+        )
+        io_rec = executor.execute(
+            placement, uniform_programs(16, lambda: [io_phase(10.0, storage=1.0)])
+        )
+        assert io_rec.true_mean_power_w < compute_rec.true_mean_power_w
+
+
+class TestMeteringBoundary:
+    def test_invalid_mode_rejected(self, fire):
+        with pytest.raises(SimulationError):
+            ClusterExecutor(fire, metering="per-rack")
+
+    def test_active_nodes_excludes_idle_nodes(self, fire):
+        placement = breadth_first_placement(fire, 2)  # nodes 0 and 1
+        programs = uniform_programs(2, lambda: [io_phase(20.0, storage=1.0)])
+        system = ClusterExecutor(
+            fire, meter=WallPlugMeter(PERFECT_METER, rng=0), metering="system"
+        ).execute(placement, programs)
+        active = ClusterExecutor(
+            fire, meter=WallPlugMeter(PERFECT_METER, rng=0), metering="active-nodes"
+        ).execute(placement, programs)
+        idle_wall = NodePowerModel(node=fire.node).idle_wall_power()
+        assert system.true_mean_power_w - active.true_mean_power_w == pytest.approx(
+            6 * idle_wall, rel=1e-6
+        )
+
+    def test_modes_agree_when_all_nodes_used(self, fire):
+        placement = breadth_first_placement(fire, 8)
+        programs = uniform_programs(8, lambda: [compute_phase(10.0)])
+        system = ClusterExecutor(
+            fire, meter=WallPlugMeter(PERFECT_METER, rng=0), metering="system"
+        ).execute(placement, programs)
+        active = ClusterExecutor(
+            fire, meter=WallPlugMeter(PERFECT_METER, rng=0), metering="active-nodes"
+        ).execute(placement, programs)
+        assert system.true_mean_power_w == pytest.approx(
+            active.true_mean_power_w, rel=1e-9
+        )

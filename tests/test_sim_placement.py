@@ -1,0 +1,73 @@
+"""Process-placement tests."""
+
+import pytest
+
+from repro.exceptions import PlacementError
+from repro.sim import Placement, breadth_first_placement, packed_placement
+
+
+class TestBreadthFirst:
+    def test_round_robin(self, fire):
+        placement = breadth_first_placement(fire, 16)
+        # 16 ranks over 8 nodes -> 2 per node
+        assert all(placement.ranks_per_node(n) == 2 for n in range(8))
+
+    def test_rank_to_node_mapping(self, fire):
+        placement = breadth_first_placement(fire, 10)
+        assert placement.node_of_rank[0] == 0
+        assert placement.node_of_rank[8] == 0
+        assert placement.node_of_rank[9] == 1
+
+    def test_full_cluster(self, fire):
+        placement = breadth_first_placement(fire, 128)
+        assert placement.max_ranks_per_node() == 16
+
+    def test_overflow_rejected(self, fire):
+        with pytest.raises(PlacementError):
+            breadth_first_placement(fire, 129)
+
+    def test_single_rank(self, fire):
+        placement = breadth_first_placement(fire, 1)
+        assert placement.nodes_used == [0]
+
+
+class TestPacked:
+    def test_fills_first_node(self, fire):
+        placement = packed_placement(fire, 16)
+        assert placement.nodes_used == [0]
+        assert placement.ranks_per_node(0) == 16
+
+    def test_spills_to_second_node(self, fire):
+        placement = packed_placement(fire, 17)
+        assert placement.nodes_used == [0, 1]
+        assert placement.ranks_per_node(1) == 1
+
+    def test_overflow_rejected(self, fire):
+        with pytest.raises(PlacementError):
+            packed_placement(fire, 200)
+
+
+class TestPlacementValidation:
+    def test_ranks_on_node(self, fire):
+        placement = breadth_first_placement(fire, 16)
+        assert placement.ranks_on_node(0) == [0, 8]
+
+    def test_unused_node_has_zero_ranks(self, fire):
+        placement = breadth_first_placement(fire, 4)
+        assert placement.ranks_per_node(7) == 0
+
+    def test_invalid_node_index_rejected(self, fire):
+        with pytest.raises(PlacementError):
+            Placement(cluster=fire, node_of_rank=(0, 99), policy="bad")
+
+    def test_core_oversubscription_rejected(self, fire_small):
+        too_many = tuple([0] * 17)  # 17 ranks on a 16-core node
+        with pytest.raises(PlacementError):
+            Placement(cluster=fire_small, node_of_rank=too_many, policy="bad")
+
+    def test_empty_placement_rejected(self, fire):
+        with pytest.raises(PlacementError):
+            Placement(cluster=fire, node_of_rank=(), policy="bad")
+
+    def test_num_ranks(self, fire):
+        assert breadth_first_placement(fire, 31).num_ranks == 31

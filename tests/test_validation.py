@@ -1,0 +1,94 @@
+"""Validation-helper tests."""
+
+import math
+
+import pytest
+
+from repro import validation
+from repro.exceptions import ReproError, SpecError
+
+
+class TestRequire:
+    def test_passes(self):
+        validation.require(True, "never raised")
+
+    def test_raises_default(self):
+        with pytest.raises(ReproError, match="boom"):
+            validation.require(False, "boom")
+
+    def test_raises_custom_exception(self):
+        with pytest.raises(SpecError):
+            validation.require(False, "boom", exc=SpecError)
+
+
+class TestScalarChecks:
+    def test_check_finite_returns_float(self):
+        out = validation.check_finite(3, "x")
+        assert out == 3.0 and isinstance(out, float)
+
+    @pytest.mark.parametrize("bad", [math.inf, -math.inf, math.nan])
+    def test_check_finite_rejects(self, bad):
+        with pytest.raises(ReproError, match="finite"):
+            validation.check_finite(bad, "x")
+
+    def test_check_positive(self):
+        assert validation.check_positive(0.1, "x") == 0.1
+
+    @pytest.mark.parametrize("bad", [0, -1, math.nan])
+    def test_check_positive_rejects(self, bad):
+        with pytest.raises(ReproError):
+            validation.check_positive(bad, "x")
+
+    def test_check_non_negative_allows_zero(self):
+        assert validation.check_non_negative(0, "x") == 0.0
+
+    def test_check_non_negative_rejects_negative(self):
+        with pytest.raises(ReproError):
+            validation.check_non_negative(-0.001, "x")
+
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_check_fraction_accepts(self, value):
+        assert validation.check_fraction(value, "x") == value
+
+    @pytest.mark.parametrize("bad", [-0.01, 1.01])
+    def test_check_fraction_rejects(self, bad):
+        with pytest.raises(ReproError):
+            validation.check_fraction(bad, "x")
+
+    def test_check_in_range(self):
+        assert validation.check_in_range(5, "x", low=0, high=10) == 5.0
+        with pytest.raises(ReproError):
+            validation.check_in_range(11, "x", low=0, high=10)
+        with pytest.raises(ReproError):
+            validation.check_in_range(-1, "x", low=0)
+
+    def test_check_positive_int(self):
+        assert validation.check_positive_int(3, "x") == 3
+
+    @pytest.mark.parametrize("bad", [0, -1, 1.5, "2"])
+    def test_check_positive_int_rejects(self, bad):
+        with pytest.raises(ReproError):
+            validation.check_positive_int(bad, "x")
+
+    def test_check_positive_int_rejects_bool(self):
+        # True == 1 but "True nodes" is always a bug
+        with pytest.raises(ReproError):
+            validation.check_positive_int(True, "x")
+
+
+class TestSequenceChecks:
+    def test_monotonic_ok(self):
+        validation.check_monotonic([1, 2, 2, 3], "x")
+
+    def test_monotonic_rejects_decrease(self):
+        with pytest.raises(ReproError):
+            validation.check_monotonic([1, 3, 2], "x")
+
+    def test_strict_monotonic_rejects_tie(self):
+        with pytest.raises(ReproError):
+            validation.check_monotonic([1, 2, 2], "x", strict=True)
+
+    def test_same_length(self):
+        validation.check_same_length("a", [1, 2], "b", [3, 4])
+        with pytest.raises(ReproError):
+            validation.check_same_length("a", [1], "b", [1, 2])

@@ -1,0 +1,81 @@
+"""ASCII-chart tests."""
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.viz import ascii_chart, ascii_sparkline
+
+
+class TestAsciiChart:
+    def test_contains_markers_and_legend(self):
+        chart = ascii_chart({"EE": [1, 2, 3, 4]}, x=[16, 32, 48, 64])
+        assert "*" in chart
+        assert "* EE" in chart
+
+    def test_axis_labels(self):
+        chart = ascii_chart(
+            {"a": [1, 2]}, x=[0, 10], x_label="cores", y_label="TGI"
+        )
+        assert "x: cores" in chart and "y: TGI" in chart
+
+    def test_y_extremes_printed(self):
+        chart = ascii_chart({"a": [5.0, 25.0]})
+        assert "25" in chart and "5" in chart
+
+    def test_multiple_series_distinct_markers(self):
+        chart = ascii_chart({"one": [1, 2, 3], "two": [3, 2, 1]})
+        assert "* one" in chart and "o two" in chart
+
+    def test_title(self):
+        chart = ascii_chart({"a": [1, 2]}, title="Figure 5")
+        assert chart.splitlines()[0] == "Figure 5"
+
+    def test_monotone_series_marks_extremes_correctly(self):
+        chart = ascii_chart({"a": [0, 1, 2, 3]}, width=16, height=8)
+        rows = [l for l in chart.splitlines() if "|" in l]
+        # max value on the top plot row, min on the bottom
+        assert "*" in rows[0]
+        assert "*" in rows[-1]
+
+    def test_constant_series_ok(self):
+        chart = ascii_chart({"a": [2.0, 2.0, 2.0]})
+        assert "*" in chart
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ReproError):
+            ascii_chart({"a": [1, 2], "b": [1, 2, 3]})
+
+    def test_single_point_rejected(self):
+        with pytest.raises(ReproError):
+            ascii_chart({"a": [1]})
+
+    def test_too_small_canvas_rejected(self):
+        with pytest.raises(ReproError):
+            ascii_chart({"a": [1, 2]}, width=4, height=2)
+
+    def test_too_many_series_rejected(self):
+        series = {f"s{i}": [1, 2] for i in range(10)}
+        with pytest.raises(ReproError):
+            ascii_chart(series)
+
+    def test_x_length_mismatch_rejected(self):
+        with pytest.raises(ReproError):
+            ascii_chart({"a": [1, 2, 3]}, x=[1, 2])
+
+
+class TestSparkline:
+    def test_monotone_shape(self):
+        spark = ascii_sparkline([0, 1, 2, 3, 4])
+        assert spark[0] == " " and spark[-1] == "@"
+
+    def test_constant_is_flat(self):
+        spark = ascii_sparkline([5, 5, 5])
+        assert len(set(spark)) == 1
+
+    def test_resampling_width(self):
+        spark = ascii_sparkline(list(range(100)), width=10)
+        assert len(spark) == 10
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            ascii_sparkline([])

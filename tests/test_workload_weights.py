@@ -1,0 +1,195 @@
+"""Application-profile weighting tests."""
+
+import pytest
+
+from repro.benchmarks import (
+    BenchmarkSuite,
+    EffectiveBandwidthBenchmark,
+    HPLBenchmark,
+    IOzoneBenchmark,
+    RandomAccessBenchmark,
+    StreamBenchmark,
+)
+from repro.core import (
+    CFD_PROFILE,
+    CHECKPOINT_HEAVY_PROFILE,
+    DENSE_LINALG_PROFILE,
+    GENOMICS_PROFILE,
+    ApplicationProfile,
+    ReferenceSet,
+    TGICalculator,
+    WorkloadWeights,
+)
+from repro.exceptions import WeightError
+from repro.sim import ClusterExecutor
+
+
+@pytest.fixture
+def five_suite_result(fire_small):
+    suite = BenchmarkSuite(
+        [
+            HPLBenchmark(sizing=("fixed", 4480), rounds=1),
+            StreamBenchmark(target_seconds=5),
+            IOzoneBenchmark(target_seconds=5),
+            RandomAccessBenchmark(target_seconds=5),
+            EffectiveBandwidthBenchmark(target_seconds=5),
+        ]
+    )
+    executor = ClusterExecutor(fire_small, rng=3)
+    return suite.run(executor, fire_small.total_cores)
+
+
+@pytest.fixture
+def three_suite_result(quick_suite, executor):
+    return quick_suite.run(executor, 32)
+
+
+class TestApplicationProfile:
+    def test_fractions_must_sum_to_one(self):
+        with pytest.raises(WeightError):
+            ApplicationProfile(name="bad", compute=0.5, io=0.6)
+
+    def test_negative_fraction_rejected(self):
+        with pytest.raises(WeightError):
+            ApplicationProfile(name="bad", compute=1.2, io=-0.2)
+
+    def test_shipped_profiles_are_valid(self):
+        for profile in (CFD_PROFILE, GENOMICS_PROFILE, CHECKPOINT_HEAVY_PROFILE, DENSE_LINALG_PROFILE):
+            assert sum(profile.fraction(s) for s in
+                       ("compute", "memory_bandwidth", "memory_latency", "io", "network")
+                       ) == pytest.approx(1.0)
+
+    def test_dominant_subsystem(self):
+        assert CFD_PROFILE.dominant_subsystem == "memory_bandwidth"
+        assert GENOMICS_PROFILE.dominant_subsystem == "memory_latency"
+        assert DENSE_LINALG_PROFILE.dominant_subsystem == "compute"
+
+    def test_unknown_subsystem_rejected(self):
+        with pytest.raises(WeightError):
+            CFD_PROFILE.fraction("gpu")
+
+
+class TestWorkloadWeights:
+    def test_five_benchmark_direct_mapping(self, five_suite_result):
+        weights = WorkloadWeights(CFD_PROFILE).weights(five_suite_result)
+        # all five subsystems probed -> weights equal the profile fractions
+        assert weights["STREAM"] == pytest.approx(0.50)
+        assert weights["b_eff"] == pytest.approx(0.25)
+        assert weights["HPL"] == pytest.approx(0.15)
+
+    def test_three_benchmark_redistribution(self, three_suite_result):
+        """Unprobed mass (memory latency, network) redistributes
+        proportionally over HPL/STREAM/IOzone."""
+        weights = WorkloadWeights(CFD_PROFILE).weights(three_suite_result)
+        covered = 0.15 + 0.50 + 0.05
+        assert weights["HPL"] == pytest.approx(0.15 / covered)
+        assert weights["STREAM"] == pytest.approx(0.50 / covered)
+        assert weights["IOzone"] == pytest.approx(0.05 / covered)
+        assert sum(weights.values()) == pytest.approx(1.0)
+
+    def test_checkpoint_profile_weights_io_highest(self, three_suite_result):
+        weights = WorkloadWeights(CHECKPOINT_HEAVY_PROFILE).weights(three_suite_result)
+        assert max(weights, key=weights.get) == "IOzone"
+
+    def test_unmapped_benchmark_rejected(self, three_suite_result):
+        scheme = WorkloadWeights(
+            CFD_PROFILE, benchmark_subsystems={"HPL": "compute"}
+        )
+        with pytest.raises(WeightError, match="no subsystem mapping"):
+            scheme.weights(three_suite_result)
+
+    def test_duplicate_subsystem_rejected(self, three_suite_result):
+        scheme = WorkloadWeights(
+            CFD_PROFILE,
+            benchmark_subsystems={
+                "HPL": "compute",
+                "STREAM": "compute",
+                "IOzone": "io",
+            },
+        )
+        with pytest.raises(WeightError, match="same subsystem"):
+            scheme.weights(three_suite_result)
+
+    def test_zero_coverage_rejected(self, three_suite_result):
+        network_only = ApplicationProfile(name="net", network=1.0)
+        with pytest.raises(WeightError, match="no mass"):
+            WorkloadWeights(network_only).weights(three_suite_result)
+
+    def test_scheme_name_mentions_profile(self):
+        assert "CFD" in WorkloadWeights(CFD_PROFILE).name
+
+
+class TestWorkloadWeightedTGI:
+    def test_profiles_reorder_contributions(self, five_suite_result):
+        """The paper's flexibility claim end to end: the same measurements
+        yield different TGIs under different application profiles."""
+        ref = ReferenceSet.from_suite_result(five_suite_result)
+        values = {}
+        for profile in (CFD_PROFILE, GENOMICS_PROFILE, DENSE_LINALG_PROFILE):
+            calc = TGICalculator(ref, weighting=WorkloadWeights(profile))
+            tgi = calc.compute(five_suite_result)
+            values[profile.name] = tgi.value
+            # self-reference invariant survives any profile
+            assert tgi.value == pytest.approx(1.0)
+        assert len(values) == 3
+
+
+class TestWorkloadWeightProperties:
+    """Hypothesis invariants over random application profiles."""
+
+    from hypothesis import HealthCheck as _HealthCheck
+    from hypothesis import given as _given, settings as _settings
+    from hypothesis import strategies as _st
+
+    @staticmethod
+    def _profile_from(raw):
+        total = sum(raw)
+        fracs = [r / total for r in raw]
+        # normalize rounding drift into the largest component
+        drift = 1.0 - sum(fracs)
+        fracs[fracs.index(max(fracs))] += drift
+        return ApplicationProfile(
+            name="random",
+            compute=fracs[0],
+            memory_bandwidth=fracs[1],
+            memory_latency=fracs[2],
+            io=fracs[3],
+            network=fracs[4],
+        )
+
+    @_given(
+        raw=_st.lists(
+            _st.floats(min_value=0.01, max_value=1.0), min_size=5, max_size=5
+        )
+    )
+    @_settings(
+        max_examples=60,
+        deadline=None,
+        suppress_health_check=[_HealthCheck.function_scoped_fixture],
+    )
+    def test_weights_always_valid_for_three_member_suite(
+        self, raw, three_suite_result
+    ):
+        profile = self._profile_from(raw)
+        weights = WorkloadWeights(profile).weights(three_suite_result)
+        assert sum(weights.values()) == pytest.approx(1.0)
+        assert all(w >= 0 for w in weights.values())
+
+    @_given(
+        raw=_st.lists(
+            _st.floats(min_value=0.01, max_value=1.0), min_size=5, max_size=5
+        )
+    )
+    @_settings(
+        max_examples=60,
+        deadline=None,
+        suppress_health_check=[_HealthCheck.function_scoped_fixture],
+    )
+    def test_redistribution_preserves_probed_ratios(self, raw, three_suite_result):
+        """Folding unprobed mass must not change the probed subsystems'
+        relative ordering."""
+        profile = self._profile_from(raw)
+        weights = WorkloadWeights(profile).weights(three_suite_result)
+        ratio_profile = profile.compute / profile.memory_bandwidth
+        ratio_weights = weights["HPL"] / weights["STREAM"]
+        assert ratio_weights == pytest.approx(ratio_profile, rel=1e-9)
