@@ -1,14 +1,22 @@
 """Simulator-cost benchmarks: what a campaign costs to run.
 
 Times the substrate itself — one full suite run at a scale point, one
-engine execution at 1024 ranks, one metered power-folding pass — so
-regressions in the simulation core are caught by the benchmark suite.
+engine execution at 1024 ranks, one metered power-folding pass, and the
+campaign executor's three regimes (serial, process pool, warm cache) — so
+regressions in the simulation core and the campaign layer are caught by
+the benchmark suite.
 """
+
+import dataclasses
+import os
+import time
 
 import pytest
 
 from repro.benchmarks import BenchmarkSuite, HPLBenchmark, IOzoneBenchmark, StreamBenchmark
+from repro.campaign import CampaignRunner, ResultCache, fleet_jobs
 from repro.cluster import presets
+from repro.experiments import PAPER_CONFIG
 from repro.sim import (
     ClusterExecutor,
     RankProgram,
@@ -63,3 +71,59 @@ def test_power_folding_cost(benchmark):
     ]
     record = benchmark(executor.execute, placement, programs)
     assert record.makespan_s == pytest.approx(30.0 + 25.0)
+
+
+# --- campaign executor ----------------------------------------------------
+
+#: A cheap per-job suite so 50-job campaigns stay benchmark-sized.
+_CAMPAIGN_CONFIG = dataclasses.replace(
+    PAPER_CONFIG,
+    hpl_problem_size=8960,
+    hpl_rounds=2,
+    stream_target_seconds=10,
+    iozone_target_seconds=10,
+)
+
+#: The acceptance-scale campaign: >= 50 independent experiment configs.
+_CAMPAIGN_SIZE = 50
+
+
+def _campaign_jobs():
+    return fleet_jobs(_CAMPAIGN_SIZE, era="2011", config=_CAMPAIGN_CONFIG)
+
+
+def test_campaign_serial_cost(benchmark):
+    """Baseline: the 50-config campaign through the serial path."""
+    runner = CampaignRunner(workers=1)
+    result = benchmark.pedantic(runner.run, args=(_campaign_jobs(),), rounds=1, iterations=1)
+    assert len(result) == _CAMPAIGN_SIZE
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 2,
+    reason="parallel speedup needs more than one CPU",
+)
+def test_campaign_parallel_beats_serial():
+    """Acceptance: workers=4 beats the serial path on the same 50 configs."""
+    jobs = _campaign_jobs()
+    t0 = time.perf_counter()
+    serial = CampaignRunner(workers=1).run(jobs)
+    serial_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    parallel = CampaignRunner(workers=4).run(jobs)
+    parallel_s = time.perf_counter() - t0
+    assert parallel_s < serial_s, (parallel_s, serial_s)
+    # and the pool changed nothing but the wall time
+    assert [o.payload for o in parallel] == [o.payload for o in serial]
+
+
+def test_campaign_warm_cache_cost(benchmark, tmp_path):
+    """A warm-cache rerun costs file reads, not simulation."""
+    jobs = _campaign_jobs()
+    CampaignRunner(workers=1, cache=ResultCache(tmp_path)).run(jobs)
+
+    def rerun():
+        return CampaignRunner(workers=1, cache=ResultCache(tmp_path)).run(jobs)
+
+    result = benchmark(rerun)
+    assert result.manifest["cache_run"]["hit_rate"] >= 0.9

@@ -12,51 +12,88 @@ The two lists disagree — machines with strong compute but weak disks or
 starved memory channels fall when the whole system is scored — and the
 example reports exactly who moved and why.
 
+The fleet is measured through :class:`repro.campaign.CampaignRunner`: one
+job per machine plus the reference run, fanned out over a process pool.
+Set ``REPRO_WORKERS`` to change the pool width (default 4, 1 = serial)
+and ``REPRO_CAMPAIGN_CACHE`` to a directory to make reruns near-instant
+cache hits.
+
 Run:  python examples/green500_style_list.py
 """
 
-from repro import (
-    BenchmarkSuite,
-    ClusterExecutor,
-    HPLBenchmark,
-    IOzoneBenchmark,
-    ReferenceSet,
-    StreamBenchmark,
-    TGICalculator,
-    presets,
-)
+import dataclasses
+import os
+
+from repro import ReferenceSet, TGICalculator
 from repro.analysis import ParetoPoint, dominated_by, render_table, spearman
-from repro.cluster import generate_fleet
+from repro.campaign import (
+    CampaignJob,
+    CampaignRunner,
+    ClusterRef,
+    ResultCache,
+    fleet_jobs,
+)
+from repro.experiments import PAPER_CONFIG
 
 FLEET_SIZE = 10
 
+#: The quick suite this example measures everywhere (small HPL, short runs).
+LIST_CONFIG = dataclasses.replace(
+    PAPER_CONFIG,
+    hpl_problem_size=20160,
+    hpl_rounds=2,
+    stream_target_seconds=15,
+    iozone_target_seconds=15,
+)
+
+
+def build_jobs():
+    """One full-machine job per fleet member, plus the shared reference."""
+    jobs = fleet_jobs(FLEET_SIZE, era="2011", fleet_seed=20110615, config=LIST_CONFIG)
+    jobs.append(
+        CampaignJob(
+            job_id="reference",
+            cluster=ClusterRef(kind="preset", name="system_g", num_nodes=16),
+            seed=1,
+            config=LIST_CONFIG,
+        )
+    )
+    return jobs
+
 
 def main() -> None:
-    suite = BenchmarkSuite(
-        [
-            HPLBenchmark(sizing=("fixed", 20160), rounds=2),
-            StreamBenchmark(target_seconds=15),
-            IOzoneBenchmark(target_seconds=15),
-        ]
+    workers = int(os.environ.get("REPRO_WORKERS", "4"))
+    cache_dir = os.environ.get("REPRO_CAMPAIGN_CACHE")
+    cache = ResultCache(cache_dir) if cache_dir else None
+    runner = CampaignRunner(workers=workers, cache=cache)
+
+    jobs = build_jobs()
+    print(
+        f"measuring a fleet of {FLEET_SIZE} machines (era 2011) "
+        f"through the campaign executor (workers={workers})..."
+    )
+    campaign = runner.run(jobs, label="green500-style-list")
+    stats = campaign.manifest["cache_run"]
+    print(
+        f"campaign done in {campaign.manifest['total_wall_s']:.2f} s "
+        f"({stats['hits']}/{stats['jobs']} cache hits)"
     )
 
-    print(f"generating and measuring a fleet of {FLEET_SIZE} machines (era 2011)...")
-    fleet = generate_fleet(FLEET_SIZE, era="2011", seed=20110615)
-    measurements = []
-    for i, cluster in enumerate(fleet):
-        executor = ClusterExecutor(cluster, rng=100 + i)
-        measurements.append((cluster, suite.run(executor, cluster.total_cores)))
-
-    reference_system = presets.system_g(num_nodes=16)
-    ref_result = suite.run(ClusterExecutor(reference_system, rng=1), reference_system.total_cores)
-    reference = ReferenceSet.from_suite_result(ref_result, system_name="SystemG-16")
+    reference = ReferenceSet.from_suite_result(
+        campaign.suite("reference"), system_name="SystemG-16"
+    )
     calculator = TGICalculator(reference)
 
+    measurements = [
+        (outcome.payload["cluster_name"], campaign.suite(outcome.job.job_id))
+        for outcome in campaign
+        if outcome.job.job_id != "reference"
+    ]
     scored = []
-    for cluster, result in measurements:
+    for name, result in measurements:
         flops_per_watt = result["HPL"].energy_efficiency
         tgi = calculator.compute(result)
-        scored.append((cluster.name, flops_per_watt, tgi))
+        scored.append((name, flops_per_watt, tgi))
 
     by_flops = sorted(scored, key=lambda s: s[1], reverse=True)
     by_tgi = sorted(scored, key=lambda s: s[2].value, reverse=True)
@@ -100,11 +137,11 @@ def main() -> None:
     # --- the two-objective view neither list shows ----------------------
     points = [
         ParetoPoint(
-            name=cluster.name,
+            name=name,
             performance=result["HPL"].performance,
             power_w=result["HPL"].power_w,
         )
-        for cluster, result in measurements
+        for name, result in measurements
     ]
     dom = dominated_by(points)
     frontier = [name for name, dominators in dom.items() if not dominators]

@@ -80,7 +80,15 @@ from .power import NodePowerModel, PowerTrace, WallPlugMeter
 from .sim import ClusterExecutor
 from .exceptions import ReproError
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+from .campaign import (  # noqa: E402 - needs __version__ for cache stamps
+    CampaignJob,
+    CampaignResult,
+    CampaignRunner,
+    ClusterRef,
+    ResultCache,
+)
 
 __all__ = [
     "presets",
@@ -110,6 +118,11 @@ __all__ = [
     "PowerTrace",
     "WallPlugMeter",
     "ClusterExecutor",
+    "CampaignJob",
+    "CampaignResult",
+    "CampaignRunner",
+    "ClusterRef",
+    "ResultCache",
     "ReproError",
     "__version__",
 ]

@@ -21,7 +21,7 @@ from .iozone import IOzoneBenchmark
 from .randomaccess import RandomAccessBenchmark
 from .network import EffectiveBandwidthBenchmark
 from .suite import BenchmarkSuite, SuiteResult
-from .runner import ScalingSweep, SweepResult, ScalePoint
+from .runner import ScalingSweep, SweepResult, ScalePoint, run_sweep
 
 __all__ = [
     "Benchmark",
@@ -36,4 +36,5 @@ __all__ = [
     "ScalingSweep",
     "SweepResult",
     "ScalePoint",
+    "run_sweep",
 ]

@@ -18,7 +18,7 @@ from ..exceptions import BenchmarkError
 from ..sim.executor import ClusterExecutor
 from .suite import BenchmarkSuite, SuiteResult
 
-__all__ = ["ScalePoint", "SweepResult", "ScalingSweep"]
+__all__ = ["ScalePoint", "SweepResult", "ScalingSweep", "run_sweep"]
 
 
 @dataclass(frozen=True)
@@ -72,6 +72,30 @@ class SweepResult:
         return len(self.points)
 
 
+def run_sweep(
+    suite: BenchmarkSuite, executor: ClusterExecutor, core_counts: Sequence[int]
+) -> SweepResult:
+    """Run ``suite`` at each core count on one executor, in order.
+
+    This is the pure execution primitive behind :class:`ScalingSweep` and
+    the campaign layer's jobs: given the same suite, a freshly-seeded
+    executor, and the same core counts, it produces bit-identical results
+    regardless of which process runs it.
+    """
+    if not core_counts:
+        raise BenchmarkError("need at least one core count")
+    if list(core_counts) != sorted(core_counts):
+        raise BenchmarkError("core counts must be ascending")
+    if len(set(core_counts)) != len(core_counts):
+        raise BenchmarkError("core counts must be distinct")
+    points = []
+    suites = []
+    for cores in core_counts:
+        points.append(ScalePoint(cores=cores))
+        suites.append(suite.run(executor, cores))
+    return SweepResult(points=tuple(points), suites=tuple(suites))
+
+
 class ScalingSweep:
     """Run a suite at each of a list of core counts."""
 
@@ -87,9 +111,4 @@ class ScalingSweep:
 
     def run(self, executor: ClusterExecutor) -> SweepResult:
         """Execute the sweep."""
-        points = []
-        suites = []
-        for cores in self.core_counts:
-            points.append(ScalePoint(cores=cores))
-            suites.append(self.suite.run(executor, cores))
-        return SweepResult(points=tuple(points), suites=tuple(suites))
+        return run_sweep(self.suite, executor, self.core_counts)

@@ -1,0 +1,70 @@
+"""Campaign execution: parallel fan-out, result caching, run manifests.
+
+Every interesting study in this repository — weight sensitivity, DVFS
+sweeps, Green500-style lists, reference-system sensitivity — is an
+O(systems x benchmarks x configs) *campaign* of independent measurements.
+This package is the substrate that runs them at scale:
+
+:mod:`~repro.campaign.jobs`
+    :class:`CampaignJob` / :class:`ClusterRef` — pure, picklable units of
+    work — and :func:`execute_job`, the single function both the process
+    pool and the cache address.
+:mod:`~repro.campaign.cache`
+    :class:`ResultCache` — content-addressed on-disk payload cache with
+    hit/miss/invalidation accounting.
+:mod:`~repro.campaign.runner`
+    :class:`CampaignRunner` — the pool/serial executor — and
+    :class:`CampaignResult`.
+:mod:`~repro.campaign.manifest`
+    Machine-readable run manifests and their reproducibility fingerprint.
+
+Quick tour:
+
+>>> from repro.campaign import CampaignRunner, ResultCache, fleet_jobs
+>>> runner = CampaignRunner(workers=4, cache=ResultCache("~/.cache/tgi"))
+>>> result = runner.run(fleet_jobs(50))          # doctest: +SKIP
+>>> result.manifest["cache_run"]["hit_rate"]     # doctest: +SKIP
+"""
+
+from .cache import CacheStats, ResultCache, cache_key, canonical_json
+from .jobs import (
+    CampaignJob,
+    ClusterRef,
+    execute_job,
+    fleet_jobs,
+    job_from_dict,
+    job_to_dict,
+    paper_jobs,
+    payload_sweep,
+)
+from .manifest import (
+    MANIFEST_VERSION,
+    load_manifest,
+    manifest_core,
+    manifest_fingerprint,
+    write_manifest,
+)
+from .runner import CampaignResult, CampaignRunner, JobOutcome
+
+__all__ = [
+    "CacheStats",
+    "ResultCache",
+    "cache_key",
+    "canonical_json",
+    "CampaignJob",
+    "ClusterRef",
+    "execute_job",
+    "fleet_jobs",
+    "job_from_dict",
+    "job_to_dict",
+    "paper_jobs",
+    "payload_sweep",
+    "MANIFEST_VERSION",
+    "load_manifest",
+    "manifest_core",
+    "manifest_fingerprint",
+    "write_manifest",
+    "CampaignResult",
+    "CampaignRunner",
+    "JobOutcome",
+]

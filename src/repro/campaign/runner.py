@@ -1,0 +1,259 @@
+"""The campaign executor: fan jobs out, consult the cache, keep the books.
+
+:class:`CampaignRunner` takes a list of :class:`~repro.campaign.jobs.CampaignJob`
+and produces a :class:`CampaignResult`:
+
+1. every job is keyed by the SHA-256 of its canonical serialization;
+2. keyed jobs are probed against the (optional) on-disk
+   :class:`~repro.campaign.cache.ResultCache` — hits skip execution;
+3. the remaining jobs run on a ``concurrent.futures`` process pool
+   (``workers > 1``) or inline (``workers == 1``, and automatically as a
+   fallback when the platform cannot spawn a pool);
+4. each outcome records wall time and cache status, and the whole run is
+   summarized in a machine-readable manifest (see
+   :mod:`repro.campaign.manifest`).
+
+Ordering is part of the contract: outcomes and manifest rows follow job
+submission order, never completion order, so parallel runs are manifest-
+identical to serial runs modulo the volatile timing fields.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..benchmarks.runner import SweepResult
+from ..benchmarks.suite import SuiteResult
+from ..exceptions import ReproError
+from .cache import ResultCache, cache_key
+from .jobs import CampaignJob, execute_job, job_to_dict, payload_sweep
+from .manifest import MANIFEST_VERSION, manifest_fingerprint, write_manifest
+
+__all__ = ["JobOutcome", "CampaignResult", "CampaignRunner"]
+
+#: Cache statuses a job outcome can carry.
+CACHE_STATUSES = ("hit", "computed", "uncached")
+
+
+@dataclass(frozen=True)
+class JobOutcome:
+    """One job's result plus its execution record."""
+
+    job: CampaignJob
+    key: str
+    payload: Dict
+    cache_status: str  # "hit" | "computed" | "uncached"
+    wall_s: float
+
+    @property
+    def sweep(self) -> SweepResult:
+        """The job's results as a live sweep object."""
+        return payload_sweep(self.payload)
+
+
+class CampaignResult:
+    """All outcomes of one campaign run, in submission order."""
+
+    def __init__(self, outcomes: Sequence[JobOutcome], manifest: Dict):
+        self.outcomes: List[JobOutcome] = list(outcomes)
+        self.manifest = manifest
+        self._by_id = {o.job.job_id: o for o in self.outcomes}
+
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+    def __iter__(self):
+        return iter(self.outcomes)
+
+    def __getitem__(self, job_id: str) -> JobOutcome:
+        try:
+            return self._by_id[job_id]
+        except KeyError:
+            raise KeyError(
+                f"no job {job_id!r} in campaign; ran {sorted(self._by_id)}"
+            ) from None
+
+    def sweep(self, job_id: str) -> SweepResult:
+        """One job's results as a sweep."""
+        return self[job_id].sweep
+
+    def suite(self, job_id: str) -> SuiteResult:
+        """A single-point job's suite result."""
+        sweep = self.sweep(job_id)
+        if len(sweep) != 1:
+            raise ReproError(
+                f"job {job_id!r} has {len(sweep)} scale points; use sweep()"
+            )
+        return sweep.suites[0]
+
+    @property
+    def cache_hits(self) -> int:
+        """Jobs satisfied from the cache."""
+        return sum(1 for o in self.outcomes if o.cache_status == "hit")
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of jobs satisfied from the cache."""
+        if not self.outcomes:
+            return 0.0
+        return self.cache_hits / len(self.outcomes)
+
+    def write_manifest(self, path) -> None:
+        """Persist the manifest as JSON."""
+        write_manifest(self.manifest, path)
+
+
+def _execute_keyed(args):
+    """Pool-side shim: (index, job) -> (index, payload)."""
+    index, job = args
+    return index, execute_job(job)
+
+
+class CampaignRunner:
+    """Executes campaigns of independent jobs with caching and observability.
+
+    Parameters
+    ----------
+    workers:
+        Process-pool width; ``1`` (default) runs inline.  Pools that fail
+        to start (restricted platforms) degrade to the serial path, which
+        is result-identical by construction.
+    cache:
+        A :class:`ResultCache`, or ``None`` to always execute.
+    """
+
+    def __init__(self, *, workers: int = 1, cache: Optional[ResultCache] = None):
+        if workers < 1:
+            raise ReproError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.cache = cache
+
+    # ------------------------------------------------------------------
+    def run(self, jobs: Sequence[CampaignJob], *, label: str = "campaign") -> CampaignResult:
+        """Execute the campaign and return outcomes plus manifest."""
+        jobs = list(jobs)
+        if not jobs:
+            raise ReproError("campaign needs at least one job")
+        ids = [job.job_id for job in jobs]
+        if len(set(ids)) != len(ids):
+            dupes = sorted({i for i in ids if ids.count(i) > 1})
+            raise ReproError(f"duplicate job ids in campaign: {dupes}")
+
+        t_start = time.perf_counter()
+        keys = [cache_key(job) for job in jobs]
+        payloads: Dict[int, Dict] = {}
+        statuses: Dict[int, str] = {}
+        walls: Dict[int, float] = {}
+
+        pending: List[int] = []
+        for index, key in enumerate(keys):
+            if self.cache is not None:
+                t0 = time.perf_counter()
+                cached = self.cache.get(key)
+                if cached is not None:
+                    payloads[index] = cached
+                    statuses[index] = "hit"
+                    walls[index] = time.perf_counter() - t0
+                    continue
+            pending.append(index)
+
+        workers_used = self._execute(jobs, pending, payloads, walls)
+        for index in pending:
+            statuses[index] = "uncached" if self.cache is None else "computed"
+            if self.cache is not None:
+                self.cache.put(keys[index], payloads[index])
+
+        total_wall = time.perf_counter() - t_start
+        outcomes = [
+            JobOutcome(
+                job=jobs[i],
+                key=keys[i],
+                payload=payloads[i],
+                cache_status=statuses[i],
+                wall_s=walls[i],
+            )
+            for i in range(len(jobs))
+        ]
+        manifest = self._build_manifest(label, outcomes, total_wall, workers_used)
+        return CampaignResult(outcomes, manifest)
+
+    # ------------------------------------------------------------------
+    def _execute(
+        self,
+        jobs: Sequence[CampaignJob],
+        pending: List[int],
+        payloads: Dict[int, Dict],
+        walls: Dict[int, float],
+    ) -> int:
+        """Run the uncached jobs; returns the worker count actually used."""
+        if not pending:
+            return 1
+        if self.workers > 1 and len(pending) > 1:
+            try:
+                with ProcessPoolExecutor(max_workers=self.workers) as pool:
+                    t0 = time.perf_counter()
+                    for index, payload in pool.map(
+                        _execute_keyed, [(i, jobs[i]) for i in pending]
+                    ):
+                        payloads[index] = payload
+                        # Per-job wall time is unobservable from the parent
+                        # under a pool; record elapsed-so-far, which is still
+                        # monotone and sums sensibly.  Volatile by contract.
+                        walls[index] = time.perf_counter() - t0
+                        t0 = time.perf_counter()
+                return min(self.workers, len(pending))
+            except (OSError, PermissionError, ImportError):
+                pass  # fall through to the serial path
+        for index in pending:
+            t0 = time.perf_counter()
+            payloads[index] = execute_job(jobs[index])
+            walls[index] = time.perf_counter() - t0
+        return 1
+
+    # ------------------------------------------------------------------
+    def _build_manifest(
+        self,
+        label: str,
+        outcomes: Sequence[JobOutcome],
+        total_wall: float,
+        workers_used: int,
+    ) -> Dict:
+        from .. import __version__
+
+        cache_stats = self.cache.stats.as_dict() if self.cache is not None else None
+        hits = sum(1 for o in outcomes if o.cache_status == "hit")
+        manifest = {
+            "manifest_version": MANIFEST_VERSION,
+            "label": label,
+            "code_version": self.cache.code_version if self.cache else __version__,
+            "created_unix": time.time(),
+            "total_wall_s": total_wall,
+            "workers_requested": self.workers,
+            "workers_used": workers_used,
+            "cache_enabled": self.cache is not None,
+            "cache": cache_stats,
+            "cache_run": {
+                "jobs": len(outcomes),
+                "hits": hits,
+                "executed": len(outcomes) - hits,
+                "hit_rate": hits / len(outcomes),
+            },
+            "jobs": [
+                {
+                    "job_id": o.job.job_id,
+                    "key": o.key,
+                    "payload_sha256": cache_key(o.payload),
+                    "cluster_name": o.payload["cluster_name"],
+                    "core_counts": list(o.job.core_counts),
+                    "spec": job_to_dict(o.job),
+                    "cache_status": o.cache_status,
+                    "wall_s": o.wall_s,
+                }
+                for o in outcomes
+            ],
+        }
+        manifest["fingerprint"] = manifest_fingerprint(manifest)
+        return manifest

@@ -7,6 +7,7 @@
     tgi run all                  # regenerate everything
     tgi rank                     # TGI ranking of the preset systems
     tgi specs                    # print the preset system spec sheets
+    tgi campaign --workers 4     # parallel, cached measurement campaign
 
 Also reachable as ``python -m repro``.
 """
@@ -92,6 +93,37 @@ def build_parser() -> argparse.ArgumentParser:
         "archive", help="run the calibrated campaign and save it as JSON"
     )
     archive.add_argument("output", help="path of the JSON archive to write")
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="run a measurement campaign through the parallel executor",
+    )
+    campaign.add_argument(
+        "--workers", type=int, default=1, help="process-pool width (1 = serial)"
+    )
+    campaign.add_argument(
+        "--cache-dir",
+        default=None,
+        help="content-addressed result cache directory (omit to disable caching)",
+    )
+    campaign.add_argument(
+        "--manifest", default=None, help="write the JSON run manifest to this path"
+    )
+    campaign.add_argument(
+        "--fleet",
+        type=int,
+        default=0,
+        help="also measure N generated machines at full scale",
+    )
+    campaign.add_argument(
+        "--era",
+        choices=("2008", "2011", "2015", "2021"),
+        default="2011",
+        help="era template for the generated fleet",
+    )
+    campaign.add_argument(
+        "--fleet-seed", type=int, default=20110615, help="fleet generation seed"
+    )
     return parser
 
 
@@ -241,6 +273,64 @@ def _cmd_archive(output: str) -> int:
     return 0
 
 
+def _cmd_campaign(
+    workers: int,
+    cache_dir: Optional[str],
+    manifest_path: Optional[str],
+    fleet: int,
+    era: str,
+    fleet_seed: int,
+) -> int:
+    from .campaign import CampaignRunner, ResultCache, fleet_jobs, paper_jobs
+
+    jobs = paper_jobs(PAPER_CONFIG)
+    if fleet:
+        jobs += fleet_jobs(fleet, era=era, fleet_seed=fleet_seed)
+    cache = ResultCache(cache_dir) if cache_dir else None
+    runner = CampaignRunner(workers=workers, cache=cache)
+    result = runner.run(jobs, label="cli-campaign")
+
+    rows = []
+    for outcome in result:
+        rows.append(
+            [
+                outcome.job.job_id,
+                outcome.payload["cluster_name"],
+                len(outcome.job.core_counts) or 1,
+                outcome.cache_status,
+                f"{outcome.wall_s:.3f}",
+                outcome.key[:12],
+            ]
+        )
+    print(
+        render_table(
+            ["job", "system", "points", "cache", "wall s", "key"],
+            rows,
+            title=f"Campaign: {len(jobs)} jobs, workers={workers}",
+            align_right_from=2,
+        )
+    )
+    manifest = result.manifest
+    run_stats = manifest["cache_run"]
+    print(
+        f"\ntotal wall: {manifest['total_wall_s']:.2f} s  |  "
+        f"cache: {run_stats['hits']}/{run_stats['jobs']} hits "
+        f"({100 * run_stats['hit_rate']:.0f}%)"
+        + (f"  |  dir: {cache_dir}" if cache_dir else "  (caching disabled)")
+    )
+    if cache is not None:
+        stats = cache.stats.as_dict()
+        print(
+            f"cache accounting: {stats['hits']} hits, {stats['misses']} misses, "
+            f"{stats['invalidations']} invalidations, {stats['puts']} writes"
+        )
+    print(f"manifest fingerprint: {manifest['fingerprint'][:16]}")
+    if manifest_path:
+        result.write_manifest(manifest_path)
+        print(f"manifest written to {manifest_path}")
+    return 0
+
+
 _PROFILE_BY_FLAG = {
     "cfd": "CFD_PROFILE",
     "genomics": "GENOMICS_PROFILE",
@@ -316,6 +406,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_sensitivity()
     if args.command == "archive":
         return _cmd_archive(args.output)
+    if args.command == "campaign":
+        return _cmd_campaign(
+            args.workers,
+            args.cache_dir,
+            args.manifest,
+            args.fleet,
+            args.era,
+            args.fleet_seed,
+        )
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

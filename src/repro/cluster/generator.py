@@ -28,7 +28,7 @@ from .nic import InterconnectSpec
 from .node import NodeSpec
 from .storage import StorageKind, StorageSpec
 
-__all__ = ["EraTemplate", "ERAS", "generate_cluster", "generate_fleet"]
+__all__ = ["EraTemplate", "ERAS", "generate_cluster", "generate_fleet", "fleet_seeds"]
 
 
 @dataclass(frozen=True)
@@ -211,15 +211,25 @@ def generate_cluster(seed: RandomState, *, era: str = "2011", name: str = "") ->
     return ClusterSpec(name=cluster_name, node=node, num_nodes=num_nodes)
 
 
+def fleet_seeds(count: int, seed: RandomState = None) -> List[int]:
+    """The per-machine sub-seeds a fleet of ``count`` machines draws.
+
+    Exposed so a single fleet member can be regenerated in isolation (e.g.
+    by a campaign job running in another process) without materializing the
+    whole fleet: ``generate_cluster(fleet_seeds(n, seed)[i], ...)`` equals
+    ``generate_fleet(n, seed=seed)[i]`` spec-for-spec.
+    """
+    if count < 1:
+        raise SpecError(f"count must be >= 1, got {count}")
+    rng = ensure_rng(seed)
+    return [int(rng.integers(0, 2**62)) for _ in range(count)]
+
+
 def generate_fleet(
     count: int, *, era: str = "2011", seed: RandomState = None
 ) -> List[ClusterSpec]:
     """``count`` distinct machines of one era with unique names."""
-    if count < 1:
-        raise SpecError(f"count must be >= 1, got {count}")
-    rng = ensure_rng(seed)
     fleet = []
-    for i in range(count):
-        sub_seed = int(rng.integers(0, 2**62))
+    for i, sub_seed in enumerate(fleet_seeds(count, seed)):
         fleet.append(generate_cluster(sub_seed, era=era, name=f"{era}-sys-{i:02d}"))
     return fleet

@@ -25,8 +25,10 @@ from .config import (
     build_suite,
     build_reference,
     build_executor,
+    config_to_dict,
+    config_from_dict,
 )
-from .registry import EXPERIMENTS, get_experiment, run_experiment
+from .registry import EXPERIMENTS, get_experiment, run_experiment, execute_experiment
 from .runner import run_all, SharedContext
 
 __all__ = [
@@ -35,9 +37,12 @@ __all__ = [
     "build_suite",
     "build_reference",
     "build_executor",
+    "config_to_dict",
+    "config_from_dict",
     "EXPERIMENTS",
     "get_experiment",
     "run_experiment",
+    "execute_experiment",
     "run_all",
     "SharedContext",
 ]

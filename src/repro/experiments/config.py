@@ -26,8 +26,9 @@ Configuration summary:
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Dict, Tuple
 
 from ..benchmarks import (
     BenchmarkSuite,
@@ -40,7 +41,15 @@ from ..cluster.cluster import ClusterSpec
 from ..core.ree import ReferenceSet
 from ..sim.executor import ClusterExecutor
 
-__all__ = ["ExperimentConfig", "PAPER_CONFIG", "build_suite", "build_reference", "build_executor"]
+__all__ = [
+    "ExperimentConfig",
+    "PAPER_CONFIG",
+    "build_suite",
+    "build_reference",
+    "build_executor",
+    "config_to_dict",
+    "config_from_dict",
+]
 
 
 @dataclass(frozen=True)
@@ -76,6 +85,32 @@ class ExperimentConfig:
 
 #: The configuration used throughout the reproduction.
 PAPER_CONFIG = ExperimentConfig()
+
+
+def config_to_dict(config: ExperimentConfig) -> Dict:
+    """Canonically serialize a config (field name -> JSON-compatible value).
+
+    Field order follows the dataclass declaration; tuples become lists.
+    This is the form the campaign layer hashes into cache keys, so the
+    mapping must stay stable for a given set of field values.
+    """
+    data = dataclasses.asdict(config)
+    return {
+        key: list(value) if isinstance(value, tuple) else value
+        for key, value in data.items()
+    }
+
+
+def config_from_dict(data: Dict) -> ExperimentConfig:
+    """Rebuild a config serialized by :func:`config_to_dict`."""
+    fields = {f.name for f in dataclasses.fields(ExperimentConfig)}
+    unknown = set(data) - fields
+    if unknown:
+        raise ValueError(f"unknown ExperimentConfig fields: {sorted(unknown)}")
+    kwargs = dict(data)
+    if "core_counts" in kwargs:
+        kwargs["core_counts"] = tuple(kwargs["core_counts"])
+    return ExperimentConfig(**kwargs)
 
 
 def build_suite(config: ExperimentConfig = PAPER_CONFIG, *, reference: bool = False) -> BenchmarkSuite:

@@ -13,7 +13,13 @@ from .tgi_curves import run_fig5_tgi_am, run_fig6_tgi_weighted
 from .uncertainty import run_table2_uncertainty
 from .capability import run_fire_capability
 
-__all__ = ["ExperimentEntry", "EXPERIMENTS", "get_experiment", "run_experiment"]
+__all__ = [
+    "ExperimentEntry",
+    "EXPERIMENTS",
+    "get_experiment",
+    "run_experiment",
+    "execute_experiment",
+]
 
 
 @dataclass(frozen=True)
@@ -65,3 +71,17 @@ def run_experiment(exp_id: str, context: SharedContext = None):
     if context is None:
         context = SharedContext()
     return entry.run(context)
+
+
+def execute_experiment(exp_id: str, config=None):
+    """Pure single-experiment execution: id + config in, result out.
+
+    Unlike :func:`run_experiment`, this takes no live context — it builds
+    one from ``config`` (default: the paper config) — so the call is fully
+    described by picklable values and can be dispatched to a worker
+    process or addressed by a cache.
+    """
+    from .config import PAPER_CONFIG
+
+    entry = get_experiment(exp_id)
+    return entry.run(SharedContext(config if config is not None else PAPER_CONFIG))

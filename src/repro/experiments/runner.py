@@ -5,11 +5,18 @@ over the Fire cluster plus one reference run on SystemG.  Running that
 campaign takes a few seconds of simulation, so :class:`SharedContext`
 computes it lazily once and every driver reuses it — exactly how the paper's
 authors computed all their figures from one set of measurement logs.
+
+A context can optionally execute through a
+:class:`~repro.campaign.runner.CampaignRunner`, which runs the reference and
+the sweep as two independent jobs (in parallel when the runner has workers)
+and consults the runner's result cache.  Both jobs seed fresh executors the
+same way the serial path does, so campaign-backed contexts reproduce the
+serial numbers bit-for-bit — the golden tests pin this.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Tuple, TYPE_CHECKING
 
 from ..benchmarks.runner import ScalingSweep, SweepResult
 from ..benchmarks.suite import SuiteResult
@@ -22,44 +29,87 @@ from .config import (
     build_suite,
 )
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (campaign uses config)
+    from ..campaign.runner import CampaignRunner
+
 __all__ = ["SharedContext", "run_all"]
 
 
 class SharedContext:
-    """Lazily-computed campaign shared by the experiment drivers."""
+    """Lazily-computed campaign shared by the experiment drivers.
 
-    def __init__(self, config: ExperimentConfig = PAPER_CONFIG):
+    Parameters
+    ----------
+    config:
+        The run configuration (defaults to the calibrated paper config).
+    campaign:
+        Optional :class:`~repro.campaign.runner.CampaignRunner`; when given,
+        the reference run and the Fire sweep execute as campaign jobs —
+        cached, and in parallel if the runner has workers.
+    """
+
+    def __init__(
+        self,
+        config: ExperimentConfig = PAPER_CONFIG,
+        *,
+        campaign: Optional["CampaignRunner"] = None,
+    ):
         self.config = config
+        self.campaign = campaign
         self._reference: Optional[Tuple[ReferenceSet, SuiteResult]] = None
         self._sweep: Optional[SweepResult] = None
+
+    # Campaign-backed path ---------------------------------------------
+    def _run_campaign(self) -> None:
+        """Fill both artifacts from one two-job campaign run."""
+        from ..campaign.jobs import paper_jobs
+
+        result = self.campaign.run(paper_jobs(self.config), label="paper-context")
+        ref_outcome = result["reference"]
+        ref_suite = result.suite("reference")
+        reference = ReferenceSet.from_suite_result(
+            ref_suite, system_name=ref_outcome.payload["cluster_name"]
+        )
+        self._reference = (reference, ref_suite)
+        self._sweep = result.sweep("fire-sweep")
 
     @property
     def reference(self) -> ReferenceSet:
         """Reference efficiencies from the SystemG run."""
         if self._reference is None:
-            self._reference = build_reference(self.config)
+            if self.campaign is not None:
+                self._run_campaign()
+            else:
+                self._reference = build_reference(self.config)
         return self._reference[0]
 
     @property
     def reference_suite_result(self) -> SuiteResult:
         """The SystemG suite run itself (Table I's raw data)."""
         if self._reference is None:
-            self._reference = build_reference(self.config)
+            _ = self.reference
         return self._reference[1]
 
     @property
     def sweep(self) -> SweepResult:
         """The Fire scaling sweep behind Figures 2-6."""
         if self._sweep is None:
-            executor = build_executor(self.config)
-            suite = build_suite(self.config)
-            self._sweep = ScalingSweep(suite, list(self.config.core_counts)).run(executor)
+            if self.campaign is not None:
+                self._run_campaign()
+            else:
+                executor = build_executor(self.config)
+                suite = build_suite(self.config)
+                self._sweep = ScalingSweep(suite, list(self.config.core_counts)).run(executor)
         return self._sweep
 
 
-def run_all(config: ExperimentConfig = PAPER_CONFIG) -> Dict[str, object]:
+def run_all(
+    config: ExperimentConfig = PAPER_CONFIG,
+    *,
+    campaign: Optional["CampaignRunner"] = None,
+) -> Dict[str, object]:
     """Run every registered experiment, returning id -> result."""
     from .registry import EXPERIMENTS  # local import to avoid cycle
 
-    context = SharedContext(config)
+    context = SharedContext(config, campaign=campaign)
     return {exp_id: entry.run(context) for exp_id, entry in EXPERIMENTS.items()}

@@ -94,7 +94,11 @@ class IOzoneModel:
         window = min(self.effective_cache_window(), file_bytes)
         device_bytes = file_bytes - window
         time_s = window / self.cache_bandwidth + device_bytes / self.device_rate()
-        per_node = file_bytes / time_s
+        # The blended rate is mathematically within [device_rate, cache_bandwidth],
+        # but the float division can land a few ulps above the cache ceiling
+        # (e.g. when the file barely exceeds the absorption window); clamp so the
+        # model honours its own bound exactly.
+        per_node = min(file_bytes / time_s, self.cache_bandwidth)
         return IOzonePrediction(
             num_nodes=num_nodes,
             file_bytes=file_bytes,

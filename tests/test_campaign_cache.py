@@ -1,0 +1,127 @@
+"""Result-cache tests: canonical keying and the hit/miss/invalidation books."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.campaign import CampaignJob, ClusterRef, ResultCache, cache_key, canonical_json
+from repro.exceptions import ReproError
+from repro.experiments import PAPER_CONFIG
+
+
+@pytest.fixture
+def job():
+    return CampaignJob(job_id="j1", cluster=ClusterRef(kind="preset", name="fire"))
+
+
+class TestCanonicalJson:
+    def test_dataclasses_become_sorted_objects(self, job):
+        text = canonical_json(job)
+        data = json.loads(text)
+        assert data["job_id"] == "j1"
+        assert data["cluster"]["name"] == "fire"
+        # canonical form: no whitespace, keys sorted
+        assert " " not in text
+        assert list(data) == sorted(data)
+
+    def test_tuples_and_lists_agree(self):
+        assert canonical_json((1, 2, 3)) == canonical_json([1, 2, 3])
+
+    def test_rejects_unserializable_values(self):
+        with pytest.raises(ReproError):
+            canonical_json(object())
+
+    def test_key_is_stable_across_calls(self, job):
+        assert cache_key(job) == cache_key(job)
+
+    def test_key_changes_with_any_field(self, job):
+        assert cache_key(job) != cache_key(dataclasses.replace(job, seed=1))
+        assert cache_key(job) != cache_key(
+            dataclasses.replace(job, config=dataclasses.replace(PAPER_CONFIG, hpl_rounds=5))
+        )
+
+    def test_key_is_sha256_hex(self, job):
+        key = cache_key(job)
+        assert len(key) == 64
+        int(key, 16)  # parses as hex
+
+
+class TestResultCache:
+    def test_miss_then_put_then_hit(self, tmp_path, job):
+        cache = ResultCache(tmp_path)
+        key = cache_key(job)
+        assert cache.get(key) is None
+        cache.put(key, {"x": 1})
+        assert cache.get(key) == {"x": 1}
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.puts == 1
+
+    def test_entry_path_is_content_addressed(self, tmp_path, job):
+        cache = ResultCache(tmp_path)
+        key = cache_key(job)
+        path = cache.put(key, {"x": 1})
+        assert path == tmp_path / key[:2] / f"{key}.json"
+        assert path.exists()
+
+    def test_contains_and_len(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert len(cache) == 0
+        cache.put("ab" + "0" * 62, {"x": 1})
+        cache.put("cd" + "0" * 62, {"x": 2})
+        assert len(cache) == 2
+        assert "ab" + "0" * 62 in cache
+        assert "ef" + "0" * 62 not in cache
+
+    def test_stale_code_version_is_invalidated(self, tmp_path):
+        key = "ab" + "0" * 62
+        old = ResultCache(tmp_path, code_version="0.9.0")
+        old.put(key, {"x": 1})
+        new = ResultCache(tmp_path, code_version="1.0.0")
+        assert new.get(key) is None
+        assert new.stats.invalidations == 1
+        assert new.stats.hits == 0
+        # the stale entry was dropped, so the rerun repopulates cleanly
+        new.put(key, {"x": 2})
+        assert new.get(key) == {"x": 2}
+
+    def test_corrupt_entry_is_invalidated(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "ab" + "0" * 62
+        path = cache.put(key, {"x": 1})
+        path.write_text("{not json")
+        assert cache.get(key) is None
+        assert cache.stats.invalidations == 1
+        assert not path.exists()
+
+    def test_key_mismatch_inside_entry_is_invalidated(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key_a = "ab" + "0" * 62
+        key_b = "cd" + "0" * 62
+        path_a = cache.put(key_a, {"x": 1})
+        # simulate a mis-filed entry
+        target = cache.path_for(key_b)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(path_a.read_text())
+        assert cache.get(key_b) is None
+        assert cache.stats.invalidations == 1
+
+    def test_hit_rate_accounting(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "ab" + "0" * 62
+        cache.get(key)  # miss
+        cache.put(key, {"x": 1})
+        cache.get(key)  # hit
+        cache.get(key)  # hit
+        assert cache.stats.lookups == 3
+        assert cache.stats.hit_rate == pytest.approx(2 / 3)
+        snapshot = cache.stats.as_dict()
+        assert snapshot["hits"] == 2
+        assert snapshot["misses"] == 1
+        assert snapshot["invalidations"] == 0
+
+    def test_default_code_version_is_library_version(self, tmp_path):
+        import repro
+
+        assert ResultCache(tmp_path).code_version == repro.__version__

@@ -113,3 +113,75 @@ class TestExtendedCommands:
     def test_suite_rejects_unknown_system(self):
         with pytest.raises(SystemExit):
             main(["suite", "--system", "bluegene"])
+
+
+class TestCampaignCommand:
+    @pytest.fixture
+    def quick_config(self, monkeypatch):
+        """Shrink the campaign the CLI runs so the test costs seconds."""
+        import dataclasses
+
+        import repro.cli
+        from repro.experiments import PAPER_CONFIG
+
+        quick = dataclasses.replace(
+            PAPER_CONFIG,
+            core_counts=(16, 32),
+            hpl_problem_size=4480,
+            hpl_rounds=2,
+            stream_target_seconds=5,
+            iozone_target_seconds=5,
+        )
+        monkeypatch.setattr(repro.cli, "PAPER_CONFIG", quick)
+        return quick
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["campaign"])
+        assert args.workers == 1
+        assert args.cache_dir is None
+        assert args.manifest is None
+        assert args.fleet == 0
+
+    def test_parser_rejects_unknown_era(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign", "--fleet", "2", "--era", "1995"])
+
+    def test_campaign_prints_summary_table(self, quick_config, capsys):
+        assert main(["campaign"]) == 0
+        out = capsys.readouterr().out
+        assert "Campaign: 2 jobs" in out
+        assert "reference" in out and "fire-sweep" in out
+        assert "uncached" in out  # no cache dir given
+        assert "caching disabled" in out
+        assert "manifest fingerprint:" in out
+
+    def test_campaign_cache_and_manifest_flow(self, quick_config, tmp_path, capsys):
+        from repro.campaign import load_manifest, manifest_fingerprint
+
+        cache_dir = tmp_path / "cache"
+        manifest_path = tmp_path / "manifest.json"
+        cold_args = [
+            "campaign",
+            "--cache-dir",
+            str(cache_dir),
+            "--manifest",
+            str(manifest_path),
+        ]
+        assert main(cold_args) == 0
+        cold_out = capsys.readouterr().out
+        assert "computed" in cold_out
+        assert "0/2 hits" in cold_out
+        assert f"manifest written to {manifest_path}" in cold_out
+
+        manifest = load_manifest(manifest_path)
+        assert manifest["fingerprint"] == manifest_fingerprint(manifest)
+        assert [row["cache_status"] for row in manifest["jobs"]] == [
+            "computed",
+            "computed",
+        ]
+
+        # warm rerun: everything comes out of the cache
+        assert main(["campaign", "--cache-dir", str(cache_dir)]) == 0
+        warm_out = capsys.readouterr().out
+        assert "2/2 hits" in warm_out
+        assert "0 misses" in warm_out

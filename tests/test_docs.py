@@ -28,6 +28,7 @@ class TestDocFilesExist:
             "docs/performance_models.md",
             "docs/metric_theory.md",
             "docs/simulator.md",
+            "docs/campaign_runner.md",
         ],
     )
     def test_exists_and_nonempty(self, relpath):

@@ -9,7 +9,7 @@ update EXPERIMENTS.md alongside this file.
 import pytest
 
 from repro.experiments.tables import run_table1_reference, run_table2_pcc
-from repro.experiments.tgi_curves import run_fig5_tgi_am
+from repro.experiments.tgi_curves import run_fig5_tgi_am, run_fig6_tgi_weighted
 
 
 class TestGoldenTable2:
@@ -44,6 +44,49 @@ class TestGoldenFig5:
         assert ree["HPL"] == pytest.approx(0.370, abs=0.01)
         assert ree["STREAM"] == pytest.approx(3.189, abs=0.05)
         assert ree["IOzone"] == pytest.approx(3.493, abs=0.05)
+
+
+class TestGoldenFig6:
+    """Figure 6: the weighted-TGI curves on the calibrated Fire sweep."""
+
+    @pytest.fixture(scope="class")
+    def fig6(self, paper_context):
+        return run_fig6_tgi_weighted(paper_context)
+
+    def test_golden_time_weighted_endpoints(self, fig6):
+        values = fig6.series_by_weighting["time"].values
+        assert values[0] == pytest.approx(0.332, abs=0.01)
+        assert values[-1] == pytest.approx(1.367, abs=0.02)
+
+    def test_golden_energy_weighted_endpoints(self, fig6):
+        values = fig6.series_by_weighting["energy"].values
+        assert values[0] == pytest.approx(0.330, abs=0.01)
+        assert values[-1] == pytest.approx(1.156, abs=0.02)
+
+    def test_golden_power_weighted_endpoints(self, fig6):
+        values = fig6.series_by_weighting["power"].values
+        assert values[0] == pytest.approx(0.502, abs=0.01)
+        assert values[-1] == pytest.approx(2.105, abs=0.03)
+
+    def test_weighting_order_at_full_scale(self, fig6):
+        """The paper's discussion of Figure 6: energy and power weights
+        track the energy-dominant HPL, pulling TGI below the equal-weight
+        curve; at 128 cores the ordering is AM > power > time > energy."""
+        at_full = {
+            name: series.values[-1]
+            for name, series in fig6.series_by_weighting.items()
+        }
+        assert (
+            at_full["arithmetic-mean"]
+            > at_full["power"]
+            > at_full["time"]
+            > at_full["energy"]
+        )
+
+    def test_all_weightings_share_the_sweep_grid(self, fig6, paper_context):
+        assert list(fig6.cores) == paper_context.sweep.cores
+        for series in fig6.series_by_weighting.values():
+            assert len(series) == len(fig6.cores)
 
 
 class TestGoldenTable1:
