@@ -1,0 +1,139 @@
+"""Telemetry overhead bench: the disabled path must be (nearly) free.
+
+The claim pinned here: with no session active, the instrumentation adds
+< 5% to a 50-config campaign.  Measured as a product, not a diff — there
+is no uninstrumented build to diff against — so the bound is
+
+    (helper calls the campaign makes) x (measured per-call null cost)
+    -------------------------------------------------------------- < 5%
+                     (campaign wall time, uninstrumented work)
+
+The call count comes from a traced run of the same campaign (every span,
+counter, and gauge the enabled path records corresponds to one disabled
+call site firing), doubled for safety to also cover the bare
+``tele.active()`` checks.  A fully *enabled* session is allowed to cost
+real time (it does real work per span); a coarse regression guard keeps it
+within 2x on these deliberately tiny jobs.
+
+The campaign is 50 genuinely executed single-point jobs on a one-node Fire
+preset with a small HPL, so the denominators are simulation, not an empty
+loop.
+"""
+
+import dataclasses
+import time
+
+from repro import telemetry as tele
+from repro.campaign import CampaignRunner
+from repro.campaign.jobs import CampaignJob, ClusterRef
+from repro.experiments import PAPER_CONFIG
+
+JOB_COUNT = 50
+REPEATS = 3
+
+QUICK_CONFIG = dataclasses.replace(
+    PAPER_CONFIG,
+    hpl_problem_size=2240,
+    hpl_rounds=1,
+    stream_target_seconds=2,
+    iozone_target_seconds=2,
+)
+
+
+def _jobs():
+    return [
+        CampaignJob(
+            job_id=f"overhead-{i:02d}",
+            cluster=ClusterRef(kind="preset", name="fire", num_nodes=1),
+            core_counts=(8,),
+            seed=i,
+            config=QUICK_CONFIG,
+        )
+        for i in range(JOB_COUNT)
+    ]
+
+
+def _campaign_seconds(*, traced: bool) -> float:
+    """Best-of-REPEATS wall time of the 50-job campaign (no cache, serial)."""
+    best = float("inf")
+    for _ in range(REPEATS):
+        runner = CampaignRunner(workers=1)
+        jobs = _jobs()
+        t0 = time.perf_counter()
+        if traced:
+            with tele.use(tele.TelemetrySession(label="overhead")):
+                runner.run(jobs, label="overhead")
+        else:
+            runner.run(jobs, label="overhead")
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_null_span_call_is_nanoseconds(benchmark):
+    """The disabled hot path: one global check, one shared handle."""
+    tele.deactivate()
+
+    def disabled_call_site():
+        with tele.span("hot.path", key="value"):
+            pass
+        tele.count("tgi_cache_puts_total")
+
+    benchmark(disabled_call_site)
+    # sanity: nothing was recorded anywhere
+    assert tele.current() is None
+
+
+def _measured_null_call_cost_s(samples: int = 200_000) -> float:
+    """Per-call wall cost of one disabled span + one disabled counter inc."""
+    tele.deactivate()
+    t0 = time.perf_counter()
+    for _ in range(samples):
+        with tele.span("hot.path", key=1):
+            pass
+        tele.count("tgi_cache_puts_total")
+    return (time.perf_counter() - t0) / samples
+
+
+def test_null_tracer_under_5_percent_on_50_config_campaign():
+    # how many helper calls does this campaign actually make?
+    session = tele.TelemetrySession(label="census")
+    with tele.use(session):
+        CampaignRunner(workers=1).run(_jobs(), label="census")
+    counter_incs = sum(
+        sample["value"]
+        for name, family in session.metrics.as_dict().items()
+        if family["kind"] == "counter"
+        for sample in family["samples"]
+    )
+    gauge_sets = sum(
+        len(family["samples"])
+        for family in session.metrics.as_dict().values()
+        if family["kind"] == "gauge"
+    )
+    calls = len(session.spans) + counter_incs + gauge_sets
+    calls *= 2  # safety factor: also covers bare tele.active() checks
+
+    per_call_s = _measured_null_call_cost_s()
+    plain_s = _campaign_seconds(traced=False)
+    disabled_overhead = calls * per_call_s / plain_s
+    print(
+        f"\n50-config campaign: {calls:.0f} disabled call sites x "
+        f"{per_call_s * 1e9:.0f} ns = {calls * per_call_s * 1e3:.2f} ms "
+        f"over {plain_s:.3f} s -> {100 * disabled_overhead:.3f}% overhead"
+    )
+    assert disabled_overhead < 0.05, (
+        f"null-tracer overhead {100 * disabled_overhead:.2f}% exceeds the 5% budget"
+    )
+
+
+def test_enabled_telemetry_stays_within_2x_on_tiny_jobs():
+    """Coarse regression guard: full collection on ~ms jobs stays sane."""
+    _campaign_seconds(traced=False)  # warmup
+    plain_s = _campaign_seconds(traced=False)
+    traced_s = _campaign_seconds(traced=True)
+    ratio = traced_s / plain_s
+    print(
+        f"\n50-config campaign: plain {plain_s:.3f} s, "
+        f"traced {traced_s:.3f} s, ratio {ratio:.3f}"
+    )
+    assert ratio < 2.0, f"enabled telemetry ratio {ratio:.2f} regressed past 2x"

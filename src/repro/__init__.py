@@ -47,6 +47,9 @@ Subpackages
     sensitivity.
 :mod:`repro.experiments`
     Drivers regenerating every table and figure of the paper.
+:mod:`repro.telemetry`
+    Observability: span tracing, a metrics registry with Prometheus
+    export, and the Eq. 10-12 energy-attribution view.
 """
 
 from .cluster import presets
@@ -80,7 +83,7 @@ from .power import NodePowerModel, PowerTrace, WallPlugMeter
 from .sim import ClusterExecutor
 from .exceptions import ReproError
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 from .campaign import (  # noqa: E402 - needs __version__ for cache stamps
     CampaignJob,
@@ -89,6 +92,7 @@ from .campaign import (  # noqa: E402 - needs __version__ for cache stamps
     ClusterRef,
     ResultCache,
 )
+from .telemetry import TelemetrySession  # noqa: E402 - instrumented layers above
 
 __all__ = [
     "presets",
@@ -123,6 +127,7 @@ __all__ = [
     "CampaignRunner",
     "ClusterRef",
     "ResultCache",
+    "TelemetrySession",
     "ReproError",
     "__version__",
 ]

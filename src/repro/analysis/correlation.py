@@ -41,6 +41,12 @@ def pearson(x: Sequence[float], y: Sequence[float]) -> float:
     constant (the coefficient is undefined).
     """
     x_arr, y_arr = _validate_pair(x, y)
+    # An exactly-constant series is degenerate regardless of roundoff: the
+    # mean subtraction below can leave nonzero residue (mean of n equal
+    # values need not be exactly that value in float64), which would slip
+    # past the sx/sy check and return a meaningless coefficient.
+    if np.all(x_arr == x_arr[0]) or np.all(y_arr == y_arr[0]):
+        raise MetricError("PCC undefined for a constant series")
     dx = x_arr - x_arr.mean()
     dy = y_arr - y_arr.mean()
     sx = math.sqrt(float(dx @ dx))

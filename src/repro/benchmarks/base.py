@@ -15,6 +15,7 @@ import abc
 from dataclasses import dataclass, field
 from typing import Dict, Tuple
 
+from .. import telemetry as tele
 from ..exceptions import BenchmarkError
 from ..sim.executor import ClusterExecutor, RunRecord
 from ..sim.placement import Placement
@@ -108,11 +109,15 @@ class Benchmark(abc.ABC):
 
     def run(self, executor: ClusterExecutor, scale: int) -> BenchmarkResult:
         """Build, simulate, and package one run."""
-        built = self.build(executor, scale)
-        record = executor.execute(
-            built.placement, built.programs, label=f"{self.name}@{scale}"
-        )
-        return BenchmarkResult(
+        cluster = executor.cluster.name
+        with tele.span(
+            "benchmark.run", benchmark=self.name, scale=scale, cluster=cluster
+        ):
+            built = self.build(executor, scale)
+            record = executor.execute(
+                built.placement, built.programs, label=f"{self.name}@{scale}"
+            )
+        result = BenchmarkResult(
             benchmark=self.name,
             metric_label=self.metric_label,
             performance=built.performance,
@@ -120,3 +125,10 @@ class Benchmark(abc.ABC):
             record=record,
             details=dict(built.details),
         )
+        if tele.active():
+            labels = dict(benchmark=self.name, scale=str(scale), cluster=cluster)
+            tele.count("tgi_benchmark_runs_total", benchmark=self.name)
+            tele.gauge("tgi_benchmark_time_seconds", result.time_s, **labels)
+            tele.gauge("tgi_benchmark_energy_joules", result.energy_j, **labels)
+            tele.gauge("tgi_benchmark_power_watts", result.power_w, **labels)
+        return result

@@ -14,6 +14,7 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
+from .. import telemetry as tele
 from ..exceptions import BenchmarkError
 from ..sim.executor import ClusterExecutor
 from .suite import BenchmarkSuite, SuiteResult
@@ -92,7 +93,8 @@ def run_sweep(
     suites = []
     for cores in core_counts:
         points.append(ScalePoint(cores=cores))
-        suites.append(suite.run(executor, cores))
+        with tele.span("sweep.point", cores=cores):
+            suites.append(suite.run(executor, cores))
     return SweepResult(points=tuple(points), suites=tuple(suites))
 
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Sequence, Tuple
 
+from .. import telemetry as tele
 from ..exceptions import BenchmarkError
 from ..sim.executor import ClusterExecutor
 from .base import Benchmark, BenchmarkResult
@@ -119,8 +120,11 @@ class BenchmarkSuite:
 
     def run(self, executor: ClusterExecutor, cores: int) -> SuiteResult:
         """Run every member at the scale implied by ``cores``."""
-        results = []
-        for benchmark in self.benchmarks:
-            scale = self.scale_for(benchmark, cores, executor)
-            results.append(benchmark.run(executor, scale))
+        with tele.span(
+            "suite.run", cores=cores, cluster=executor.cluster.name
+        ):
+            results = []
+            for benchmark in self.benchmarks:
+                scale = self.scale_for(benchmark, cores, executor)
+                results.append(benchmark.run(executor, scale))
         return SuiteResult(cores=cores, results=tuple(results))

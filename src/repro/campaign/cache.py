@@ -22,6 +22,7 @@ import json
 from pathlib import Path
 from typing import Dict, Optional, Union
 
+from .. import telemetry as tele
 from ..exceptions import ReproError
 
 __all__ = ["canonical_json", "cache_key", "CacheStats", "ResultCache", "CACHE_ENTRY_VERSION"]
@@ -120,6 +121,7 @@ class ResultCache:
         path = self.path_for(key)
         if not path.exists():
             self.stats.misses += 1
+            tele.count("tgi_cache_lookups_total", result="miss")
             return None
         try:
             entry = json.loads(path.read_text())
@@ -134,9 +136,11 @@ class ResultCache:
         ):
             # Stale or corrupt: drop it so the rerun's put() replaces it.
             self.stats.invalidations += 1
+            tele.count("tgi_cache_lookups_total", result="invalidated")
             path.unlink(missing_ok=True)
             return None
         self.stats.hits += 1
+        tele.count("tgi_cache_lookups_total", result="hit")
         return entry["payload"]
 
     def put(self, key: str, payload: Dict) -> Path:
@@ -153,7 +157,13 @@ class ResultCache:
         tmp.write_text(json.dumps(entry, sort_keys=True))
         tmp.replace(path)  # atomic publish: concurrent readers never see half a file
         self.stats.puts += 1
+        tele.count("tgi_cache_puts_total")
         return path
+
+    @property
+    def cache_stats(self) -> Dict[str, float]:
+        """The accounting snapshot (same shape campaign manifests embed)."""
+        return self.stats.as_dict()
 
     def __contains__(self, key: str) -> bool:
         return self.path_for(key).exists()

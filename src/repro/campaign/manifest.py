@@ -40,6 +40,8 @@ VOLATILE_CAMPAIGN_FIELDS = (
     "cache",
     "cache_run",
     "cache_enabled",
+    # Observability summary: spans/metrics describe execution, never results.
+    "telemetry",
     # Not volatile, but derived from the core — excluded so that
     # recomputing manifest_fingerprint(manifest) reproduces the stored one.
     "fingerprint",

@@ -16,15 +16,26 @@ and produces a :class:`CampaignResult`:
 Ordering is part of the contract: outcomes and manifest rows follow job
 submission order, never completion order, so parallel runs are manifest-
 identical to serial runs modulo the volatile timing fields.
+
+When a telemetry session is active (:mod:`repro.telemetry`) the runner
+traces each job's lifecycle — ``job.serialize`` → ``job.cache_probe`` →
+``job.execute`` → ``job.store`` — and counts jobs and cache behaviour into
+the metrics registry.  Pool workers collect spans and metrics in their own
+process and ship them back beside the payload; the parent absorbs worker
+spans under its ``campaign.pool`` span and merges worker metric state.
+Telemetry never touches payloads, cache keys, or manifest fingerprints:
+runs are byte-identical with telemetry on or off.
 """
 
 from __future__ import annotations
 
+import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+from .. import telemetry as tele
 from ..benchmarks.runner import SweepResult
 from ..benchmarks.suite import SuiteResult
 from ..exceptions import ReproError
@@ -32,7 +43,7 @@ from .cache import ResultCache, cache_key
 from .jobs import CampaignJob, execute_job, job_to_dict, payload_sweep
 from .manifest import MANIFEST_VERSION, manifest_fingerprint, write_manifest
 
-__all__ = ["JobOutcome", "CampaignResult", "CampaignRunner"]
+__all__ = ["JobOutcome", "CampaignResult", "CampaignRunner", "run_cache_stats"]
 
 #: Cache statuses a job outcome can carry.
 CACHE_STATUSES = ("hit", "computed", "uncached")
@@ -52,6 +63,27 @@ class JobOutcome:
     def sweep(self) -> SweepResult:
         """The job's results as a live sweep object."""
         return payload_sweep(self.payload)
+
+
+def run_cache_stats(
+    statuses: Sequence[str], *, invalidations: int = 0
+) -> Dict[str, float]:
+    """Run-level cache accounting from per-job cache statuses.
+
+    The single source for ``CampaignResult.cache_stats``, the manifest's
+    ``cache_run`` block, and the CLI summary — hits are jobs served from
+    cache, misses are jobs that had to execute (whether or not a cache was
+    configured), invalidations are stale entries dropped during the run.
+    """
+    jobs = len(statuses)
+    hits = sum(1 for s in statuses if s == "hit")
+    return {
+        "jobs": jobs,
+        "hits": hits,
+        "misses": jobs - hits,
+        "invalidations": invalidations,
+        "hit_rate": hits / jobs if jobs else 0.0,
+    }
 
 
 class CampaignResult:
@@ -90,16 +122,19 @@ class CampaignResult:
         return sweep.suites[0]
 
     @property
+    def cache_stats(self) -> Dict[str, float]:
+        """Run-level cache accounting (jobs/hits/misses/invalidations/hit_rate)."""
+        return dict(self.manifest["cache_run"])
+
+    @property
     def cache_hits(self) -> int:
         """Jobs satisfied from the cache."""
-        return sum(1 for o in self.outcomes if o.cache_status == "hit")
+        return int(self.cache_stats["hits"])
 
     @property
     def hit_rate(self) -> float:
         """Fraction of jobs satisfied from the cache."""
-        if not self.outcomes:
-            return 0.0
-        return self.cache_hits / len(self.outcomes)
+        return float(self.cache_stats["hit_rate"])
 
     def write_manifest(self, path) -> None:
         """Persist the manifest as JSON."""
@@ -107,9 +142,26 @@ class CampaignResult:
 
 
 def _execute_keyed(args):
-    """Pool-side shim: (index, job) -> (index, payload)."""
-    index, job = args
-    return index, execute_job(job)
+    """Pool-side shim: (index, job, telemetry?) -> (index, payload, spans, metrics).
+
+    With telemetry requested, the worker collects into its own session and
+    ships the finished spans (dict form) and the metric state back with the
+    payload; both are ``None`` otherwise.
+    """
+    index, job, with_telemetry = args
+    if not with_telemetry:
+        return index, execute_job(job), None, None
+    # Under the fork start method the worker inherits a *copy* of the
+    # parent's ambient session; nothing collected into it would ever ship
+    # back, so drop it and collect into a fresh per-worker session.
+    tele.deactivate()
+    session = tele.TelemetrySession(
+        label=f"worker:{job.job_id}", process=f"worker-{os.getpid()}"
+    )
+    with tele.use(session):
+        with tele.span("job.execute", job=job.job_id):
+            payload = execute_job(job)
+    return index, payload, session.tracer.as_dicts(), session.metrics.state()
 
 
 class CampaignRunner:
@@ -143,28 +195,43 @@ class CampaignRunner:
             raise ReproError(f"duplicate job ids in campaign: {dupes}")
 
         t_start = time.perf_counter()
-        keys = [cache_key(job) for job in jobs]
-        payloads: Dict[int, Dict] = {}
-        statuses: Dict[int, str] = {}
-        walls: Dict[int, float] = {}
+        invalidations_before = self.cache.stats.invalidations if self.cache else 0
+        with tele.span("campaign.run", label=label, jobs=len(jobs)):
+            keys: List[str] = []
+            for job in jobs:
+                with tele.span("job.serialize", job=job.job_id):
+                    keys.append(cache_key(job))
+            payloads: Dict[int, Dict] = {}
+            statuses: Dict[int, str] = {}
+            walls: Dict[int, float] = {}
 
-        pending: List[int] = []
-        for index, key in enumerate(keys):
-            if self.cache is not None:
-                t0 = time.perf_counter()
-                cached = self.cache.get(key)
-                if cached is not None:
-                    payloads[index] = cached
-                    statuses[index] = "hit"
-                    walls[index] = time.perf_counter() - t0
-                    continue
-            pending.append(index)
+            pending: List[int] = []
+            for index, key in enumerate(keys):
+                job_id = jobs[index].job_id
+                with tele.span(
+                    "job.cache_probe", job=job_id, skipped=self.cache is None
+                ):
+                    if self.cache is not None:
+                        t0 = time.perf_counter()
+                        cached = self.cache.get(key)
+                        if cached is not None:
+                            payloads[index] = cached
+                            statuses[index] = "hit"
+                            walls[index] = time.perf_counter() - t0
+                            continue
+                pending.append(index)
 
-        workers_used = self._execute(jobs, pending, payloads, walls)
-        for index in pending:
-            statuses[index] = "uncached" if self.cache is None else "computed"
-            if self.cache is not None:
-                self.cache.put(keys[index], payloads[index])
+            workers_used = self._execute(jobs, pending, payloads, walls)
+            for index in pending:
+                statuses[index] = "uncached" if self.cache is None else "computed"
+                with tele.span(
+                    "job.store", job=jobs[index].job_id, skipped=self.cache is None
+                ):
+                    if self.cache is not None:
+                        self.cache.put(keys[index], payloads[index])
+            if tele.active():
+                for index in range(len(jobs)):
+                    tele.count("tgi_campaign_jobs_total", status=statuses[index])
 
         total_wall = time.perf_counter() - t_start
         outcomes = [
@@ -177,7 +244,12 @@ class CampaignRunner:
             )
             for i in range(len(jobs))
         ]
-        manifest = self._build_manifest(label, outcomes, total_wall, workers_used)
+        invalidations = (
+            self.cache.stats.invalidations - invalidations_before if self.cache else 0
+        )
+        manifest = self._build_manifest(
+            label, outcomes, total_wall, workers_used, invalidations
+        )
         return CampaignResult(outcomes, manifest)
 
     # ------------------------------------------------------------------
@@ -191,25 +263,41 @@ class CampaignRunner:
         """Run the uncached jobs; returns the worker count actually used."""
         if not pending:
             return 1
+        session = tele.current()
         if self.workers > 1 and len(pending) > 1:
             try:
                 with ProcessPoolExecutor(max_workers=self.workers) as pool:
-                    t0 = time.perf_counter()
-                    for index, payload in pool.map(
-                        _execute_keyed, [(i, jobs[i]) for i in pending]
-                    ):
-                        payloads[index] = payload
-                        # Per-job wall time is unobservable from the parent
-                        # under a pool; record elapsed-so-far, which is still
-                        # monotone and sums sensibly.  Volatile by contract.
-                        walls[index] = time.perf_counter() - t0
+                    with tele.span(
+                        "campaign.pool",
+                        workers=min(self.workers, len(pending)),
+                        jobs=len(pending),
+                    ) as pool_span:
                         t0 = time.perf_counter()
+                        for index, payload, span_dicts, metric_state in pool.map(
+                            _execute_keyed,
+                            [(i, jobs[i], session is not None) for i in pending],
+                        ):
+                            payloads[index] = payload
+                            # Per-job wall time is unobservable from the parent
+                            # under a pool; record elapsed-so-far, which is still
+                            # monotone and sums sensibly.  Volatile by contract.
+                            walls[index] = time.perf_counter() - t0
+                            t0 = time.perf_counter()
+                            if session is not None and span_dicts:
+                                session.tracer.absorb(
+                                    span_dicts,
+                                    parent_id=pool_span.span_id,
+                                    offset_s=pool_span.t_start,
+                                )
+                            if session is not None and metric_state:
+                                session.metrics.merge(metric_state)
                 return min(self.workers, len(pending))
             except (OSError, PermissionError, ImportError):
                 pass  # fall through to the serial path
         for index in pending:
             t0 = time.perf_counter()
-            payloads[index] = execute_job(jobs[index])
+            with tele.span("job.execute", job=jobs[index].job_id):
+                payloads[index] = execute_job(jobs[index])
             walls[index] = time.perf_counter() - t0
         return 1
 
@@ -220,11 +308,11 @@ class CampaignRunner:
         outcomes: Sequence[JobOutcome],
         total_wall: float,
         workers_used: int,
+        invalidations: int,
     ) -> Dict:
         from .. import __version__
 
-        cache_stats = self.cache.stats.as_dict() if self.cache is not None else None
-        hits = sum(1 for o in outcomes if o.cache_status == "hit")
+        session = tele.current()
         manifest = {
             "manifest_version": MANIFEST_VERSION,
             "label": label,
@@ -234,12 +322,19 @@ class CampaignRunner:
             "workers_requested": self.workers,
             "workers_used": workers_used,
             "cache_enabled": self.cache is not None,
-            "cache": cache_stats,
-            "cache_run": {
-                "jobs": len(outcomes),
-                "hits": hits,
-                "executed": len(outcomes) - hits,
-                "hit_rate": hits / len(outcomes),
+            "cache": self.cache.cache_stats if self.cache is not None else None,
+            "cache_run": run_cache_stats(
+                [o.cache_status for o in outcomes], invalidations=invalidations
+            ),
+            # Volatile observability summary; the full export is written by
+            # the CLI beside the manifest.  Excluded from the fingerprint.
+            "telemetry": None
+            if session is None
+            else {
+                "session": session.label,
+                "span_count": len(session.tracer.spans),
+                "span_names": sorted({s.name for s in session.tracer.spans}),
+                "metric_names": sorted(session.metrics.as_dict()),
             },
             "jobs": [
                 {

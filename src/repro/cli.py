@@ -8,6 +8,13 @@
     tgi rank                     # TGI ranking of the preset systems
     tgi specs                    # print the preset system spec sheets
     tgi campaign --workers 4     # parallel, cached measurement campaign
+    tgi trace                    # span tree + hot spots of an instrumented run
+
+Output contract: the machine-readable product of a command (tables,
+fingerprints, traces) goes to stdout; progress and bookkeeping go to
+stderr and are silenced by the global ``--quiet`` flag.  ``run`` and
+``campaign`` accept ``--telemetry PATH`` to collect a full trace: the JSON
+export lands at PATH with a Prometheus text dump beside it (``.prom``).
 
 Also reachable as ``python -m repro``.
 """
@@ -15,10 +22,13 @@ Also reachable as ``python -m repro``.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from . import __version__
+from . import telemetry as tele
 from .analysis.tables import render_table
 from .benchmarks import BenchmarkSuite
 from .cluster import presets
@@ -33,7 +43,35 @@ from .experiments import (
 from .sim import ClusterExecutor
 from .units import format_bytes, format_flops, format_power
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "Console"]
+
+_SYSTEM_CHOICES = ("fire", "system_g", "gpu_cluster", "modern_cluster")
+
+
+class Console:
+    """Routes CLI output: results to stdout, status to stderr.
+
+    ``out`` carries the command's product — what a pipe or redirect should
+    capture.  ``status`` carries progress/bookkeeping and is dropped under
+    ``--quiet``.  ``error`` always reaches stderr.
+    """
+
+    def __init__(self, *, quiet: bool = False):
+        self.quiet = quiet
+
+    def out(self, text: str = "") -> None:
+        print(text)
+
+    def status(self, text: str = "") -> None:
+        if not self.quiet:
+            print(text, file=sys.stderr)
+
+    def error(self, text: str) -> None:
+        print(text, file=sys.stderr)
+
+
+#: The process-wide console; ``main`` configures quietness from the flags.
+_console = Console()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -43,6 +81,11 @@ def build_parser() -> argparse.ArgumentParser:
         description="The Green Index (TGI) reproduction toolkit",
     )
     parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress status output on stderr (results still print to stdout)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list available experiments")
@@ -51,6 +94,13 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("experiment", help="experiment id (fig2..fig6, table1, table2) or 'all'")
     run.add_argument(
         "--plot", action="store_true", help="also render figure series as ASCII charts"
+    )
+    run.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="PATH",
+        help="collect spans/metrics and write the telemetry JSON here "
+        "(Prometheus text lands beside it with a .prom suffix)",
     )
 
     rank = sub.add_parser("rank", help="rank the preset systems by TGI")
@@ -74,7 +124,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     suite.add_argument(
         "--system",
-        choices=("fire", "system_g", "gpu_cluster", "modern_cluster"),
+        choices=_SYSTEM_CHOICES,
         default="fire",
         help="preset system to measure",
     )
@@ -110,6 +160,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--manifest", default=None, help="write the JSON run manifest to this path"
     )
     campaign.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="PATH",
+        help="trace the campaign (spans from every job phase, metrics, "
+        "energy attribution) into this JSON file, plus a .prom sibling",
+    )
+    campaign.add_argument(
         "--fleet",
         type=int,
         default=0,
@@ -124,31 +181,77 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument(
         "--fleet-seed", type=int, default=20110615, help="fleet generation seed"
     )
+
+    trace = sub.add_parser(
+        "trace",
+        help="render a span tree and hot-spot summary (live run or saved export)",
+    )
+    trace.add_argument(
+        "--input",
+        default=None,
+        metavar="PATH",
+        help="telemetry JSON written by --telemetry; omit to trace a live suite run",
+    )
+    trace.add_argument(
+        "--system",
+        choices=_SYSTEM_CHOICES,
+        default="fire",
+        help="preset system for the live run (ignored with --input)",
+    )
+    trace.add_argument(
+        "--cores",
+        type=int,
+        default=0,
+        help="MPI ranks for the live run (default: full machine)",
+    )
+    trace.add_argument(
+        "--top", type=int, default=10, help="how many slowest spans to list"
+    )
     return parser
+
+
+def _write_telemetry(session: "tele.TelemetrySession", path: str, *, attribution=None) -> None:
+    """Persist a session: JSON export at ``path``, Prometheus text beside it."""
+    export = session.export(attribution=attribution)
+    target = Path(path)
+    target.write_text(json.dumps(export, indent=2, sort_keys=True) + "\n")
+    prom = target.with_suffix(".prom")
+    prom.write_text(session.to_prometheus())
+    _console.status(f"telemetry written to {target} (metrics: {prom})")
 
 
 def _cmd_list() -> int:
     rows = [[exp_id, entry.description] for exp_id, entry in EXPERIMENTS.items()]
-    print(render_table(["id", "description"], rows, align_right_from=99))
+    _console.out(render_table(["id", "description"], rows, align_right_from=99))
     return 0
 
 
-def _cmd_run(experiment: str, plot: bool = False) -> int:
+def _cmd_run(experiment: str, plot: bool = False, telemetry: Optional[str] = None) -> int:
     context = SharedContext()
     if experiment == "all":
         ids = list(EXPERIMENTS)
     else:
         ids = [experiment]
-    for exp_id in ids:
-        entry = get_experiment(exp_id)
-        result = entry.run(context)
-        print(result.format())
-        if plot:
-            chart = _chart_for(result)
-            if chart:
-                print()
-                print(chart)
-        print()
+
+    def execute() -> None:
+        for exp_id in ids:
+            entry = get_experiment(exp_id)
+            _console.status(f"running {exp_id} ...")
+            result = entry.run(context)
+            _console.out(result.format())
+            if plot:
+                chart = _chart_for(result)
+                if chart:
+                    _console.out()
+                    _console.out(chart)
+            _console.out()
+
+    if telemetry:
+        with tele.use(tele.TelemetrySession(label=f"run:{experiment}")) as session:
+            execute()
+        _write_telemetry(session, telemetry)
+    else:
+        execute()
     return 0
 
 
@@ -188,15 +291,14 @@ def _chart_for(result) -> Optional[str]:
     return None
 
 
-def _cmd_suite(system: str, cores: int, breakdown: bool) -> int:
+def _preset_suite_run(system: str, cores: int):
+    """Run the capability-view suite on one preset; returns (cluster, n, result)."""
     from .benchmarks import (
         BenchmarkSuite,
         HPLBenchmark,
         IOzoneBenchmark,
         StreamBenchmark,
     )
-    from .core import format_suite_result
-    from .units import format_energy
 
     cluster = getattr(presets, system)()
     executor = ClusterExecutor(cluster, rng=PAPER_CONFIG.fire_seed)
@@ -219,17 +321,68 @@ def _cmd_suite(system: str, cores: int, breakdown: bool) -> int:
         ]
     )
     n = min(cores or cluster.total_cores, cluster.total_cores)
-    result = suite.run(executor, n)
-    print(format_suite_result(result, title=f"{cluster.name} @ {n} cores"))
+    return cluster, n, suite.run(executor, n)
+
+
+def _cmd_suite(system: str, cores: int, breakdown: bool) -> int:
+    from .core import format_suite_result
+    from .units import format_energy
+
+    cluster, n, result = _preset_suite_run(system, cores)
+    _console.out(format_suite_result(result, title=f"{cluster.name} @ {n} cores"))
     if breakdown:
-        print()
+        _console.out()
         for r in result:
             parts = r.record.energy_breakdown
             total = sum(parts.values())
             line = ", ".join(
                 f"{k} {100 * v / total:.0f}%" for k, v in sorted(parts.items())
             )
-            print(f"{r.benchmark:13s} {format_energy(total)}: {line}")
+            _console.out(f"{r.benchmark:13s} {format_energy(total)}: {line}")
+    return 0
+
+
+def _cmd_trace(input_path: Optional[str], system: str, cores: int, top: int) -> int:
+    from .telemetry import (
+        AttributionRow,
+        render_attribution,
+        render_slowest,
+        render_span_tree,
+        suite_attribution,
+    )
+
+    if input_path:
+        data = json.loads(Path(input_path).read_text())
+        version = data.get("telemetry_version")
+        if version != tele.TELEMETRY_VERSION:
+            _console.error(
+                f"telemetry version {version!r} not supported "
+                f"(this build reads version {tele.TELEMETRY_VERSION})"
+            )
+            return 1
+        spans = data.get("spans", [])
+        _console.status(f"trace of session {data.get('label', '?')!r} ({input_path})")
+        _console.out(render_span_tree(spans))
+        _console.out()
+        _console.out(render_slowest(spans, top))
+        rows = data.get("attribution")
+        if rows:
+            _console.out()
+            _console.out(render_attribution([AttributionRow(**row) for row in rows]))
+        return 0
+
+    _console.status(f"tracing a live suite run on {system} ...")
+    with tele.use(tele.TelemetrySession(label=f"trace:{system}")) as session:
+        cluster, n, result = _preset_suite_run(system, cores)
+    _console.out(render_span_tree(session.spans))
+    _console.out()
+    _console.out(render_slowest(session.spans, top))
+    _console.out()
+    _console.out(
+        render_attribution(
+            suite_attribution(result, job_id=f"{system}@{n}", cluster=cluster.name)
+        )
+    )
     return 0
 
 
@@ -246,12 +399,12 @@ def _cmd_sensitivity() -> int:
     sens = WeightSensitivity(ree=tgi.ree, steps=20)
     lo, hi = sens.tgi_range()
     w_lo, w_hi = sens.extremes()
-    print(f"REE at {result.cores} cores: "
-          + ", ".join(f"{k}={v:.3f}" for k, v in sorted(tgi.ree.items())))
-    print(f"TGI(arithmetic mean) = {tgi.value:.4f}")
-    print(f"TGI range over all valid weightings: [{lo:.4f}, {hi:.4f}]")
-    print(f"  minimized by weighting {dominant_benchmark(w_lo)} alone")
-    print(f"  maximized by weighting {dominant_benchmark(w_hi)} alone")
+    _console.out(f"REE at {result.cores} cores: "
+                 + ", ".join(f"{k}={v:.3f}" for k, v in sorted(tgi.ree.items())))
+    _console.out(f"TGI(arithmetic mean) = {tgi.value:.4f}")
+    _console.out(f"TGI range over all valid weightings: [{lo:.4f}, {hi:.4f}]")
+    _console.out(f"  minimized by weighting {dominant_benchmark(w_lo)} alone")
+    _console.out(f"  maximized by weighting {dominant_benchmark(w_hi)} alone")
     return 0
 
 
@@ -269,7 +422,7 @@ def _cmd_archive(output: str) -> int:
         "sweep": sweep_result_to_dict(context.sweep),
     }
     save_json(archive, output)
-    print(f"campaign archived to {output}")
+    _console.status(f"campaign archived to {output}")
     return 0
 
 
@@ -280,15 +433,23 @@ def _cmd_campaign(
     fleet: int,
     era: str,
     fleet_seed: int,
+    telemetry: Optional[str] = None,
 ) -> int:
     from .campaign import CampaignRunner, ResultCache, fleet_jobs, paper_jobs
+    from .telemetry import attribution_to_dicts, campaign_attribution, render_attribution
 
     jobs = paper_jobs(PAPER_CONFIG)
     if fleet:
         jobs += fleet_jobs(fleet, era=era, fleet_seed=fleet_seed)
     cache = ResultCache(cache_dir) if cache_dir else None
     runner = CampaignRunner(workers=workers, cache=cache)
-    result = runner.run(jobs, label="cli-campaign")
+
+    session = None
+    if telemetry:
+        with tele.use(tele.TelemetrySession(label="cli-campaign")) as session:
+            result = runner.run(jobs, label="cli-campaign")
+    else:
+        result = runner.run(jobs, label="cli-campaign")
 
     rows = []
     for outcome in result:
@@ -302,7 +463,7 @@ def _cmd_campaign(
                 outcome.key[:12],
             ]
         )
-    print(
+    _console.out(
         render_table(
             ["job", "system", "points", "cache", "wall s", "key"],
             rows,
@@ -311,23 +472,30 @@ def _cmd_campaign(
         )
     )
     manifest = result.manifest
-    run_stats = manifest["cache_run"]
-    print(
+    stats = result.cache_stats
+    _console.status(
         f"\ntotal wall: {manifest['total_wall_s']:.2f} s  |  "
-        f"cache: {run_stats['hits']}/{run_stats['jobs']} hits "
-        f"({100 * run_stats['hit_rate']:.0f}%)"
+        f"cache: {stats['hits']}/{stats['jobs']} hits "
+        f"({100 * stats['hit_rate']:.0f}%)"
         + (f"  |  dir: {cache_dir}" if cache_dir else "  (caching disabled)")
     )
     if cache is not None:
-        stats = cache.stats.as_dict()
-        print(
-            f"cache accounting: {stats['hits']} hits, {stats['misses']} misses, "
-            f"{stats['invalidations']} invalidations, {stats['puts']} writes"
+        cstats = cache.cache_stats
+        _console.status(
+            f"cache accounting: {cstats['hits']} hits, {cstats['misses']} misses, "
+            f"{cstats['invalidations']} invalidations, {cstats['puts']} writes"
         )
-    print(f"manifest fingerprint: {manifest['fingerprint'][:16]}")
+    _console.out(f"manifest fingerprint: {manifest['fingerprint'][:16]}")
     if manifest_path:
         result.write_manifest(manifest_path)
-        print(f"manifest written to {manifest_path}")
+        _console.status(f"manifest written to {manifest_path}")
+    if session is not None:
+        attribution = campaign_attribution(result)
+        _console.out()
+        _console.out(render_attribution(attribution))
+        _write_telemetry(
+            session, telemetry, attribution=attribution_to_dicts(attribution)
+        )
     return 0
 
 
@@ -352,7 +520,7 @@ def _cmd_rank(cores: int, profile: Optional[str] = None) -> int:
         calculator = TGICalculator(
             reference, weighting=core.WorkloadWeights(app_profile)
         )
-        print(f"weights derived from profile: {app_profile.name}")
+        _console.status(f"weights derived from profile: {app_profile.name}")
     entries = []
     for cluster in systems:
         executor = ClusterExecutor(cluster, rng=PAPER_CONFIG.fire_seed)
@@ -360,7 +528,7 @@ def _cmd_rank(cores: int, profile: Optional[str] = None) -> int:
         n = cores or cluster.total_cores
         n = min(n, cluster.total_cores)
         entries.append((cluster.name, suite.run(executor, n)))
-    print(format_ranking(rank_systems(entries, calculator)))
+    _console.out(format_ranking(rank_systems(entries, calculator)))
     return 0
 
 
@@ -379,7 +547,7 @@ def _cmd_specs() -> int:
                 format_power(cluster.nominal_max_watts),
             ]
         )
-    print(
+    _console.out(
         render_table(
             ["System", "Nodes", "Cores", "Peak", "Memory", "Idle (DC)", "Max (DC)"],
             rows,
@@ -392,10 +560,11 @@ def _cmd_specs() -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    _console.quiet = args.quiet
     if args.command == "list":
         return _cmd_list()
     if args.command == "run":
-        return _cmd_run(args.experiment, plot=args.plot)
+        return _cmd_run(args.experiment, plot=args.plot, telemetry=args.telemetry)
     if args.command == "rank":
         return _cmd_rank(args.cores, args.profile)
     if args.command == "specs":
@@ -414,7 +583,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             args.fleet,
             args.era,
             args.fleet_seed,
+            telemetry=args.telemetry,
         )
+    if args.command == "trace":
+        return _cmd_trace(args.input, args.system, args.cores, args.top)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

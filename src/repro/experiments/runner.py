@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple, TYPE_CHECKING
 
+from .. import telemetry as tele
 from ..benchmarks.runner import ScalingSweep, SweepResult
 from ..benchmarks.suite import SuiteResult
 from ..core.ree import ReferenceSet
@@ -64,7 +65,8 @@ class SharedContext:
         """Fill both artifacts from one two-job campaign run."""
         from ..campaign.jobs import paper_jobs
 
-        result = self.campaign.run(paper_jobs(self.config), label="paper-context")
+        with tele.span("experiments.campaign_context"):
+            result = self.campaign.run(paper_jobs(self.config), label="paper-context")
         ref_outcome = result["reference"]
         ref_suite = result.suite("reference")
         reference = ReferenceSet.from_suite_result(
@@ -80,7 +82,8 @@ class SharedContext:
             if self.campaign is not None:
                 self._run_campaign()
             else:
-                self._reference = build_reference(self.config)
+                with tele.span("experiments.reference"):
+                    self._reference = build_reference(self.config)
         return self._reference[0]
 
     @property
@@ -97,9 +100,12 @@ class SharedContext:
             if self.campaign is not None:
                 self._run_campaign()
             else:
-                executor = build_executor(self.config)
-                suite = build_suite(self.config)
-                self._sweep = ScalingSweep(suite, list(self.config.core_counts)).run(executor)
+                with tele.span("experiments.sweep"):
+                    executor = build_executor(self.config)
+                    suite = build_suite(self.config)
+                    self._sweep = ScalingSweep(suite, list(self.config.core_counts)).run(
+                        executor
+                    )
         return self._sweep
 
 

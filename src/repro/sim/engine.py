@@ -21,6 +21,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
+from .. import telemetry as tele
 from ..exceptions import SimulationError
 from .workload import Phase, PhaseKind, RankProgram, WAIT_INTENSITY
 
@@ -77,6 +78,12 @@ class SimulationEngine:
         drives rank progress; barriers collect arrivals and release all
         ranks at the max arrival time.
         """
+        with tele.span("sim.engine.run", ranks=self._num_ranks) as trace:
+            intervals = self._run()
+            trace.set(intervals=sum(len(per_rank) for per_rank in intervals))
+        return intervals
+
+    def _run(self) -> List[List[RankInterval]]:
         intervals: List[List[RankInterval]] = [[] for _ in range(self._num_ranks)]
         # Per-rank cursor into its phase list and local clock.
         cursor = [0] * self._num_ranks

@@ -25,6 +25,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import telemetry as tele
 from ..cluster.cluster import ClusterSpec
 from ..exceptions import SimulationError
 from ..power.components import NodeUtilization
@@ -151,8 +152,10 @@ class ClusterExecutor:
         makespan = engine.makespan(intervals)
         if makespan <= 0:
             raise SimulationError("run has zero duration; no phases with time in any program")
-        truth, breakdown = self._cluster_power(placement, intervals, makespan)
-        trace = self.meter.measure(truth)
+        with tele.span("sim.power.integrate", label=label):
+            truth, breakdown = self._cluster_power(placement, intervals, makespan)
+        with tele.span("sim.power.meter", label=label):
+            trace = self.meter.measure(truth)
         return RunRecord(
             label=label,
             cluster=self.cluster,

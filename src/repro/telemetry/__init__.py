@@ -1,0 +1,93 @@
+"""Telemetry: structured tracing, metrics, and energy attribution.
+
+The observability layer of the reproduction.  Three pieces:
+
+:mod:`~repro.telemetry.spans`
+    :class:`Tracer` / :class:`Span` — monotonic-clock, nestable,
+    thread-aware spans with a pool-safe ship-and-absorb protocol for
+    campaign workers.  :data:`NULL_TRACER` is the zero-cost default.
+:mod:`~repro.telemetry.metrics`
+    :class:`MetricsRegistry` — counters, gauges, fixed-bucket histograms;
+    deterministic JSON and Prometheus text exposition exports; mergeable
+    across processes.
+:mod:`~repro.telemetry.attribution`
+    The Eq. 10-12 energy-attribution view: per-benchmark simulated
+    time/energy/power with the paper's weight decomposition.
+
+Instrumented code uses the ambient helpers (zero cost unless a session is
+active):
+
+>>> from repro import telemetry as tele
+>>> with tele.use() as session:
+...     with tele.span("my.phase", detail="x"):
+...         tele.count("tgi_benchmark_runs_total", benchmark="HPL")
+>>> len(session.spans)
+1
+
+See ``docs/telemetry.md`` for the full API and exporter formats.
+"""
+
+from .attribution import (
+    AttributionRow,
+    attribution_to_dicts,
+    campaign_attribution,
+    render_attribution,
+    suite_attribution,
+)
+from .metrics import (
+    DEFAULT_TIME_BUCKETS_S,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .render import render_slowest, render_span_tree, slowest_spans
+from .session import (
+    TELEMETRY_VERSION,
+    TelemetrySession,
+    activate,
+    active,
+    count,
+    current,
+    deactivate,
+    gauge,
+    observe,
+    span,
+    traced,
+    use,
+)
+from .spans import NULL_TRACER, NullTracer, Span, Tracer, span_from_dict, span_to_dict
+
+__all__ = [
+    "AttributionRow",
+    "attribution_to_dicts",
+    "campaign_attribution",
+    "render_attribution",
+    "suite_attribution",
+    "DEFAULT_TIME_BUCKETS_S",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "render_slowest",
+    "render_span_tree",
+    "slowest_spans",
+    "TELEMETRY_VERSION",
+    "TelemetrySession",
+    "activate",
+    "active",
+    "count",
+    "current",
+    "deactivate",
+    "gauge",
+    "observe",
+    "span",
+    "traced",
+    "use",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "span_from_dict",
+    "span_to_dict",
+]

@@ -1,0 +1,143 @@
+"""Energy attribution: where the simulated joules went, per benchmark.
+
+The paper's whole point is that one TGI number hides *where* energy goes;
+Section III decomposes it into per-benchmark weights proportional to time
+(Eq. 10), energy (Eq. 11), and power (Eq. 12).  This module materializes
+that decomposition as an *observability view*: for every run (a suite at
+one scale point) it reports each benchmark's simulated seconds, joules and
+watts alongside the three normalized weight columns — each weight family
+summing to 1 across the suite, computed by the exact
+:mod:`repro.core.weights` schemes the metric itself uses, so the view can
+never drift from the TGI definition.
+
+The view joins onto span telemetry by construction: attribution rows carry
+the same ``(job, cluster, cores, benchmark)`` coordinates the spans are
+attributed with, so a trace tree answers "which phase burned wall-clock"
+and this table answers "which benchmark burned the simulated joules".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from ..benchmarks.suite import SuiteResult
+    from ..campaign.runner import CampaignResult
+
+__all__ = [
+    "AttributionRow",
+    "suite_attribution",
+    "campaign_attribution",
+    "attribution_to_dicts",
+    "render_attribution",
+]
+
+
+@dataclass(frozen=True)
+class AttributionRow:
+    """One benchmark's share of one run's time/energy/power."""
+
+    job_id: str
+    cluster: str
+    cores: int
+    benchmark: str
+    time_s: float
+    energy_j: float
+    power_w: float
+    time_weight: float    # Eq. 10: t_i / sum(t)
+    energy_weight: float  # Eq. 11: e_i / sum(e)
+    power_weight: float   # Eq. 12: p_i / sum(p)
+
+
+def suite_attribution(
+    suite_result: "SuiteResult", *, job_id: str = "", cluster: str = ""
+) -> List[AttributionRow]:
+    """Attribution rows for one suite run at one scale point."""
+    # Lazy import: core.weights pulls in the benchmark layer, which is
+    # itself instrumented with this package.
+    from ..core.weights import EnergyWeights, PowerWeights, TimeWeights
+
+    w_time = TimeWeights().weights(suite_result)
+    w_energy = EnergyWeights().weights(suite_result)
+    w_power = PowerWeights().weights(suite_result)
+    return [
+        AttributionRow(
+            job_id=job_id,
+            cluster=cluster,
+            cores=suite_result.cores,
+            benchmark=r.benchmark,
+            time_s=r.time_s,
+            energy_j=r.energy_j,
+            power_w=r.power_w,
+            time_weight=w_time[r.benchmark],
+            energy_weight=w_energy[r.benchmark],
+            power_weight=w_power[r.benchmark],
+        )
+        for r in suite_result
+    ]
+
+
+def campaign_attribution(result: "CampaignResult") -> List[AttributionRow]:
+    """Attribution rows for every scale point of every campaign job."""
+    rows: List[AttributionRow] = []
+    for outcome in result:
+        sweep = outcome.sweep
+        for suite_result in sweep.suites:
+            rows.extend(
+                suite_attribution(
+                    suite_result,
+                    job_id=outcome.job.job_id,
+                    cluster=outcome.payload["cluster_name"],
+                )
+            )
+    return rows
+
+
+def attribution_to_dicts(rows: Sequence[AttributionRow]) -> List[Dict]:
+    """JSON-compatible form (what telemetry exports embed)."""
+    return [
+        {
+            "job_id": r.job_id,
+            "cluster": r.cluster,
+            "cores": r.cores,
+            "benchmark": r.benchmark,
+            "time_s": r.time_s,
+            "energy_j": r.energy_j,
+            "power_w": r.power_w,
+            "time_weight": r.time_weight,
+            "energy_weight": r.energy_weight,
+            "power_weight": r.power_weight,
+        }
+        for r in rows
+    ]
+
+
+def render_attribution(
+    rows: Sequence[AttributionRow], *, title: str = "Energy attribution (Eqs. 10-12)"
+) -> str:
+    """Paper-style table of the attribution view."""
+    from ..analysis.tables import render_table
+
+    cells = [
+        [
+            r.job_id,
+            r.cluster,
+            r.cores,
+            r.benchmark,
+            f"{r.time_s:.1f}",
+            f"{r.energy_j / 1e6:.3f}",
+            f"{r.power_w / 1e3:.2f}",
+            f"{r.time_weight:.3f}",
+            f"{r.energy_weight:.3f}",
+            f"{r.power_weight:.3f}",
+        ]
+        for r in rows
+    ]
+    return render_table(
+        ["job", "system", "cores", "benchmark", "t (s)", "E (MJ)", "P (kW)",
+         "w_time", "w_energy", "w_power"],
+        cells,
+        title=title,
+        align_right_from=2,
+    )

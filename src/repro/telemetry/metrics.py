@@ -1,0 +1,328 @@
+"""Metrics registry: counters, gauges, histograms; JSON + Prometheus export.
+
+Deliberately small and deterministic:
+
+* instruments are named per the Prometheus data model and carry optional
+  string labels (``counter.inc(1, status="hit")``);
+* histograms use **fixed bucket boundaries** given at creation, so two runs
+  that observe the same values produce byte-identical exports;
+* exports are sorted — by metric name, then by label set — so JSON dumps
+  and text exposition are stable under dict-ordering accidents;
+* a registry can snapshot itself to a plain picklable :meth:`~MetricsRegistry.state`
+  and :meth:`~MetricsRegistry.merge` another registry's state: that is how
+  campaign pool workers ship their counts back to the parent process
+  (counters and histogram buckets add; gauges last-write-win per label set).
+
+No global registry lives here — ambient access goes through the session
+layer (:mod:`repro.telemetry.session`), which is what makes disabled
+telemetry free.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from bisect import bisect_left
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..exceptions import ReproError
+
+__all__ = [
+    "DEFAULT_TIME_BUCKETS_S",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+]
+
+#: Fixed span-latency boundaries (seconds).  Chosen once so histogram
+#: output is deterministic across runs and machines.
+DEFAULT_TIME_BUCKETS_S = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Internal key for one labelled time series: sorted (label, value) pairs.
+_LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, object]) -> _LabelKey:
+    for name in labels:
+        if not _LABEL_RE.match(name):
+            raise ReproError(f"invalid metric label name {name!r}")
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    """Stable text form: integral floats print as integers."""
+    if value != value:  # NaN
+        return "NaN"
+    if value in (math.inf, -math.inf):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _render_labels(key: _LabelKey, extra: Sequence[Tuple[str, str]] = ()) -> str:
+    pairs = list(key) + list(extra)
+    if not pairs:
+        return ""
+    inner = ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in pairs)
+    return "{" + inner + "}"
+
+
+class _Instrument:
+    """Shared naming/help plumbing for all instrument kinds."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = ""):
+        if not _NAME_RE.match(name or ""):
+            raise ReproError(f"invalid metric name {name!r}")
+        self.name = name
+        self.help = help
+
+
+class Counter(_Instrument):
+    """Monotonically increasing count, optionally labelled."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = ""):
+        super().__init__(name, help)
+        self._values: Dict[_LabelKey, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        if amount < 0:
+            raise ReproError(f"counter {self.name} cannot decrease (got {amount})")
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: object) -> float:
+        return self._values.get(_label_key(labels), 0.0)
+
+    def samples(self) -> List[Tuple[_LabelKey, float]]:
+        return sorted(self._values.items())
+
+
+class Gauge(_Instrument):
+    """Last-written value per label set."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = ""):
+        super().__init__(name, help)
+        self._values: Dict[_LabelKey, float] = {}
+
+    def set(self, value: float, **labels: object) -> None:
+        self._values[_label_key(labels)] = float(value)
+
+    def value(self, **labels: object) -> Optional[float]:
+        return self._values.get(_label_key(labels))
+
+    def samples(self) -> List[Tuple[_LabelKey, float]]:
+        return sorted(self._values.items())
+
+
+class Histogram(_Instrument):
+    """Fixed-boundary histogram with per-label bucket counts and sums."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_TIME_BUCKETS_S,
+    ):
+        super().__init__(name, help)
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ReproError(f"histogram {name} needs at least one bucket boundary")
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ReproError(f"histogram {name} buckets must be strictly ascending")
+        if not all(math.isfinite(b) for b in bounds):
+            raise ReproError(f"histogram {name} buckets must be finite")
+        self.buckets = bounds
+        # One count per finite bucket plus the +Inf overflow bucket.
+        self._counts: Dict[_LabelKey, List[int]] = {}
+        self._sums: Dict[_LabelKey, float] = {}
+
+    def observe(self, value: float, **labels: object) -> None:
+        key = _label_key(labels)
+        counts = self._counts.get(key)
+        if counts is None:
+            counts = self._counts[key] = [0] * (len(self.buckets) + 1)
+            self._sums[key] = 0.0
+        counts[bisect_left(self.buckets, value)] += 1
+        self._sums[key] += value
+
+    def count(self, **labels: object) -> int:
+        return sum(self._counts.get(_label_key(labels), ()))
+
+    def sum(self, **labels: object) -> float:
+        return self._sums.get(_label_key(labels), 0.0)
+
+    def cumulative_buckets(self, key: _LabelKey) -> List[Tuple[str, int]]:
+        """Prometheus-style cumulative (le, count) pairs, ending at +Inf."""
+        counts = self._counts.get(key, [0] * (len(self.buckets) + 1))
+        out = []
+        running = 0
+        for bound, n in zip(self.buckets, counts):
+            running += n
+            out.append((_format_value(bound), running))
+        out.append(("+Inf", running + counts[-1]))
+        return out
+
+    def samples(self) -> List[Tuple[_LabelKey, List[int]]]:
+        return sorted((k, list(v)) for k, v in self._counts.items())
+
+
+class MetricsRegistry:
+    """Create-or-get instrument factory plus the exporters."""
+
+    _KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, _Instrument] = {}
+
+    # -- factories ------------------------------------------------------
+    def _get(self, cls, name: str, help: str, **kwargs):
+        existing = self._instruments.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise ReproError(
+                    f"metric {name!r} already registered as {existing.kind}"
+                )
+            return existing
+        instrument = cls(name, help, **kwargs)
+        self._instruments[name] = instrument
+        return instrument
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get(Gauge, name, help)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_TIME_BUCKETS_S,
+    ) -> Histogram:
+        return self._get(Histogram, name, help, buckets=buckets)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    # -- JSON export ----------------------------------------------------
+    def as_dict(self) -> Dict:
+        """Deterministic JSON-compatible dump of every instrument."""
+        out: Dict[str, Dict] = {}
+        for name in sorted(self._instruments):
+            instrument = self._instruments[name]
+            entry: Dict = {"kind": instrument.kind, "help": instrument.help}
+            if isinstance(instrument, Histogram):
+                entry["buckets"] = list(instrument.buckets)
+                entry["samples"] = [
+                    {
+                        "labels": dict(key),
+                        "counts": counts,
+                        "count": sum(counts),
+                        "sum": instrument._sums[key],
+                    }
+                    for key, counts in instrument.samples()
+                ]
+            else:
+                entry["samples"] = [
+                    {"labels": dict(key), "value": value}
+                    for key, value in instrument.samples()
+                ]
+            out[name] = entry
+        return out
+
+    # -- Prometheus text exposition ------------------------------------
+    def to_prometheus(self) -> str:
+        """Text exposition format (version 0.0.4), deterministically sorted."""
+        lines: List[str] = []
+        for name in sorted(self._instruments):
+            instrument = self._instruments[name]
+            if instrument.help:
+                lines.append(f"# HELP {name} {instrument.help}")
+            lines.append(f"# TYPE {name} {instrument.kind}")
+            if isinstance(instrument, Histogram):
+                for key, _ in instrument.samples():
+                    for le, count in instrument.cumulative_buckets(key):
+                        lines.append(
+                            f"{name}_bucket{_render_labels(key, [('le', le)])} {count}"
+                        )
+                    lines.append(
+                        f"{name}_sum{_render_labels(key)} "
+                        f"{_format_value(instrument._sums[key])}"
+                    )
+                    lines.append(
+                        f"{name}_count{_render_labels(key)} {instrument.count(**dict(key))}"
+                    )
+            else:
+                for key, value in instrument.samples():
+                    lines.append(f"{name}{_render_labels(key)} {_format_value(value)}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    # -- pool shipping --------------------------------------------------
+    def state(self) -> Dict:
+        """Plain picklable snapshot for shipping across processes."""
+        state: Dict[str, Dict] = {}
+        for name, instrument in self._instruments.items():
+            entry: Dict = {"kind": instrument.kind, "help": instrument.help}
+            if isinstance(instrument, Histogram):
+                entry["buckets"] = list(instrument.buckets)
+                entry["counts"] = {k: list(v) for k, v in instrument._counts.items()}
+                entry["sums"] = dict(instrument._sums)
+            else:
+                entry["values"] = dict(instrument._values)
+            state[name] = entry
+        return state
+
+    def merge(self, state: Dict) -> None:
+        """Fold a worker's :meth:`state` into this registry.
+
+        Counters and histogram buckets add; gauges take the shipped value
+        per label set (each labelled point is written by exactly one job in
+        a campaign, so last-write-wins is collision-free in practice).
+        """
+        for name, entry in state.items():
+            kind = entry["kind"]
+            if kind == "counter":
+                counter = self.counter(name, entry.get("help", ""))
+                for key, value in entry["values"].items():
+                    counter._values[key] = counter._values.get(key, 0.0) + value
+            elif kind == "gauge":
+                gauge = self.gauge(name, entry.get("help", ""))
+                gauge._values.update(entry["values"])
+            elif kind == "histogram":
+                hist = self.histogram(
+                    name, entry.get("help", ""), buckets=entry["buckets"]
+                )
+                if tuple(entry["buckets"]) != hist.buckets:
+                    raise ReproError(
+                        f"histogram {name} bucket mismatch while merging"
+                    )
+                for key, counts in entry["counts"].items():
+                    mine = hist._counts.setdefault(key, [0] * (len(hist.buckets) + 1))
+                    for i, n in enumerate(counts):
+                        mine[i] += n
+                    hist._sums[key] = hist._sums.get(key, 0.0) + entry["sums"][key]
+            else:
+                raise ReproError(f"unknown instrument kind {kind!r} in state")

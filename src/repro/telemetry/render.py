@@ -1,0 +1,98 @@
+"""Human rendering of span telemetry: tree view and slowest-span table.
+
+The ``tgi trace`` verb is a thin wrapper around these.  Both functions
+accept live :class:`~repro.telemetry.spans.Span` objects or the dict form
+a telemetry JSON export carries, so a saved trace renders identically to a
+fresh one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+from .spans import Span, span_from_dict
+
+__all__ = ["render_span_tree", "slowest_spans", "render_slowest"]
+
+_SpanLike = Union[Span, Dict]
+
+
+def _as_spans(spans: Sequence[_SpanLike]) -> List[Span]:
+    return [s if isinstance(s, Span) else span_from_dict(s) for s in spans]
+
+
+def _format_duration(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.3f} s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.2f} ms"
+    return f"{seconds * 1e6:.0f} us"
+
+
+def _format_attrs(attrs: Dict[str, object]) -> str:
+    if not attrs:
+        return ""
+    return "  " + " ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+
+
+def render_span_tree(spans: Sequence[_SpanLike]) -> str:
+    """Box-drawn tree of the span forest, children in start order."""
+    resolved = _as_spans(spans)
+    if not resolved:
+        return "(no spans recorded)"
+    by_id = {s.span_id: s for s in resolved}
+    children: Dict[Optional[int], List[Span]] = {}
+    for s in resolved:
+        # A parent outside the collected set (absorbed fragments) renders
+        # the span as a root rather than dropping it.
+        parent = s.parent_id if s.parent_id in by_id else None
+        children.setdefault(parent, []).append(s)
+    for siblings in children.values():
+        siblings.sort(key=lambda s: (s.t_start, s.span_id))
+
+    lines: List[str] = []
+
+    def emit(span: Span, prefix: str, is_last: bool, is_root: bool) -> None:
+        connector = "" if is_root else ("└─ " if is_last else "├─ ")
+        proc = f" [{span.process}]" if span.process != "main" else ""
+        lines.append(
+            f"{prefix}{connector}{span.name}  "
+            f"{_format_duration(span.duration_s)}{proc}{_format_attrs(span.attrs)}"
+        )
+        kids = children.get(span.span_id, [])
+        child_prefix = prefix if is_root else prefix + ("   " if is_last else "│  ")
+        for i, kid in enumerate(kids):
+            emit(kid, child_prefix, i == len(kids) - 1, False)
+
+    roots = children.get(None, [])
+    for root in roots:
+        emit(root, "", True, True)
+    return "\n".join(lines)
+
+
+def slowest_spans(spans: Sequence[_SpanLike], top: int = 10) -> List[Span]:
+    """The ``top`` longest finished spans, slowest first."""
+    finished = [s for s in _as_spans(spans) if s.t_end is not None]
+    finished.sort(key=lambda s: (-s.duration_s, s.span_id))
+    return finished[: max(0, top)]
+
+
+def render_slowest(spans: Sequence[_SpanLike], top: int = 10) -> str:
+    """Table of the slowest spans (the trace verb's hot-spot summary)."""
+    from ..analysis.tables import render_table
+
+    rows = [
+        [
+            s.name,
+            _format_duration(s.duration_s),
+            s.process,
+            " ".join(f"{k}={v}" for k, v in sorted(s.attrs.items())),
+        ]
+        for s in slowest_spans(spans, top)
+    ]
+    return render_table(
+        ["span", "duration", "process", "attributes"],
+        rows,
+        title=f"Top {len(rows)} slowest spans",
+        align_right_from=1,
+    )

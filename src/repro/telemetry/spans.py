@@ -1,0 +1,294 @@
+"""Structured span tracing on a monotonic clock.
+
+A :class:`Span` is one timed region of work — named, attributed, and
+nestable.  The :class:`Tracer` hands out spans through a context-manager
+API; nesting is tracked per thread (a stack in ``threading.local``), so
+concurrent threads interleave without corrupting each other's parentage.
+Spans from worker *processes* cannot share a tracer: workers run their own
+tracer and ship finished spans back as dicts, which the parent tracer
+:meth:`~Tracer.absorb`\\ s — re-identified, re-parented under the span that
+launched the pool, and shifted onto the parent's clock.
+
+All timing uses :func:`time.perf_counter` relative to the tracer's epoch,
+so span times are monotonic, start at ~0 for the session, and never go
+backwards on clock adjustments.  Span timings are *observability data*:
+they are volatile run-to-run and are deliberately excluded from cache keys
+and manifest fingerprints (see :mod:`repro.campaign.manifest`).
+
+When no telemetry session is active the instrumented code paths get the
+:data:`NULL_TRACER`, whose :meth:`~NullTracer.span` returns a shared no-op
+handle — the disabled cost is one global check and one attribute call.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..exceptions import ReproError
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "span_to_dict",
+    "span_from_dict",
+]
+
+
+@dataclass
+class Span:
+    """One timed, named, attributed region of work."""
+
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    t_start: float
+    t_end: Optional[float] = None
+    process: str = "main"
+    thread: str = "MainThread"
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def duration_s(self) -> float:
+        """Seconds spanned (0 while still open)."""
+        if self.t_end is None:
+            return 0.0
+        return self.t_end - self.t_start
+
+    def set(self, **attrs: object) -> None:
+        """Attach attributes to an open span."""
+        self.attrs.update(attrs)
+
+
+def span_to_dict(span: Span) -> Dict:
+    """JSON-compatible form of a span (the pool-shipping format)."""
+    return {
+        "span_id": span.span_id,
+        "parent_id": span.parent_id,
+        "name": span.name,
+        "t_start": span.t_start,
+        "t_end": span.t_end,
+        "process": span.process,
+        "thread": span.thread,
+        "attrs": dict(span.attrs),
+    }
+
+
+def span_from_dict(data: Dict) -> Span:
+    """Rebuild a span serialized by :func:`span_to_dict`."""
+    return Span(
+        span_id=data["span_id"],
+        parent_id=data["parent_id"],
+        name=data["name"],
+        t_start=data["t_start"],
+        t_end=data["t_end"],
+        process=data.get("process", "main"),
+        thread=data.get("thread", "MainThread"),
+        attrs=dict(data.get("attrs", {})),
+    )
+
+
+class _SpanHandle:
+    """Context manager closing one span; yields the span for ``.set()``."""
+
+    __slots__ = ("_tracer", "span")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self.span = span
+
+    def __enter__(self) -> Span:
+        return self.span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self.span.attrs.setdefault("error", exc_type.__name__)
+        self._tracer._close(self.span)
+        return False
+
+    # Convenience so call sites can treat the handle like the span.
+    @property
+    def span_id(self) -> int:
+        return self.span.span_id
+
+    @property
+    def t_start(self) -> float:
+        return self.span.t_start
+
+
+class Tracer:
+    """Collects spans on one monotonic timeline (see module docstring).
+
+    Parameters
+    ----------
+    process:
+        Tag stamped on every span (``"main"``, ``"worker-<pid>"``).
+    on_close:
+        Optional callback fired with each span as it closes — the session
+        uses it to feed the span-duration histogram.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        *,
+        process: str = "main",
+        on_close: Optional[Callable[[Span], None]] = None,
+    ):
+        self.process = process
+        self._on_close = on_close
+        self._epoch = time.perf_counter()
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._spans: List[Span] = []  # in start order; t_end filled on close
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    def clock(self) -> float:
+        """Seconds since this tracer's epoch (the span time base)."""
+        return time.perf_counter() - self._epoch
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def span(self, name: str, **attrs: object) -> _SpanHandle:
+        """Open a span as a context manager; the body runs inside it."""
+        if not name:
+            raise ReproError("span name must be non-empty")
+        stack = self._stack()
+        parent = stack[-1].span_id if stack else None
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+            span = Span(
+                span_id=span_id,
+                parent_id=parent,
+                name=name,
+                t_start=self.clock(),
+                process=self.process,
+                thread=threading.current_thread().name,
+                attrs=dict(attrs),
+            )
+            self._spans.append(span)
+        stack.append(span)
+        return _SpanHandle(self, span)
+
+    def _close(self, span: Span) -> None:
+        span.t_end = self.clock()
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif span in stack:  # mismatched nesting: drop it and everything above
+            del stack[stack.index(span):]
+        if self._on_close is not None:
+            self._on_close(span)
+
+    # ------------------------------------------------------------------
+    @property
+    def spans(self) -> List[Span]:
+        """All spans recorded so far, in start order."""
+        with self._lock:
+            return list(self._spans)
+
+    @property
+    def finished(self) -> List[Span]:
+        """Closed spans only."""
+        return [s for s in self.spans if s.t_end is not None]
+
+    def absorb(
+        self,
+        span_dicts: Sequence[Dict],
+        *,
+        parent_id: Optional[int] = None,
+        offset_s: float = 0.0,
+    ) -> List[Span]:
+        """Merge spans shipped back from a worker process.
+
+        Worker span ids are remapped into this tracer's id space, worker
+        root spans are re-parented under ``parent_id``, and all times are
+        shifted by ``offset_s`` (the parent-clock instant the worker
+        timeline started) so the merged tree stays roughly aligned.
+        """
+        absorbed: List[Span] = []
+        with self._lock:
+            id_map: Dict[int, int] = {}
+            for data in span_dicts:
+                id_map[data["span_id"]] = self._next_id
+                self._next_id += 1
+            for data in span_dicts:
+                span = span_from_dict(data)
+                span.span_id = id_map[span.span_id]
+                span.parent_id = (
+                    id_map[span.parent_id]
+                    if span.parent_id in id_map
+                    else parent_id
+                )
+                span.t_start += offset_s
+                if span.t_end is not None:
+                    span.t_end += offset_s
+                self._spans.append(span)
+                absorbed.append(span)
+        return absorbed
+
+    def as_dicts(self) -> List[Dict]:
+        """All spans as JSON-compatible dicts (the export/shipping form)."""
+        return [span_to_dict(s) for s in self.spans]
+
+
+class _NullSpan:
+    """The span stand-in instrumented code sees when telemetry is off."""
+
+    __slots__ = ()
+    span_id = None
+    t_start = 0.0
+
+    def set(self, **attrs: object) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _NullHandle:
+    __slots__ = ()
+    span_id = None
+    t_start = 0.0
+
+    def __enter__(self) -> _NullSpan:
+        return _NULL_SPAN
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_HANDLE = _NullHandle()
+
+
+class NullTracer:
+    """Zero-cost tracer: every ``span()`` is the same no-op handle."""
+
+    enabled = False
+
+    @property
+    def spans(self) -> List[Span]:
+        return []
+
+    finished = spans
+
+    def span(self, name: str, **attrs: object) -> _NullHandle:
+        return _NULL_HANDLE
+
+    def as_dicts(self) -> List[Dict]:
+        return []
+
+
+#: Shared null tracer used whenever no session is active.
+NULL_TRACER = NullTracer()

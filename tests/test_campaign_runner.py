@@ -196,7 +196,10 @@ class TestManifest:
         assert manifest["manifest_version"] == 1
         assert manifest["cache_enabled"] is False
         assert manifest["cache"] is None
-        assert {"jobs", "hits", "executed", "hit_rate"} <= set(manifest["cache_run"])
+        assert {"jobs", "hits", "misses", "invalidations", "hit_rate"} == set(
+            manifest["cache_run"]
+        )
+        assert manifest["telemetry"] is None  # no session active in tests
         assert len(manifest["jobs"]) == 2
         row = manifest["jobs"][1]
         assert row["job_id"] == "fire-sweep"

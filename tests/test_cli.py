@@ -92,8 +92,9 @@ class TestExtendedCommands:
 
     def test_rank_with_profile(self, capsys):
         assert main(["rank", "--profile", "cfd"]) == 0
-        out = capsys.readouterr().out
-        assert "CFD" in out and "Rank" in out
+        captured = capsys.readouterr()
+        assert "Rank" in captured.out
+        assert "CFD" in captured.err  # profile note is status output
 
     def test_rank_rejects_unknown_profile(self):
         with pytest.raises(SystemExit):
@@ -148,12 +149,13 @@ class TestCampaignCommand:
 
     def test_campaign_prints_summary_table(self, quick_config, capsys):
         assert main(["campaign"]) == 0
-        out = capsys.readouterr().out
-        assert "Campaign: 2 jobs" in out
-        assert "reference" in out and "fire-sweep" in out
-        assert "uncached" in out  # no cache dir given
-        assert "caching disabled" in out
-        assert "manifest fingerprint:" in out
+        captured = capsys.readouterr()
+        assert "Campaign: 2 jobs" in captured.out
+        assert "reference" in captured.out and "fire-sweep" in captured.out
+        assert "uncached" in captured.out  # no cache dir given
+        assert "manifest fingerprint:" in captured.out
+        # status/bookkeeping goes to stderr
+        assert "caching disabled" in captured.err
 
     def test_campaign_cache_and_manifest_flow(self, quick_config, tmp_path, capsys):
         from repro.campaign import load_manifest, manifest_fingerprint
@@ -168,10 +170,10 @@ class TestCampaignCommand:
             str(manifest_path),
         ]
         assert main(cold_args) == 0
-        cold_out = capsys.readouterr().out
-        assert "computed" in cold_out
-        assert "0/2 hits" in cold_out
-        assert f"manifest written to {manifest_path}" in cold_out
+        captured = capsys.readouterr()
+        assert "computed" in captured.out
+        assert "0/2 hits" in captured.err
+        assert f"manifest written to {manifest_path}" in captured.err
 
         manifest = load_manifest(manifest_path)
         assert manifest["fingerprint"] == manifest_fingerprint(manifest)
@@ -182,6 +184,62 @@ class TestCampaignCommand:
 
         # warm rerun: everything comes out of the cache
         assert main(["campaign", "--cache-dir", str(cache_dir)]) == 0
-        warm_out = capsys.readouterr().out
-        assert "2/2 hits" in warm_out
-        assert "0 misses" in warm_out
+        warm = capsys.readouterr()
+        assert "2/2 hits" in warm.err
+        assert "0 misses" in warm.err
+
+    def test_quiet_silences_status_but_not_results(self, quick_config, capsys):
+        assert main(["--quiet", "campaign"]) == 0
+        captured = capsys.readouterr()
+        assert "Campaign: 2 jobs" in captured.out
+        assert captured.err == ""
+
+    def test_campaign_telemetry_flag(self, quick_config, tmp_path, capsys):
+        import json
+
+        telemetry_path = tmp_path / "telemetry.json"
+        assert main(["campaign", "--telemetry", str(telemetry_path)]) == 0
+        captured = capsys.readouterr()
+        assert "Energy attribution" in captured.out
+        assert f"telemetry written to {telemetry_path}" in captured.err
+
+        data = json.loads(telemetry_path.read_text())
+        span_names = {s["name"] for s in data["spans"]}
+        assert {
+            "campaign.run",
+            "job.serialize",
+            "job.cache_probe",
+            "job.execute",
+            "job.store",
+            "benchmark.run",
+        } <= span_names
+        # each weight family sums to 1 per (job, scale point) — Eqs. 10-12
+        sums = {}
+        for row in data["attribution"]:
+            key = (row["job_id"], row["cores"])
+            for family in ("time_weight", "energy_weight", "power_weight"):
+                sums.setdefault((key, family), 0.0)
+                sums[(key, family)] += row[family]
+        assert all(abs(total - 1.0) < 1e-9 for total in sums.values())
+        # Prometheus text dump lands beside the JSON
+        prom = telemetry_path.with_suffix(".prom")
+        assert "# TYPE tgi_benchmark_runs_total counter" in prom.read_text()
+
+    def test_trace_renders_saved_export(self, quick_config, tmp_path, capsys):
+        telemetry_path = tmp_path / "telemetry.json"
+        assert main(["campaign", "--telemetry", str(telemetry_path)]) == 0
+        capsys.readouterr()
+        assert main(["trace", "--input", str(telemetry_path), "--top", "3"]) == 0
+        captured = capsys.readouterr()
+        assert "campaign.run" in captured.out
+        assert "└─" in captured.out  # tree rendering
+        assert "Top 3 slowest spans" in captured.out
+        assert "Energy attribution" in captured.out
+
+    def test_trace_rejects_unknown_version(self, tmp_path, capsys):
+        import json
+
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"telemetry_version": 99, "spans": []}))
+        assert main(["trace", "--input", str(bad)]) == 1
+        assert "not supported" in capsys.readouterr().err

@@ -29,6 +29,7 @@ class TestDocFilesExist:
             "docs/metric_theory.md",
             "docs/simulator.md",
             "docs/campaign_runner.md",
+            "docs/telemetry.md",
         ],
     )
     def test_exists_and_nonempty(self, relpath):
