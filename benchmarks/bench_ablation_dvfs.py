@@ -12,6 +12,7 @@ import pytest
 from repro.benchmarks import BenchmarkSuite, HPLBenchmark, IOzoneBenchmark, StreamBenchmark
 from repro.cluster import ClusterSpec, presets
 from repro.core import ReferenceSet, TGICalculator
+from repro.perfwatch import MetricSpec, scenario
 from repro.power import DVFSModel, DVFSOperatingPoint
 from repro.sim import ClusterExecutor
 
@@ -40,6 +41,26 @@ def measure(point):
         ]
     )
     return suite.run(ClusterExecutor(cluster, rng=7), cluster.total_cores)
+
+
+@scenario(
+    "ablation.dvfs",
+    description="suite + TGI of downclocked Fire vs nominal (DVFS trade)",
+    tier="full",
+    repeats=2,
+    metrics=(
+        MetricSpec(
+            "tgi_downclocked",
+            direction="higher",
+            help="TGI of the 1.5 GHz point against the nominal reference",
+        ),
+    ),
+)
+def dvfs_scenario():
+    nominal = measure(POINTS[0])
+    low = measure(POINTS[1])
+    reference = ReferenceSet.from_suite_result(nominal, system_name="nominal")
+    return {"tgi_downclocked": TGICalculator(reference).compute(low).value}
 
 
 def test_dvfs_tgi_ablation(benchmark):

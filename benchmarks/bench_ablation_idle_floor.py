@@ -19,6 +19,7 @@ import pytest
 from repro.analysis import relative_range
 from repro.benchmarks import IOzoneBenchmark
 from repro.cluster import ClusterSpec, presets
+from repro.perfwatch import MetricSpec, scenario
 from repro.power.meter import PERFECT_METER, WallPlugMeter
 from repro.sim import ClusterExecutor
 
@@ -46,6 +47,25 @@ def iozone_ee_swing(idle_scale: float) -> float:
     bench = IOzoneBenchmark(target_seconds=20)
     ee = np.array([bench.run(executor, k).energy_efficiency for k in range(1, 9)])
     return relative_range(ee)
+
+
+@scenario(
+    "ablation.idle_floor",
+    description="IOzone EE swing vs idle-floor scale (the amortization mechanism)",
+    tier="full",
+    repeats=2,
+    metrics=(
+        MetricSpec(
+            "swing_collapse_ratio",
+            direction="lower",
+            help="EE swing at 2% idle floor over swing at full floor",
+        ),
+    ),
+)
+def idle_floor_scenario():
+    full = iozone_ee_swing(1.0)
+    floorless = iozone_ee_swing(0.02)
+    return {"swing_collapse_ratio": floorless / full}
 
 
 def test_idle_floor_drives_iozone_ee_swing(benchmark):

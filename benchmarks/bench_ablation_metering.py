@@ -16,6 +16,7 @@ import pytest
 from repro.analysis import CurveShape, characterize_curve, relative_range
 from repro.benchmarks import IOzoneBenchmark
 from repro.cluster import presets
+from repro.perfwatch import MetricSpec, scenario
 from repro.power.meter import PERFECT_METER, WallPlugMeter
 from repro.sim import ClusterExecutor
 
@@ -31,6 +32,24 @@ def iozone_ee_curve(metering: str):
     return np.array(
         [bench.run(executor, nodes).energy_efficiency for nodes in range(1, 9)]
     )
+
+
+@scenario(
+    "ablation.metering_boundary",
+    description="IOzone EE curves under whole-system vs active-node metering",
+    tier="full",
+    repeats=2,
+    metrics=(
+        MetricSpec(
+            "system_metering_swing",
+            direction="higher",
+            help="relative EE range under whole-system metering (Figure 1 choice)",
+        ),
+    ),
+)
+def metering_scenario():
+    system = iozone_ee_curve("system")
+    return {"system_metering_swing": float(relative_range(system))}
 
 
 def test_metering_boundary_ablation(benchmark):

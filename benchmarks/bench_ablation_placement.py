@@ -15,12 +15,34 @@ import pytest
 from repro.benchmarks import HPLBenchmark, StreamBenchmark
 from repro.cluster import presets
 from repro.perfmodels import HPLModel, StreamModel
+from repro.perfwatch import MetricSpec, scenario
 from repro.sim import ClusterExecutor
 
 
 @pytest.fixture(scope="module")
 def fire():
     return presets.fire()
+
+
+@scenario(
+    "ablation.placement",
+    description="packed vs breadth-first HPL at 64 ranks (contention penalty)",
+    tier="quick",
+    metrics=(
+        MetricSpec(
+            "packed_spread_hpl_ratio",
+            direction="higher",
+            help="packed GFLOPS over breadth-first GFLOPS (1.0 = no penalty)",
+        ),
+    ),
+)
+def placement_scenario():
+    fire = presets.fire()
+    packed = run_hpl_at_packing(fire, 16)
+    spread = run_hpl_at_packing(fire, 8)
+    return {
+        "packed_spread_hpl_ratio": packed.performance_flops / spread.performance_flops
+    }
 
 
 def run_hpl_at_packing(fire, ranks_per_node):

@@ -9,6 +9,7 @@ why an idle-heavy cluster measurement cannot simply subtract a constant.
 import pytest
 
 from repro.cluster import presets
+from repro.perfwatch import MetricSpec, scenario
 from repro.power import NodePowerModel, NodeUtilization
 from repro.power.psu import IDEAL_PSU
 
@@ -35,6 +36,31 @@ def compute_losses(fire_node):
         dc = lossless.wall_power(util)
         out[name] = (wall, dc, (wall - dc) / wall)
     return out
+
+
+@scenario(
+    "ablation.psu",
+    description="PSU conversion-loss fraction across the Fire utilization points",
+    tier="quick",
+    metrics=(
+        MetricSpec(
+            "hpl_loss_fraction",
+            direction="lower",
+            help="fraction of HPL wall power lost in the supply",
+        ),
+        MetricSpec(
+            "idle_loss_fraction",
+            direction="lower",
+            help="fraction of idle wall power lost in the supply",
+        ),
+    ),
+)
+def psu_scenario():
+    losses = compute_losses(presets.fire().node)
+    return {
+        "hpl_loss_fraction": losses["hpl"][2],
+        "idle_loss_fraction": losses["idle"][2],
+    }
 
 
 def test_psu_loss_ablation(benchmark, fire_node):

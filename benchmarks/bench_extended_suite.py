@@ -17,11 +17,11 @@ from repro.benchmarks import (
 )
 from repro.cluster import presets
 from repro.core import ReferenceSet, TGICalculator
+from repro.perfwatch import MetricSpec, scenario
 from repro.sim import ClusterExecutor
 
 
-@pytest.fixture(scope="module")
-def extended_results():
+def _extended_results():
     suite = BenchmarkSuite(
         [
             HPLBenchmark(sizing=("fixed", 20160), rounds=2),
@@ -36,6 +36,31 @@ def extended_results():
     fire = presets.fire()
     sut = suite.run(ClusterExecutor(fire, rng=7), fire.total_cores)
     return ref, sut
+
+
+@pytest.fixture(scope="module")
+def extended_results():
+    return _extended_results()
+
+
+@scenario(
+    "extended.five_benchmark_tgi",
+    description="five-benchmark HPCC-style suite on SystemG + Fire, TGI computed",
+    tier="full",
+    repeats=2,
+    metrics=(
+        MetricSpec(
+            "tgi_value",
+            direction="higher",
+            help="Fire's five-benchmark TGI against the SystemG reference",
+        ),
+    ),
+)
+def extended_scenario():
+    ref_result, fire_result = _extended_results()
+    reference = ReferenceSet.from_suite_result(ref_result, system_name="SystemG")
+    tgi = TGICalculator(reference).compute(fire_result)
+    return {"tgi_value": tgi.value}
 
 
 def test_five_benchmark_tgi(benchmark, extended_results):

@@ -7,6 +7,25 @@ regenerating the artifact from the shared campaign.
 
 from repro.analysis import CurveShape
 from repro.experiments.curves import run_fig2_hpl
+from repro.perfwatch import HIGHER_IS_BETTER, MetricSpec, scenario, shared_context
+
+
+@scenario(
+    "fig2.hpl_curve",
+    description="regenerate the Figure 2 HPL energy-efficiency curve",
+    setup=shared_context,
+    metrics=(
+        MetricSpec(
+            "peak_mflops_per_w",
+            unit="MFLOPS/W",
+            direction=HIGHER_IS_BETTER,
+            help="peak of the regenerated efficiency curve",
+        ),
+    ),
+)
+def fig2_scenario(context):
+    result = run_fig2_hpl(context)
+    return {"peak_mflops_per_w": max(result.efficiency)}
 
 
 def test_fig2_hpl(benchmark, context):

@@ -3,6 +3,25 @@
 import numpy as np
 
 from repro.experiments.curves import run_fig3_stream
+from repro.perfwatch import HIGHER_IS_BETTER, MetricSpec, scenario, shared_context
+
+
+@scenario(
+    "fig3.stream_curve",
+    description="regenerate the Figure 3 STREAM energy-efficiency curve",
+    setup=shared_context,
+    metrics=(
+        MetricSpec(
+            "saturated_efficiency",
+            unit="MB/s/W",
+            direction=HIGHER_IS_BETTER,
+            help="full-scale point of the regenerated curve",
+        ),
+    ),
+)
+def fig3_scenario(context):
+    result = run_fig3_stream(context)
+    return {"saturated_efficiency": result.efficiency[-1]}
 
 
 def test_fig3_stream(benchmark, context):

@@ -2,6 +2,24 @@
 
 from repro.analysis import CurveShape
 from repro.experiments.curves import run_fig4_iozone
+from repro.perfwatch import HIGHER_IS_BETTER, MetricSpec, scenario, shared_context
+
+
+@scenario(
+    "fig4.iozone_curve",
+    description="regenerate the Figure 4 IOzone energy-efficiency curve",
+    setup=shared_context,
+    metrics=(
+        MetricSpec(
+            "ee_swing_ratio",
+            direction=HIGHER_IS_BETTER,
+            help="full-scale EE over single-node EE (the amortization swing)",
+        ),
+    ),
+)
+def fig4_scenario(context):
+    result = run_fig4_iozone(context)
+    return {"ee_swing_ratio": result.efficiency[-1] / result.efficiency[0]}
 
 
 def test_fig4_iozone(benchmark, context):

@@ -2,6 +2,24 @@
 
 from repro.analysis import pearson
 from repro.experiments.tgi_curves import run_fig5_tgi_am
+from repro.perfwatch import HIGHER_IS_BETTER, MetricSpec, scenario, shared_context
+
+
+@scenario(
+    "fig5.tgi_am_curve",
+    description="regenerate the Figure 5 arithmetic-mean TGI curve",
+    setup=shared_context,
+    metrics=(
+        MetricSpec(
+            "tgi_full_scale",
+            direction=HIGHER_IS_BETTER,
+            help="TGI at the largest scale point",
+        ),
+    ),
+)
+def fig5_scenario(context):
+    result = run_fig5_tgi_am(context)
+    return {"tgi_full_scale": float(result.series.values[-1])}
 
 
 def test_fig5_tgi_arithmetic_mean(benchmark, context):

@@ -3,6 +3,25 @@
 import numpy as np
 
 from repro.experiments.tgi_curves import run_fig6_tgi_weighted
+from repro.perfwatch import MetricSpec, scenario, shared_context
+
+
+@scenario(
+    "fig6.tgi_weighted_curves",
+    description="regenerate the Figure 6 weighted-mean TGI curves",
+    setup=shared_context,
+    metrics=(
+        MetricSpec(
+            "weighting_spread",
+            direction="lower",
+            help="max spread between weighting variants at full scale",
+        ),
+    ),
+)
+def fig6_scenario(context):
+    result = run_fig6_tgi_weighted(context)
+    finals = [series.values[-1] for series in result.series_by_weighting.values()]
+    return {"weighting_spread": float(max(finals) - min(finals))}
 
 
 def test_fig6_tgi_weighted_means(benchmark, context):

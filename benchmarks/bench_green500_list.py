@@ -12,13 +12,13 @@ from repro.analysis import spearman
 from repro.benchmarks import BenchmarkSuite, HPLBenchmark, IOzoneBenchmark, StreamBenchmark
 from repro.cluster import generate_fleet, presets
 from repro.core import GeometricTGICalculator, ReferenceSet, TGICalculator
+from repro.perfwatch import MetricSpec, scenario
 from repro.sim import ClusterExecutor
 
 FLEET_SIZE = 6
 
 
-@pytest.fixture(scope="module")
-def fleet_scores():
+def _fleet_scores():
     suite = BenchmarkSuite(
         [
             HPLBenchmark(sizing=("fixed", 13440), rounds=2),
@@ -37,6 +37,40 @@ def fleet_scores():
         executor = ClusterExecutor(cluster, rng=100 + i)
         measurements.append((cluster.name, suite.run(executor, cluster.total_cores)))
     return reference, measurements
+
+
+@pytest.fixture(scope="module")
+def fleet_scores():
+    return _fleet_scores()
+
+
+@scenario(
+    "green500.rescoring",
+    description="measure + TGI-rescore a 6-system Green500-style fleet",
+    tier="full",
+    repeats=2,
+    metrics=(
+        MetricSpec(
+            "rank_agreement_rho",
+            direction="higher",
+            help="Spearman rho between the FLOPS/W and TGI orderings",
+        ),
+    ),
+)
+def green500_scenario():
+    reference, measurements = _fleet_scores()
+    calculator = TGICalculator(reference)
+    rows = [
+        (name, result["HPL"].energy_efficiency, calculator.compute(result).value)
+        for name, result in measurements
+    ]
+    by_flops = sorted(rows, key=lambda r: r[1], reverse=True)
+    by_tgi = sorted(rows, key=lambda r: r[2], reverse=True)
+    flops_rank = {name: i for i, (name, _, _) in enumerate(by_flops)}
+    tgi_rank = {name: i for i, (name, _, _) in enumerate(by_tgi)}
+    names = [name for name, _, _ in rows]
+    rho = spearman([flops_rank[n] for n in names], [tgi_rank[n] for n in names])
+    return {"rank_agreement_rho": float(rho)}
 
 
 def test_green500_vs_tgi_list(benchmark, fleet_scores):

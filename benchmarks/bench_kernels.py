@@ -3,10 +3,57 @@
 These are the library's honest, runs-on-your-laptop analogues of the suite:
 LU solve (HPL), Triad (STREAM), buffered file write (IOzone).  They exist
 so the analytic models can be sanity-checked against reality and so
-pytest-benchmark has something physical to time.
+pytest-benchmark has something physical to time.  The perf-watch
+scenarios record the same three kernels into history, with the physical
+rates (GFLOPS, GB/s, MB/s) as higher-is-better derived metrics.
 """
 
+import tempfile
+
 from repro.kernels import file_write_bandwidth, lu_solve_gflops, triad_bandwidth
+from repro.perfwatch import HIGHER_IS_BETTER, MetricSpec, scenario
+
+
+@scenario(
+    "kernels.lu_solve",
+    description="LU solve n=800 on the host (the HPL analogue)",
+    params={"n": 800, "rng": 0},
+    metrics=(
+        MetricSpec("gflops", unit="GFLOPS", direction=HIGHER_IS_BETTER),
+    ),
+)
+def lu_solve_scenario(n, rng):
+    result = lu_solve_gflops(n, rng=rng)
+    return {"gflops": result.gflops}
+
+
+@scenario(
+    "kernels.triad",
+    description="STREAM Triad over 2M doubles on the host",
+    params={"elements": 2_000_000, "iterations": 5},
+    metrics=(
+        MetricSpec("bandwidth_gbps", unit="GB/s", direction=HIGHER_IS_BETTER),
+    ),
+)
+def triad_scenario(elements, iterations):
+    result = triad_bandwidth(elements, iterations=iterations)
+    return {"bandwidth_gbps": result.bandwidth / 1e9}
+
+
+@scenario(
+    "kernels.file_write",
+    description="buffered 8 MiB file write on the host (the IOzone analogue)",
+    params={"total_bytes": 8 * 1024 * 1024, "record_bytes": 1024 * 1024},
+    metrics=(
+        MetricSpec("bandwidth_mbps", unit="MB/s", direction=HIGHER_IS_BETTER),
+    ),
+)
+def file_write_scenario(total_bytes, record_bytes):
+    with tempfile.TemporaryDirectory() as directory:
+        result = file_write_bandwidth(
+            total_bytes, record_bytes=record_bytes, fsync=False, directory=directory
+        )
+    return {"bandwidth_mbps": result.bandwidth / 1e6}
 
 
 def test_lu_solve_kernel(benchmark):

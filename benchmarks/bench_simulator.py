@@ -17,6 +17,7 @@ from repro.benchmarks import BenchmarkSuite, HPLBenchmark, IOzoneBenchmark, Stre
 from repro.campaign import CampaignRunner, ResultCache, fleet_jobs
 from repro.cluster import presets
 from repro.experiments import PAPER_CONFIG
+from repro.perfwatch import MetricSpec, scenario
 from repro.sim import (
     ClusterExecutor,
     RankProgram,
@@ -25,6 +26,82 @@ from repro.sim import (
     breadth_first_placement,
     compute_phase,
 )
+
+
+@scenario(
+    "sim.suite_run",
+    description="one full three-benchmark suite run on Fire at 128 ranks",
+)
+def suite_run_scenario():
+    fire = presets.fire()
+    executor = ClusterExecutor(fire, rng=7)
+    suite = BenchmarkSuite(
+        [
+            HPLBenchmark(sizing=("fixed", 20160), rounds=4),
+            StreamBenchmark(target_seconds=45),
+            IOzoneBenchmark(target_seconds=45),
+        ]
+    )
+    suite.run(executor, 128)
+
+
+@scenario(
+    "sim.engine_1024_ranks",
+    description="discrete-event engine: 1024 ranks, compute + barrier phases",
+)
+def engine_scenario():
+    programs = [
+        RankProgram(
+            rank=r,
+            phases=[compute_phase(10.0 + (r % 7) * 0.1), barrier(), compute_phase(5.0)],
+        )
+        for r in range(1024)
+    ]
+    engine = SimulationEngine(programs)
+    engine.makespan(engine.run())
+
+
+@scenario(
+    "sim.power_folding",
+    description="fold 128 ranks' activity into a metered cluster power curve",
+)
+def power_folding_scenario():
+    fire = presets.fire()
+    executor = ClusterExecutor(fire, rng=7)
+    placement = breadth_first_placement(fire, 128)
+    programs = [
+        RankProgram(
+            rank=r,
+            phases=[compute_phase(30.0), barrier(), compute_phase(10.0 + (r % 16))],
+        )
+        for r in range(128)
+    ]
+    executor.execute(placement, programs)
+
+
+@scenario(
+    "sim.campaign_serial_50",
+    description="the 50-config fleet campaign through the serial executor",
+    tier="full",
+    repeats=2,
+    metrics=(
+        MetricSpec(
+            "jobs_per_s",
+            unit="jobs/s",
+            direction="higher",
+            help="campaign throughput (jobs over executor wall time)",
+        ),
+    ),
+)
+def campaign_serial_scenario():
+    import time as _time
+
+    jobs = _campaign_jobs()
+    t0 = _time.perf_counter()
+    result = CampaignRunner(workers=1).run(jobs)
+    wall = _time.perf_counter() - t0
+    assert len(result) == _CAMPAIGN_SIZE
+    return {"jobs_per_s": _CAMPAIGN_SIZE / wall}
 
 
 def test_suite_run_cost(benchmark):

@@ -1,6 +1,25 @@
 """Table I bench: regenerate the reference system's suite measurements."""
 
 from repro.experiments.tables import run_table1_reference
+from repro.perfwatch import HIGHER_IS_BETTER, MetricSpec, scenario, shared_context
+
+
+@scenario(
+    "table1.reference",
+    description="regenerate Table I (reference-system suite measurements)",
+    setup=shared_context,
+    metrics=(
+        MetricSpec(
+            "hpl_tflops",
+            unit="TFLOPS",
+            direction=HIGHER_IS_BETTER,
+            help="reference HPL capability from the regenerated table",
+        ),
+    ),
+)
+def table1_scenario(context):
+    result = run_table1_reference(context)
+    return {"hpl_tflops": result.suite_result["HPL"].performance / 1e12}
 
 
 def test_table1_reference(benchmark, context):

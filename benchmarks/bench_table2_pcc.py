@@ -6,6 +6,24 @@ arithmetic mean; energy and power weights correlate higher with HPL.
 """
 
 from repro.experiments.tables import run_table2_pcc
+from repro.perfwatch import HIGHER_IS_BETTER, MetricSpec, scenario, shared_context
+
+
+@scenario(
+    "table2.pcc",
+    description="regenerate Table II (TGI-vs-EE Pearson coefficients)",
+    setup=shared_context,
+    metrics=(
+        MetricSpec(
+            "pcc_iozone_am",
+            direction=HIGHER_IS_BETTER,
+            help="headline PCC: arithmetic-mean TGI vs IOzone EE",
+        ),
+    ),
+)
+def table2_scenario(context):
+    result = run_table2_pcc(context)
+    return {"pcc_iozone_am": result.pcc("IOzone", "arithmetic-mean")}
 
 
 def test_table2_pcc(benchmark, context):

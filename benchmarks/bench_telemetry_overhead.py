@@ -27,6 +27,7 @@ from repro import telemetry as tele
 from repro.campaign import CampaignRunner
 from repro.campaign.jobs import CampaignJob, ClusterRef
 from repro.experiments import PAPER_CONFIG
+from repro.perfwatch import MetricSpec, scenario
 
 JOB_COUNT = 50
 REPEATS = 3
@@ -69,6 +70,55 @@ def _campaign_seconds(*, traced: bool) -> float:
     return best
 
 
+def _census_calls() -> int:
+    """Disabled call sites the 50-config campaign would fire (traced census)."""
+    session = tele.TelemetrySession(label="census")
+    with tele.use(session):
+        CampaignRunner(workers=1).run(_jobs(), label="census")
+    counter_incs = sum(
+        sample["value"]
+        for name, family in session.metrics.as_dict().items()
+        if family["kind"] == "counter"
+        for sample in family["samples"]
+    )
+    gauge_sets = sum(
+        len(family["samples"])
+        for family in session.metrics.as_dict().values()
+        if family["kind"] == "gauge"
+    )
+    calls = len(session.spans) + counter_incs + gauge_sets
+    return calls * 2  # safety factor: also covers bare tele.active() checks
+
+
+@scenario(
+    "telemetry.null_overhead",
+    description="disabled-path telemetry cost, absolute and relative to a 50-config campaign",
+    tier="quick",
+    repeats=2,
+    metrics=(
+        MetricSpec(
+            "null_call_ns",
+            unit="ns",
+            direction="lower",
+            help="per-call cost of one disabled span + one disabled counter inc",
+        ),
+        MetricSpec(
+            "campaign_overhead_fraction",
+            direction="lower",
+            help="(call sites x null cost) / campaign wall time; budget is 0.05",
+        ),
+    ),
+)
+def null_overhead_scenario():
+    calls = _census_calls()
+    per_call_s = _measured_null_call_cost_s(samples=100_000)
+    plain_s = _campaign_seconds(traced=False)
+    return {
+        "null_call_ns": per_call_s * 1e9,
+        "campaign_overhead_fraction": calls * per_call_s / plain_s,
+    }
+
+
 def test_null_span_call_is_nanoseconds(benchmark):
     """The disabled hot path: one global check, one shared handle."""
     tele.deactivate()
@@ -96,23 +146,7 @@ def _measured_null_call_cost_s(samples: int = 200_000) -> float:
 
 def test_null_tracer_under_5_percent_on_50_config_campaign():
     # how many helper calls does this campaign actually make?
-    session = tele.TelemetrySession(label="census")
-    with tele.use(session):
-        CampaignRunner(workers=1).run(_jobs(), label="census")
-    counter_incs = sum(
-        sample["value"]
-        for name, family in session.metrics.as_dict().items()
-        if family["kind"] == "counter"
-        for sample in family["samples"]
-    )
-    gauge_sets = sum(
-        len(family["samples"])
-        for family in session.metrics.as_dict().values()
-        if family["kind"] == "gauge"
-    )
-    calls = len(session.spans) + counter_incs + gauge_sets
-    calls *= 2  # safety factor: also covers bare tele.active() checks
-
+    calls = _census_calls()
     per_call_s = _measured_null_call_cost_s()
     plain_s = _campaign_seconds(traced=False)
     disabled_overhead = calls * per_call_s / plain_s
@@ -124,6 +158,36 @@ def test_null_tracer_under_5_percent_on_50_config_campaign():
     assert disabled_overhead < 0.05, (
         f"null-tracer overhead {100 * disabled_overhead:.2f}% exceeds the 5% budget"
     )
+
+
+def test_profiling_hooks_do_not_touch_the_disabled_path():
+    """The profile= tracer option must leave the null path untouched: with
+    no session active the shared null handle is still returned (no per-call
+    allocation), and an *enabled* session with profile=False (the default)
+    never attaches profile attrs to spans."""
+    tele.deactivate()
+    handle_a = tele.span("hot.path")
+    with handle_a:
+        pass
+    handle_b = tele.span("other.path", key=1)
+    with handle_b:
+        pass
+    assert handle_a is handle_b  # the one shared null handle, no allocation
+
+    session = tele.TelemetrySession(label="no-profile")
+    assert session.tracer.profile is False
+    with tele.use(session):
+        with tele.span("outer"):
+            with tele.span("inner"):
+                pass
+    assert session.spans and all(
+        "profile" not in span.attrs for span in session.spans
+    )
+    # ... and the product bound itself is re-checked (cheap sample count)
+    calls = _census_calls()
+    per_call_s = _measured_null_call_cost_s(samples=50_000)
+    plain_s = _campaign_seconds(traced=False)
+    assert calls * per_call_s / plain_s < 0.05
 
 
 def test_enabled_telemetry_stays_within_2x_on_tiny_jobs():

@@ -11,13 +11,15 @@ from __future__ import annotations
 
 import pytest
 
-from repro.experiments import PAPER_CONFIG, SharedContext
+from repro.perfwatch import shared_context
 
 
 @pytest.fixture(scope="session")
 def context():
-    """The calibrated campaign behind every figure/table."""
-    ctx = SharedContext(PAPER_CONFIG)
-    _ = ctx.reference
-    _ = ctx.sweep
-    return ctx
+    """The calibrated campaign behind every figure/table.
+
+    Shared with the perf-watch scenario registry (same process-wide
+    cache), so a pytest run and a ``tgi bench run`` in one process build
+    the campaign exactly once.
+    """
+    return shared_context()

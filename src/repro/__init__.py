@@ -83,7 +83,7 @@ from .power import NodePowerModel, PowerTrace, WallPlugMeter
 from .sim import ClusterExecutor
 from .exceptions import ReproError
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 from .campaign import (  # noqa: E402 - needs __version__ for cache stamps
     CampaignJob,

@@ -9,7 +9,12 @@ study the paper lists as future work (:mod:`~repro.analysis.sensitivity`).
 """
 
 from .correlation import pearson, spearman, correlation_matrix
-from .bootstrap import BootstrapCI, bootstrap_pearson_ci, jackknife_pearson
+from .bootstrap import (
+    BootstrapCI,
+    bootstrap_mean_ci,
+    bootstrap_pearson_ci,
+    jackknife_pearson,
+)
 from .reference_sensitivity import (
     tgi_under_reference,
     ranking_under_references,
@@ -33,6 +38,7 @@ __all__ = [
     "spearman",
     "correlation_matrix",
     "BootstrapCI",
+    "bootstrap_mean_ci",
     "bootstrap_pearson_ci",
     "jackknife_pearson",
     "tgi_under_reference",

@@ -8,7 +8,10 @@ paper does not quantify; these tools do:
   (pairs resampled with replacement; degenerate resamples with a constant
   series are redrawn);
 * :func:`jackknife_pearson` — leave-one-out values, exposing how much a
-  single scale point moves the coefficient.
+  single scale point moves the coefficient;
+* :func:`bootstrap_mean_ci` — percentile bootstrap interval for a plain
+  mean, the baseline statistic behind perf-watch's regression verdicts
+  (:mod:`repro.perfwatch.baseline`).
 
 Used by ``tests/test_analysis_bootstrap.py`` and the Table II discussion in
 EXPERIMENTS.md; everything is seeded and deterministic.
@@ -25,7 +28,12 @@ from ..exceptions import MetricError
 from ..rng import RandomState, ensure_rng
 from .correlation import pearson
 
-__all__ = ["BootstrapCI", "bootstrap_pearson_ci", "jackknife_pearson"]
+__all__ = [
+    "BootstrapCI",
+    "bootstrap_mean_ci",
+    "bootstrap_pearson_ci",
+    "jackknife_pearson",
+]
 
 #: Give up after this many redraws of a degenerate (constant) resample.
 _MAX_REDRAWS = 1000
@@ -84,6 +92,54 @@ def bootstrap_pearson_ci(
         stats.append(pearson(xs, ys))
     alpha = (1.0 - confidence) / 2.0
     low, high = np.quantile(stats, [alpha, 1.0 - alpha])
+    return BootstrapCI(
+        estimate=estimate,
+        low=float(low),
+        high=float(high),
+        confidence=confidence,
+        resamples=resamples,
+    )
+
+
+def bootstrap_mean_ci(
+    values: Sequence[float],
+    *,
+    confidence: float = 0.95,
+    resamples: int = 2000,
+    rng: RandomState = None,
+) -> BootstrapCI:
+    """Percentile-bootstrap CI for the mean of ``values``.
+
+    Unlike :func:`bootstrap_pearson_ci`, degenerate resamples are fine —
+    a constant series has a perfectly well-defined mean — so a
+    zero-variance input collapses the interval to a point, and a
+    single-sample input yields ``low == high == estimate``.  Both cases
+    matter to perf-watch: a scenario whose history is one run, or whose
+    timings are quantized to identical values, still needs a baseline.
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.ndim != 1 or arr.size == 0:
+        raise MetricError("bootstrap_mean_ci needs a non-empty 1-D series")
+    if not np.isfinite(arr).all():
+        raise MetricError("bootstrap_mean_ci requires finite values")
+    if not 0 < confidence < 1:
+        raise MetricError(f"confidence must be in (0, 1), got {confidence}")
+    if resamples < 10:
+        raise MetricError(f"resamples must be >= 10, got {resamples}")
+    estimate = float(arr.mean())
+    if arr.size == 1 or np.ptp(arr) == 0:
+        return BootstrapCI(
+            estimate=estimate,
+            low=estimate,
+            high=estimate,
+            confidence=confidence,
+            resamples=resamples,
+        )
+    gen = ensure_rng(rng)
+    idx = gen.integers(0, arr.size, size=(resamples, arr.size))
+    means = arr[idx].mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    low, high = np.quantile(means, [alpha, 1.0 - alpha])
     return BootstrapCI(
         estimate=estimate,
         low=float(low),

@@ -9,12 +9,15 @@
     tgi specs                    # print the preset system spec sheets
     tgi campaign --workers 4     # parallel, cached measurement campaign
     tgi trace                    # span tree + hot spots of an instrumented run
+    tgi bench run --quick        # perf-watch: run + record the quick tier
+    tgi bench report --json      # regression verdicts from recorded history
 
 Output contract: the machine-readable product of a command (tables,
-fingerprints, traces) goes to stdout; progress and bookkeeping go to
-stderr and are silenced by the global ``--quiet`` flag.  ``run`` and
-``campaign`` accept ``--telemetry PATH`` to collect a full trace: the JSON
-export lands at PATH with a Prometheus text dump beside it (``.prom``).
+fingerprints, traces, reports) goes to stdout; progress and bookkeeping go
+to stderr and are silenced by the global ``--quiet`` flag.  ``run``,
+``campaign``, and ``bench run`` accept ``--telemetry PATH`` to collect a
+full trace: the JSON export lands at PATH with a Prometheus text dump
+beside it (``.prom``).
 
 Also reachable as ``python -m repro``.
 """
@@ -180,6 +183,112 @@ def build_parser() -> argparse.ArgumentParser:
     )
     campaign.add_argument(
         "--fleet-seed", type=int, default=20110615, help="fleet generation seed"
+    )
+
+    bench = sub.add_parser(
+        "bench",
+        help="perf-watch: run registered benchmark scenarios against recorded history",
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+
+    b_run = bench_sub.add_parser(
+        "run", help="execute scenarios, record history, write BENCH_*.json"
+    )
+    b_run.add_argument(
+        "--quick", action="store_true", help="only the quick tier (the CI set)"
+    )
+    b_run.add_argument(
+        "--scenario",
+        action="append",
+        default=None,
+        metavar="ID",
+        help="run only this scenario (repeatable; overrides --quick)",
+    )
+    b_run.add_argument(
+        "--repeats", type=int, default=0, help="override each scenario's repeat count"
+    )
+    b_run.add_argument(
+        "--history",
+        default=None,
+        metavar="DIR",
+        help="history store directory (default: .perfwatch)",
+    )
+    b_run.add_argument(
+        "--trajectory-dir",
+        default=".",
+        metavar="DIR",
+        help="where BENCH_<scenario>.json trajectory files land (default: repo root)",
+    )
+    b_run.add_argument(
+        "--bench-dir",
+        default=None,
+        metavar="DIR",
+        help="directory of bench_*.py scripts to discover (default: ./benchmarks)",
+    )
+    b_run.add_argument(
+        "--no-record",
+        action="store_true",
+        help="measure and classify only; do not touch history or trajectories",
+    )
+    b_run.add_argument(
+        "--profile",
+        action="store_true",
+        help="attach cProfile top-N hotspots to records and telemetry spans",
+    )
+    b_run.add_argument(
+        "--profile-top", type=int, default=10, help="hotspot rows per profile"
+    )
+    b_run.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="PATH",
+        help="trace the bench run itself into this telemetry JSON (+ .prom sibling)",
+    )
+
+    b_list = bench_sub.add_parser("list", help="list registered scenarios")
+    b_list.add_argument("--bench-dir", default=None, metavar="DIR")
+
+    b_report = bench_sub.add_parser(
+        "report", help="classify the newest record of each scenario vs its baseline"
+    )
+    b_report.add_argument("--history", default=None, metavar="DIR")
+    b_report.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="machine-readable report on stdout (status stays on stderr)",
+    )
+    b_report.add_argument(
+        "--scenario", action="append", default=None, metavar="ID"
+    )
+    b_report.add_argument(
+        "--window", type=int, default=20, help="baseline history window"
+    )
+    b_report.add_argument(
+        "--min-effect",
+        type=float,
+        default=0.05,
+        help="relative band around the CI below which changes are 'stable'",
+    )
+    b_report.add_argument(
+        "--fail-on-regression",
+        action="store_true",
+        help="exit 1 when any scenario regresses (for blocking CI gates)",
+    )
+
+    b_compare = bench_sub.add_parser(
+        "compare", help="diff two records of one scenario, plus its trajectory"
+    )
+    b_compare.add_argument("scenario", help="scenario id")
+    b_compare.add_argument("--history", default=None, metavar="DIR")
+    b_compare.add_argument(
+        "--base", default=None, metavar="KEY", help="baseline record key (default: second-newest)"
+    )
+    b_compare.add_argument(
+        "--new", default=None, metavar="KEY", help="new record key (default: newest)"
+    )
+    b_compare.add_argument(
+        "--metric", default="wall_s", help="metric for the trajectory table"
     )
 
     trace = sub.add_parser(
@@ -386,6 +495,192 @@ def _cmd_trace(input_path: Optional[str], system: str, cores: int, top: int) -> 
     return 0
 
 
+def _bench_store(history: Optional[str]):
+    from .perfwatch import DEFAULT_HISTORY_DIR, HistoryStore
+
+    return HistoryStore(history or DEFAULT_HISTORY_DIR)
+
+
+def _bench_discover(bench_dir: Optional[str]):
+    """Populate the registry from bench scripts; report per-file failures."""
+    from . import perfwatch as pw
+
+    directory = Path(bench_dir) if bench_dir else None
+    found, errors = pw.discover(directory)
+    for file_name, message in errors:
+        _console.error(f"perf-watch: skipping {file_name}: {message}")
+    return found
+
+
+def _cmd_bench_list(bench_dir: Optional[str]) -> int:
+    scenarios = _bench_discover(bench_dir)
+    rows = []
+    for scn in scenarios:
+        metrics = ", ".join(scn.metric_names()) or "-"
+        rows.append(
+            [scn.scenario_id, scn.tier, scn.repeats, metrics, scn.description]
+        )
+    _console.out(
+        render_table(
+            ["scenario", "tier", "repeats", "derived metrics", "description"],
+            rows,
+            title=f"perf-watch scenarios: {len(scenarios)} registered",
+            align_right_from=99,
+        )
+    )
+    return 0
+
+
+def _cmd_bench_run(args) -> int:
+    from . import perfwatch as pw
+
+    scenarios = _bench_discover(args.bench_dir)
+    if args.scenario:
+        selected = [pw.get_scenario(scenario_id) for scenario_id in args.scenario]
+    elif args.quick:
+        selected = [s for s in scenarios if s.tier == "quick"]
+    else:
+        selected = scenarios
+    if not selected:
+        _console.error("perf-watch: no scenarios selected")
+        return 1
+    store = _bench_store(args.history)
+
+    def execute():
+        rows = []
+        regressions = []
+        for scn in selected:
+            _console.status(f"bench {scn.scenario_id} ({scn.tier}) ...")
+            record = pw.run_scenario(
+                scn,
+                repeats=args.repeats or None,
+                profile=args.profile,
+                profile_top=args.profile_top,
+            )
+            verdicts = pw.classify_record(store.records(scn.scenario_id), record)
+            verdict = pw.overall_verdict(verdicts)
+            if verdict is pw.Verdict.REGRESSED:
+                regressions.append(scn.scenario_id)
+            key = pw.record_key(record)
+            if not args.no_record:
+                store.append(record)
+            rows.append(
+                [
+                    scn.scenario_id,
+                    scn.tier,
+                    record.repeats,
+                    f"{record.wall_best_s:.4f}",
+                    key[:12],
+                    str(verdict),
+                ]
+            )
+        return rows, regressions
+
+    if args.telemetry:
+        with tele.use(
+            tele.TelemetrySession(
+                label="bench-run",
+                profile=args.profile,
+                profile_top=args.profile_top,
+            )
+        ) as session:
+            rows, regressions = execute()
+        _write_telemetry(session, args.telemetry)
+    else:
+        rows, regressions = execute()
+
+    _console.out(
+        render_table(
+            ["scenario", "tier", "repeats", "wall best s", "key", "vs baseline"],
+            rows,
+            title=f"perf-watch run: {len(selected)} scenarios",
+            align_right_from=2,
+        )
+    )
+    if not args.no_record:
+        paths = [
+            store.write_trajectory(scn.scenario_id, args.trajectory_dir)
+            for scn in selected
+        ]
+        _console.status(
+            f"history: {store.root}  |  trajectories: "
+            + ", ".join(p.name for p in paths)
+        )
+    if regressions:
+        _console.status(
+            "regressions vs recorded baseline: " + ", ".join(regressions)
+        )
+    return 0
+
+
+def _cmd_bench_report(args) -> int:
+    from . import perfwatch as pw
+
+    store = _bench_store(args.history)
+    ids = args.scenario or store.scenario_ids()
+    if not ids:
+        _console.status(f"perf-watch: no history under {store.root}")
+        if args.as_json:
+            _console.out(json.dumps(pw.report_to_dict([]), indent=2, sort_keys=True))
+        else:
+            _console.out(pw.render_report([]))
+        return 0
+    reports = pw.build_report(
+        store,
+        scenario_ids=ids,
+        window=args.window,
+        min_effect=args.min_effect,
+    )
+    if args.as_json:
+        _console.out(json.dumps(pw.report_to_dict(reports), indent=2, sort_keys=True))
+    else:
+        _console.out(pw.render_report(reports))
+    regressed = [
+        r.scenario_id for r in reports if r.verdict is pw.Verdict.REGRESSED
+    ]
+    if regressed:
+        _console.status("regressed: " + ", ".join(regressed))
+        if args.fail_on_regression:
+            return 1
+    return 0
+
+
+def _cmd_bench_compare(args) -> int:
+    from . import perfwatch as pw
+
+    store = _bench_store(args.history)
+    keys = store.keys(args.scenario)
+    if not keys:
+        _console.error(f"perf-watch: no history for scenario {args.scenario!r}")
+        return 1
+    if len(keys) < 2 and not (args.base and args.new):
+        _console.error(
+            f"perf-watch: scenario {args.scenario!r} has only one record; "
+            "nothing to compare"
+        )
+        return 1
+    base_key = args.base or keys[-2]
+    new_key = args.new or keys[-1]
+    _console.out(pw.render_compare(store.get(base_key), store.get(new_key)))
+    _console.out()
+    _console.out(
+        pw.render_trajectory(store.records(args.scenario), metric=args.metric)
+    )
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    if args.bench_command == "run":
+        return _cmd_bench_run(args)
+    if args.bench_command == "list":
+        return _cmd_bench_list(args.bench_dir)
+    if args.bench_command == "report":
+        return _cmd_bench_report(args)
+    if args.bench_command == "compare":
+        return _cmd_bench_compare(args)
+    raise AssertionError(f"unhandled bench command {args.bench_command!r}")
+
+
 def _cmd_sensitivity() -> int:
     from .analysis import WeightSensitivity, dominant_benchmark
     from .core import TGICalculator
@@ -587,6 +882,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
     if args.command == "trace":
         return _cmd_trace(args.input, args.system, args.cores, args.top)
+    if args.command == "bench":
+        return _cmd_bench(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

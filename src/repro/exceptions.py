@@ -19,6 +19,7 @@ __all__ = [
     "WeightError",
     "ReferenceMismatchError",
     "ExperimentError",
+    "PerfWatchError",
 ]
 
 
@@ -64,3 +65,7 @@ class ReferenceMismatchError(MetricError):
 
 class ExperimentError(ReproError):
     """An experiment driver was invoked with an unknown id or bad config."""
+
+
+class PerfWatchError(ReproError):
+    """A perf-watch scenario, record, or history store is invalid."""

@@ -1,0 +1,216 @@
+"""Statistical baselines and the improved/stable/regressed verdict.
+
+The classifier deliberately avoids naive fixed thresholds.  The baseline
+for a metric is the bootstrap confidence interval of the mean of its
+recent history (:func:`repro.analysis.bootstrap.bootstrap_mean_ci` — the
+same machinery behind the Table II uncertainty analysis), widened by a
+small minimum-effect band so microscopic-but-significant shifts on very
+tight histories do not page anyone.  A new value inside the widened
+interval is ``stable``; outside it, the metric's declared direction
+decides ``improved`` vs ``regressed``.
+
+Edge cases are first-class, not accidents:
+
+* empty history → ``no-baseline`` (first run of a scenario);
+* single-sample history → the interval collapses to that sample, and the
+  min-effect band does the tolerating;
+* zero-variance history → same collapse; an exactly-equal new value is
+  ``stable``;
+* direction flips — ``wall_s`` (lower is better) and GFLOPS (higher is
+  better) classify symmetrically.
+
+Everything is seeded and deterministic: the same history and new value
+always produce the same verdict.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..analysis.bootstrap import bootstrap_mean_ci
+from ..exceptions import PerfWatchError
+from .schema import HIGHER_IS_BETTER, LOWER_IS_BETTER, BenchRecord
+
+__all__ = [
+    "DEFAULT_CONFIDENCE",
+    "DEFAULT_MIN_EFFECT",
+    "DEFAULT_RESAMPLES",
+    "DEFAULT_WINDOW",
+    "Verdict",
+    "MetricVerdict",
+    "classify_value",
+    "classify_record",
+    "overall_verdict",
+]
+
+DEFAULT_CONFIDENCE = 0.95
+DEFAULT_RESAMPLES = 2000
+#: Relative band added around the CI: changes smaller than this fraction
+#: of the baseline mean are never flagged, however tight the interval.
+DEFAULT_MIN_EFFECT = 0.05
+#: How many most-recent records feed the baseline.
+DEFAULT_WINDOW = 20
+#: Fixed bootstrap seed — verdicts must be reproducible.
+_BASELINE_SEED = 20120521
+
+
+class Verdict(str, enum.Enum):
+    """Classification of one new measurement against its baseline."""
+
+    IMPROVED = "improved"
+    STABLE = "stable"
+    REGRESSED = "regressed"
+    NO_BASELINE = "no-baseline"
+
+    def __str__(self) -> str:  # render as the plain value in tables/JSON
+        return self.value
+
+
+@dataclass(frozen=True)
+class MetricVerdict:
+    """One metric's verdict with the numbers behind it."""
+
+    metric: str
+    direction: str
+    new_value: float
+    verdict: Verdict
+    baseline_n: int
+    baseline_mean: Optional[float] = None
+    ci_low: Optional[float] = None
+    ci_high: Optional[float] = None
+    delta_fraction: Optional[float] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "metric": self.metric,
+            "direction": self.direction,
+            "new_value": self.new_value,
+            "verdict": self.verdict.value,
+            "baseline_n": self.baseline_n,
+            "baseline_mean": self.baseline_mean,
+            "ci_low": self.ci_low,
+            "ci_high": self.ci_high,
+            "delta_fraction": self.delta_fraction,
+        }
+
+
+def classify_value(
+    baseline: Sequence[float],
+    new_value: float,
+    *,
+    metric: str = "wall_s",
+    direction: str = LOWER_IS_BETTER,
+    confidence: float = DEFAULT_CONFIDENCE,
+    resamples: int = DEFAULT_RESAMPLES,
+    min_effect: float = DEFAULT_MIN_EFFECT,
+) -> MetricVerdict:
+    """Classify ``new_value`` against a baseline series (see module doc)."""
+    if direction not in (LOWER_IS_BETTER, HIGHER_IS_BETTER):
+        raise PerfWatchError(f"unknown metric direction {direction!r}")
+    if min_effect < 0:
+        raise PerfWatchError(f"min_effect must be >= 0, got {min_effect}")
+    values = [float(v) for v in baseline]
+    if not values:
+        return MetricVerdict(
+            metric=metric,
+            direction=direction,
+            new_value=float(new_value),
+            verdict=Verdict.NO_BASELINE,
+            baseline_n=0,
+        )
+    ci = bootstrap_mean_ci(
+        values,
+        confidence=confidence,
+        resamples=resamples,
+        rng=_BASELINE_SEED,
+    )
+    mean = ci.estimate
+    slack = min_effect * (abs(mean) if mean != 0 else 1.0)
+    low = ci.low - slack
+    high = ci.high + slack
+    new = float(new_value)
+    delta = (new - mean) / abs(mean) if mean != 0 else None
+    if low <= new <= high:
+        verdict = Verdict.STABLE
+    elif (new < low) == (direction == LOWER_IS_BETTER):
+        verdict = Verdict.IMPROVED
+    else:
+        verdict = Verdict.REGRESSED
+    return MetricVerdict(
+        metric=metric,
+        direction=direction,
+        new_value=new,
+        verdict=verdict,
+        baseline_n=len(values),
+        baseline_mean=mean,
+        ci_low=ci.low,
+        ci_high=ci.high,
+        delta_fraction=delta,
+    )
+
+
+def classify_record(
+    history: Sequence[BenchRecord],
+    new: BenchRecord,
+    *,
+    window: int = DEFAULT_WINDOW,
+    confidence: float = DEFAULT_CONFIDENCE,
+    resamples: int = DEFAULT_RESAMPLES,
+    min_effect: float = DEFAULT_MIN_EFFECT,
+) -> List[MetricVerdict]:
+    """Classify every metric of ``new`` against prior records of its scenario.
+
+    ``history`` is the prior records in append order (the new record must
+    *not* be among them); only the trailing ``window`` records feed each
+    metric's baseline, and records that never measured a given metric are
+    skipped rather than treated as zeros.
+    """
+    if window < 1:
+        raise PerfWatchError(f"window must be >= 1, got {window}")
+    prior = [r for r in history if r.scenario_id == new.scenario_id]
+    out: List[MetricVerdict] = []
+    for name, (value, direction) in new.baseline_metrics().items():
+        series = [
+            r.baseline_metrics()[name][0]
+            for r in prior[-window:]
+            if name in r.baseline_metrics()
+        ]
+        out.append(
+            classify_value(
+                series,
+                value,
+                metric=name,
+                direction=direction,
+                confidence=confidence,
+                resamples=resamples,
+                min_effect=min_effect,
+            )
+        )
+    return out
+
+
+#: Worst-first severity order used to fold metric verdicts into one.
+_SEVERITY = (
+    Verdict.REGRESSED,
+    Verdict.NO_BASELINE,
+    Verdict.IMPROVED,
+    Verdict.STABLE,
+)
+
+
+def overall_verdict(verdicts: Sequence[MetricVerdict]) -> Verdict:
+    """Fold per-metric verdicts into one scenario verdict.
+
+    Any regression wins; otherwise a missing baseline outranks cosmetic
+    good news (a scenario you cannot judge is not "improved"); otherwise
+    any improvement; otherwise stable.
+    """
+    if not verdicts:
+        return Verdict.NO_BASELINE
+    present = {v.verdict for v in verdicts}
+    for level in _SEVERITY:
+        if level in present:
+            return level
+    return Verdict.STABLE

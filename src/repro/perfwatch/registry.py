@@ -1,0 +1,231 @@
+"""The scenario registry: every ``benchmarks/bench_*.py`` measurement, named.
+
+A :class:`BenchScenario` is the perf-watch unit of work — a callable with
+declared parameters, repeat count, tier, and derived-metric specs.  Bench
+scripts register scenarios at import time with the :func:`scenario`
+decorator; :func:`discover` imports every ``bench_*.py`` under a
+benchmarks directory so the registry is populated without pytest in the
+loop.
+
+Scenario callables come in two shapes:
+
+* ``fn(**params)`` — self-contained;
+* ``fn(state, **params)`` with a ``setup`` callable — expensive shared
+  state (e.g. the calibrated campaign context) is built once, outside the
+  timed region.
+
+Either returns ``None`` or a ``{metric_name: float}`` dict matching the
+scenario's declared :class:`~repro.perfwatch.schema.MetricSpec` names
+exactly — silent metric drift is an error, not a schema change.
+
+Registration is idempotent per source file: pytest and :func:`discover`
+may both import the same script (under different module names) without
+tripping a duplicate-id error, but two *different* files claiming one id
+is always a bug and raises.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import re
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..exceptions import PerfWatchError
+from .schema import MetricSpec
+
+__all__ = [
+    "TIERS",
+    "BenchScenario",
+    "scenario",
+    "register",
+    "get_scenario",
+    "scenarios",
+    "clear_registry",
+    "default_bench_dir",
+    "discover",
+]
+
+#: Valid scenario tiers: ``quick`` runs in CI on every push, ``full`` is
+#: the long tail executed on demand.
+TIERS = ("quick", "full")
+
+_ID_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_.\-]*$")
+
+
+@dataclass(frozen=True)
+class BenchScenario:
+    """One registered benchmark scenario (see module docstring)."""
+
+    scenario_id: str
+    fn: Callable[..., Optional[Mapping[str, float]]]
+    description: str = ""
+    setup: Optional[Callable[[], object]] = None
+    params: Mapping[str, object] = field(default_factory=dict)
+    tier: str = "quick"
+    repeats: int = 3
+    metrics: Tuple[MetricSpec, ...] = ()
+    source: str = ""
+
+    def __post_init__(self) -> None:
+        if not _ID_PATTERN.match(self.scenario_id):
+            raise PerfWatchError(
+                f"scenario id {self.scenario_id!r} must match {_ID_PATTERN.pattern}"
+            )
+        if self.tier not in TIERS:
+            raise PerfWatchError(
+                f"{self.scenario_id}: tier must be one of {TIERS}, got {self.tier!r}"
+            )
+        if self.repeats < 1:
+            raise PerfWatchError(
+                f"{self.scenario_id}: repeats must be >= 1, got {self.repeats}"
+            )
+        if not callable(self.fn):
+            raise PerfWatchError(f"{self.scenario_id}: fn must be callable")
+        names = [m.name for m in self.metrics]
+        if len(names) != len(set(names)):
+            raise PerfWatchError(f"{self.scenario_id}: duplicate metric names")
+        if "wall_s" in names:
+            raise PerfWatchError(
+                f"{self.scenario_id}: 'wall_s' is reserved (recorded automatically)"
+            )
+
+    def metric_names(self) -> Tuple[str, ...]:
+        return tuple(m.name for m in self.metrics)
+
+
+# The process-wide registry ------------------------------------------------
+
+_REGISTRY: Dict[str, BenchScenario] = {}
+
+
+def register(scn: BenchScenario) -> BenchScenario:
+    """Add a scenario to the registry.
+
+    Re-registering the same id from the same source file replaces the
+    entry (double imports are routine: pytest and discovery load bench
+    scripts under different module names).  The same id from a different
+    file raises.
+    """
+    existing = _REGISTRY.get(scn.scenario_id)
+    if existing is not None and existing.source != scn.source:
+        raise PerfWatchError(
+            f"scenario id {scn.scenario_id!r} already registered by "
+            f"{existing.source or '<unknown>'}"
+        )
+    _REGISTRY[scn.scenario_id] = scn
+    return scn
+
+
+def scenario(
+    scenario_id: str,
+    *,
+    description: str = "",
+    setup: Optional[Callable[[], object]] = None,
+    params: Optional[Mapping[str, object]] = None,
+    tier: str = "quick",
+    repeats: int = 3,
+    metrics: Sequence[MetricSpec] = (),
+):
+    """Decorator: register the function as a :class:`BenchScenario`."""
+
+    def decorate(fn):
+        source = getattr(fn, "__module__", "") or ""
+        module = sys.modules.get(source)
+        if module is not None:
+            source = getattr(module, "__file__", source) or source
+        register(
+            BenchScenario(
+                scenario_id=scenario_id,
+                fn=fn,
+                description=description or (fn.__doc__ or "").strip().split("\n")[0],
+                setup=setup,
+                params=dict(params or {}),
+                tier=tier,
+                repeats=repeats,
+                metrics=tuple(metrics),
+                source=str(Path(source).resolve()) if source else "",
+            )
+        )
+        return fn
+
+    return decorate
+
+
+def get_scenario(scenario_id: str) -> BenchScenario:
+    """Look up one scenario; unknown ids list what *is* registered."""
+    try:
+        return _REGISTRY[scenario_id]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "<none>"
+        raise PerfWatchError(
+            f"unknown scenario {scenario_id!r}; registered: {known}"
+        ) from None
+
+
+def scenarios(tier: Optional[str] = None) -> List[BenchScenario]:
+    """Registered scenarios in id order, optionally filtered by tier."""
+    if tier is not None and tier not in TIERS:
+        raise PerfWatchError(f"tier must be one of {TIERS}, got {tier!r}")
+    out = [_REGISTRY[key] for key in sorted(_REGISTRY)]
+    if tier is not None:
+        out = [s for s in out if s.tier == tier]
+    return out
+
+
+def clear_registry() -> None:
+    """Empty the registry (test isolation)."""
+    _REGISTRY.clear()
+
+
+# Discovery ----------------------------------------------------------------
+
+def default_bench_dir() -> Path:
+    """Find the ``benchmarks/`` script directory.
+
+    Prefers ``./benchmarks`` (running from a checkout), falling back to
+    the directory next to the installed package's repository root (the
+    editable-install layout ``<root>/src/repro`` ⇒ ``<root>/benchmarks``).
+    """
+    cwd_dir = Path.cwd() / "benchmarks"
+    if cwd_dir.is_dir():
+        return cwd_dir
+    pkg_root = Path(__file__).resolve().parents[3] / "benchmarks"
+    if pkg_root.is_dir():
+        return pkg_root
+    raise PerfWatchError(
+        "no benchmarks/ directory found; pass --bench-dir explicitly"
+    )
+
+
+def discover(
+    bench_dir: Optional[Path] = None,
+) -> Tuple[List[BenchScenario], List[Tuple[str, str]]]:
+    """Import every ``bench_*.py`` in ``bench_dir``, collecting scenarios.
+
+    Returns ``(scenarios, errors)`` where ``errors`` is a list of
+    ``(file_name, message)`` for scripts that failed to import — one
+    broken script must not take the whole registry down.
+    """
+    directory = Path(bench_dir) if bench_dir is not None else default_bench_dir()
+    if not directory.is_dir():
+        raise PerfWatchError(f"bench dir {directory} does not exist")
+    errors: List[Tuple[str, str]] = []
+    for file in sorted(directory.glob("bench_*.py")):
+        module_name = f"repro_perfwatch_bench.{file.stem}"
+        if module_name in sys.modules:
+            continue
+        spec = importlib.util.spec_from_file_location(module_name, file)
+        if spec is None or spec.loader is None:
+            errors.append((file.name, "could not build an import spec"))
+            continue
+        module = importlib.util.module_from_spec(spec)
+        sys.modules[module_name] = module
+        try:
+            spec.loader.exec_module(module)
+        except Exception as exc:  # noqa: BLE001 - surfaced to the caller
+            del sys.modules[module_name]
+            errors.append((file.name, f"{type(exc).__name__}: {exc}"))
+    return scenarios(), errors

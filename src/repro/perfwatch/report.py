@@ -1,0 +1,246 @@
+"""Terminal and JSON views of the perf-watch history.
+
+``tgi bench report`` renders one row per (scenario, metric): the baseline
+size and bootstrap interval, the latest value, the relative delta, and the
+verdict.  The machine-readable form (:func:`report_to_dict`) carries the
+same content for CI and tooling — the CLI prints it on stdout with
+``--json`` while status stays on stderr, matching the repo's output
+contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..analysis.tables import render_table
+from ..exceptions import PerfWatchError
+from .baseline import (
+    DEFAULT_CONFIDENCE,
+    DEFAULT_MIN_EFFECT,
+    DEFAULT_RESAMPLES,
+    DEFAULT_WINDOW,
+    MetricVerdict,
+    Verdict,
+    classify_record,
+    overall_verdict,
+)
+from .schema import PERFWATCH_VERSION, BenchRecord, record_key
+from .store import HistoryStore
+
+__all__ = [
+    "ScenarioReport",
+    "build_report",
+    "render_report",
+    "render_compare",
+    "render_trajectory",
+    "report_to_dict",
+]
+
+
+@dataclass(frozen=True)
+class ScenarioReport:
+    """One scenario's latest record judged against its history."""
+
+    scenario_id: str
+    latest: BenchRecord
+    latest_key: str
+    history_n: int
+    metric_verdicts: Sequence[MetricVerdict]
+    verdict: Verdict
+
+
+def build_report(
+    store: HistoryStore,
+    *,
+    scenario_ids: Optional[Sequence[str]] = None,
+    window: int = DEFAULT_WINDOW,
+    confidence: float = DEFAULT_CONFIDENCE,
+    resamples: int = DEFAULT_RESAMPLES,
+    min_effect: float = DEFAULT_MIN_EFFECT,
+) -> List[ScenarioReport]:
+    """Judge each scenario's newest record against the records before it."""
+    ids = list(scenario_ids) if scenario_ids else store.scenario_ids()
+    reports: List[ScenarioReport] = []
+    for scenario_id in ids:
+        records = store.records(scenario_id)
+        if not records:
+            raise PerfWatchError(f"no history for scenario {scenario_id!r}")
+        latest = records[-1]
+        verdicts = classify_record(
+            records[:-1],
+            latest,
+            window=window,
+            confidence=confidence,
+            resamples=resamples,
+            min_effect=min_effect,
+        )
+        reports.append(
+            ScenarioReport(
+                scenario_id=scenario_id,
+                latest=latest,
+                latest_key=record_key(latest),
+                history_n=len(records) - 1,
+                metric_verdicts=verdicts,
+                verdict=overall_verdict(verdicts),
+            )
+        )
+    return reports
+
+
+def _fmt(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    magnitude = abs(value)
+    if magnitude >= 1000:
+        return f"{value:,.0f}"
+    if magnitude >= 1:
+        return f"{value:.3f}"
+    if magnitude >= 1e-3 or magnitude == 0:
+        return f"{value:.4f}"
+    return f"{value:.3e}"
+
+
+def _fmt_delta(delta: Optional[float]) -> str:
+    if delta is None:
+        return "-"
+    return f"{100 * delta:+.1f}%"
+
+
+def render_report(reports: Sequence[ScenarioReport]) -> str:
+    """The terminal trend report: one table row per scenario metric."""
+    if not reports:
+        return "perf-watch: no history yet (run `tgi bench run` first)"
+    rows = []
+    for report in reports:
+        for mv in report.metric_verdicts:
+            unit = ""
+            if mv.metric in report.latest.metrics:
+                unit = report.latest.metrics[mv.metric].unit
+            elif mv.metric == "wall_s":
+                unit = "s"
+            label = f"{mv.metric} [{unit}]" if unit else mv.metric
+            interval = (
+                f"[{_fmt(mv.ci_low)}, {_fmt(mv.ci_high)}]"
+                if mv.ci_low is not None
+                else "-"
+            )
+            rows.append(
+                [
+                    report.scenario_id,
+                    label,
+                    mv.direction,
+                    mv.baseline_n,
+                    _fmt(mv.baseline_mean),
+                    interval,
+                    _fmt(mv.new_value),
+                    _fmt_delta(mv.delta_fraction),
+                    str(mv.verdict),
+                ]
+            )
+    counts: Dict[Verdict, int] = {}
+    for report in reports:
+        counts[report.verdict] = counts.get(report.verdict, 0) + 1
+    summary = ", ".join(
+        f"{counts[v]} {v.value}" for v in Verdict if v in counts
+    )
+    table = render_table(
+        [
+            "scenario",
+            "metric",
+            "better",
+            "n",
+            "baseline",
+            "95% CI",
+            "latest",
+            "delta",
+            "verdict",
+        ],
+        rows,
+        title=f"perf-watch report: {len(reports)} scenarios ({summary})",
+        align_right_from=3,
+    )
+    return table
+
+
+def render_trajectory(
+    records: Sequence[BenchRecord], metric: str = "wall_s"
+) -> str:
+    """One scenario's metric across its whole history, oldest first."""
+    if not records:
+        raise PerfWatchError("render_trajectory needs at least one record")
+    scenario_id = records[0].scenario_id
+    rows = []
+    for record in records:
+        values = record.baseline_metrics()
+        if metric not in values:
+            continue
+        rows.append(
+            [
+                record.timestamp_utc,
+                record.library_version,
+                record.repeats,
+                _fmt(values[metric][0]),
+            ]
+        )
+    if not rows:
+        raise PerfWatchError(
+            f"scenario {scenario_id!r} never measured metric {metric!r}"
+        )
+    return render_table(
+        ["timestamp (UTC)", "version", "repeats", metric],
+        rows,
+        title=f"{scenario_id}: {metric} trajectory ({len(rows)} runs)",
+        align_right_from=2,
+    )
+
+
+def render_compare(base: BenchRecord, new: BenchRecord) -> str:
+    """Per-metric deltas between two records of the same scenario."""
+    if base.scenario_id != new.scenario_id:
+        raise PerfWatchError(
+            f"cannot compare records of different scenarios "
+            f"({base.scenario_id!r} vs {new.scenario_id!r})"
+        )
+    base_metrics = base.baseline_metrics()
+    new_metrics = new.baseline_metrics()
+    rows = []
+    for name in sorted(set(base_metrics) | set(new_metrics)):
+        b = base_metrics.get(name)
+        n = new_metrics.get(name)
+        delta = None
+        if b is not None and n is not None and b[0] != 0:
+            delta = (n[0] - b[0]) / abs(b[0])
+        rows.append(
+            [
+                name,
+                _fmt(b[0]) if b else "-",
+                _fmt(n[0]) if n else "-",
+                _fmt_delta(delta),
+                (b or n)[1],
+            ]
+        )
+    return render_table(
+        ["metric", base.timestamp_utc, new.timestamp_utc, "delta", "better"],
+        rows,
+        title=f"{base.scenario_id}: {base.timestamp_utc} -> {new.timestamp_utc}",
+        align_right_from=1,
+    )
+
+
+def report_to_dict(reports: Sequence[ScenarioReport]) -> Dict[str, object]:
+    """Machine-readable report (the ``tgi bench report --json`` payload)."""
+    return {
+        "perfwatch_version": PERFWATCH_VERSION,
+        "scenarios": [
+            {
+                "scenario": report.scenario_id,
+                "verdict": report.verdict.value,
+                "latest_key": report.latest_key,
+                "latest_timestamp_utc": report.latest.timestamp_utc,
+                "history_n": report.history_n,
+                "metrics": [mv.to_dict() for mv in report.metric_verdicts],
+            }
+            for report in reports
+        ],
+    }

@@ -1,0 +1,115 @@
+"""Executing scenarios into records.
+
+The runner is deliberately small: setup once (outside the timed region),
+run ``repeats`` timed invocations on ``perf_counter``/``process_time``,
+validate the returned derived metrics against the scenario's declared
+specs, and stamp the record with the environment fingerprint, library
+version, and absolute UTC timestamp.
+
+Every run is threaded through telemetry: a ``perfwatch.<scenario>`` span
+wraps the whole scenario with one ``perfwatch.repeat`` child per timed
+invocation, so a perf-watch run under ``--telemetry`` is itself a traced
+session.  With ``profile=True`` one extra *untimed* invocation runs under
+cProfile and its top-N cumulative hotspots are attached to the record —
+profiling never contaminates the timings it is trying to explain.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Mapping, Optional
+
+from .. import __version__
+from .. import telemetry as tele
+from ..exceptions import PerfWatchError
+from ..telemetry.profiling import profile_callable
+from .registry import BenchScenario
+from .schema import (
+    BenchRecord,
+    MetricValue,
+    environment_fingerprint,
+    utc_timestamp,
+)
+
+__all__ = ["run_scenario"]
+
+
+def _invoke(scn: BenchScenario, state: object) -> Optional[Mapping[str, float]]:
+    if scn.setup is not None:
+        return scn.fn(state, **scn.params)
+    return scn.fn(**scn.params)
+
+
+def _validated_metrics(
+    scn: BenchScenario, raw: Optional[Mapping[str, float]]
+) -> Dict[str, MetricValue]:
+    declared = {m.name: m for m in scn.metrics}
+    returned = dict(raw or {})
+    missing = sorted(set(declared) - set(returned))
+    unexpected = sorted(set(returned) - set(declared))
+    if missing or unexpected:
+        raise PerfWatchError(
+            f"{scn.scenario_id}: metric mismatch "
+            f"(missing {missing or '[]'}, unexpected {unexpected or '[]'}); "
+            "declared MetricSpecs and returned keys must agree exactly"
+        )
+    out: Dict[str, MetricValue] = {}
+    for name, spec in declared.items():
+        value = float(returned[name])
+        out[name] = MetricValue(value=value, unit=spec.unit, direction=spec.direction)
+    return out
+
+
+def run_scenario(
+    scn: BenchScenario,
+    *,
+    repeats: Optional[int] = None,
+    profile: bool = False,
+    profile_top: int = 10,
+) -> BenchRecord:
+    """Execute one scenario and return its :class:`BenchRecord`."""
+    n = int(repeats) if repeats else scn.repeats
+    if n < 1:
+        raise PerfWatchError(f"repeats must be >= 1, got {n}")
+    with tele.span(
+        f"perfwatch.{scn.scenario_id}", tier=scn.tier, repeats=n
+    ) as scenario_span:
+        state = None
+        if scn.setup is not None:
+            with tele.span("perfwatch.setup", scenario=scn.scenario_id):
+                state = scn.setup()
+        walls = []
+        cpus = []
+        raw_metrics: Optional[Mapping[str, float]] = None
+        for index in range(n):
+            with tele.span(
+                "perfwatch.repeat", scenario=scn.scenario_id, index=index
+            ):
+                wall0 = time.perf_counter()
+                cpu0 = time.process_time()
+                raw_metrics = _invoke(scn, state)
+                cpus.append(time.process_time() - cpu0)
+                walls.append(time.perf_counter() - wall0)
+        hotspots = None
+        if profile:
+            with tele.span("perfwatch.profile", scenario=scn.scenario_id):
+                _, hotspots = profile_callable(
+                    _invoke, scn, state, top=profile_top
+                )
+        scenario_span.set(wall_best_s=min(walls))
+    metrics = _validated_metrics(scn, raw_metrics)
+    timestamp_unix, timestamp_utc = utc_timestamp()
+    return BenchRecord(
+        scenario_id=scn.scenario_id,
+        tier=scn.tier,
+        params=dict(scn.params),
+        repeats=n,
+        wall_s=tuple(walls),
+        cpu_s=tuple(cpus),
+        metrics=metrics,
+        environment=environment_fingerprint(),
+        library_version=__version__,
+        timestamp_unix=timestamp_unix,
+        timestamp_utc=timestamp_utc,
+        profile=tuple(hotspots) if hotspots is not None else None,
+    )

@@ -1,0 +1,238 @@
+"""The perf-watch result schema: structured, content-addressable records.
+
+One :class:`BenchRecord` is one execution of one registered scenario:
+identity (scenario id, params, tier), measurement (per-repeat wall and CPU
+seconds plus declared derived metrics), and provenance (environment
+fingerprint, library version, absolute UTC timestamp).  Records serialize
+to a *canonical* JSON form — sorted keys, no whitespace, no NaN — whose
+SHA-256 digest is the record's content address in the history store
+(:mod:`repro.perfwatch.store`).
+
+Timestamps are deliberately split from identity-free content: two runs
+with identical measurements but different timestamps are different
+records.  That is what makes the ``BENCH_<scenario>.json`` trajectory a
+*history* rather than a set.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+import time
+from dataclasses import dataclass
+from datetime import datetime, timezone
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..exceptions import PerfWatchError
+
+__all__ = [
+    "PERFWATCH_VERSION",
+    "LOWER_IS_BETTER",
+    "HIGHER_IS_BETTER",
+    "MetricSpec",
+    "MetricValue",
+    "BenchRecord",
+    "canonical_json",
+    "environment_fingerprint",
+    "record_from_dict",
+    "record_key",
+    "record_to_dict",
+    "utc_timestamp",
+]
+
+#: Schema version stamped on every record, trajectory, and report.
+PERFWATCH_VERSION = 1
+
+LOWER_IS_BETTER = "lower"
+HIGHER_IS_BETTER = "higher"
+_DIRECTIONS = (LOWER_IS_BETTER, HIGHER_IS_BETTER)
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """Declaration of one derived metric a scenario reports.
+
+    ``direction`` states which way *better* points: ``"lower"`` for wall
+    time, ``"higher"`` for GFLOPS — the regression classifier needs it to
+    tell an improvement from a regression.
+    """
+
+    name: str
+    unit: str = ""
+    direction: str = LOWER_IS_BETTER
+    help: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise PerfWatchError("metric name must be non-empty")
+        if self.direction not in _DIRECTIONS:
+            raise PerfWatchError(
+                f"metric {self.name!r} direction must be one of {_DIRECTIONS}, "
+                f"got {self.direction!r}"
+            )
+
+
+@dataclass(frozen=True)
+class MetricValue:
+    """One measured value together with its spec's unit and direction."""
+
+    value: float
+    unit: str = ""
+    direction: str = LOWER_IS_BETTER
+
+
+def utc_timestamp(at: Optional[float] = None) -> Tuple[float, str]:
+    """``(unix_seconds, iso8601_utc)`` for ``at`` (default: now)."""
+    unix = time.time() if at is None else float(at)
+    iso = (
+        datetime.fromtimestamp(unix, tz=timezone.utc)
+        .isoformat()
+        .replace("+00:00", "Z")
+    )
+    return unix, iso
+
+
+def environment_fingerprint() -> Dict[str, object]:
+    """Where a record was measured: interpreter, platform, CPU budget.
+
+    Everything here is cheap to collect and stable within one boot of one
+    machine; it exists so histories mixing machines can be split apart.
+    """
+    import numpy
+
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count() or 1,
+        "numpy": numpy.__version__,
+    }
+
+
+@dataclass(frozen=True)
+class BenchRecord:
+    """One scenario execution, ready for the history store."""
+
+    scenario_id: str
+    tier: str
+    params: Mapping[str, object]
+    repeats: int
+    wall_s: Tuple[float, ...]
+    cpu_s: Tuple[float, ...]
+    metrics: Mapping[str, MetricValue]
+    environment: Mapping[str, object]
+    library_version: str
+    timestamp_unix: float
+    timestamp_utc: str
+    profile: Optional[Tuple[Mapping[str, object], ...]] = None
+
+    def __post_init__(self) -> None:
+        if not self.scenario_id:
+            raise PerfWatchError("record needs a scenario_id")
+        if self.repeats < 1:
+            raise PerfWatchError(f"repeats must be >= 1, got {self.repeats}")
+        if len(self.wall_s) != self.repeats or len(self.cpu_s) != self.repeats:
+            raise PerfWatchError(
+                f"{self.scenario_id}: expected {self.repeats} wall/cpu samples, "
+                f"got {len(self.wall_s)}/{len(self.cpu_s)}"
+            )
+
+    @property
+    def wall_best_s(self) -> float:
+        """Best-of-repeats wall time — the timing baseline statistic."""
+        return min(self.wall_s)
+
+    @property
+    def cpu_best_s(self) -> float:
+        """Best-of-repeats CPU time."""
+        return min(self.cpu_s)
+
+    def baseline_metrics(self) -> Dict[str, Tuple[float, str]]:
+        """``{metric: (value, direction)}`` the classifier compares.
+
+        Wall time is always present (``wall_s``, best-of-repeats, lower is
+        better); declared derived metrics follow in name order.
+        """
+        out: Dict[str, Tuple[float, str]] = {
+            "wall_s": (self.wall_best_s, LOWER_IS_BETTER)
+        }
+        for name in sorted(self.metrics):
+            mv = self.metrics[name]
+            out[name] = (mv.value, mv.direction)
+        return out
+
+
+def record_to_dict(record: BenchRecord) -> Dict[str, object]:
+    """JSON-compatible dict form (the canonical serialization input)."""
+    out: Dict[str, object] = {
+        "perfwatch_version": PERFWATCH_VERSION,
+        "scenario": record.scenario_id,
+        "tier": record.tier,
+        "params": dict(record.params),
+        "repeats": record.repeats,
+        "wall_s": list(record.wall_s),
+        "cpu_s": list(record.cpu_s),
+        "metrics": {
+            name: {"value": mv.value, "unit": mv.unit, "direction": mv.direction}
+            for name, mv in record.metrics.items()
+        },
+        "environment": dict(record.environment),
+        "library_version": record.library_version,
+        "timestamp_unix": record.timestamp_unix,
+        "timestamp_utc": record.timestamp_utc,
+    }
+    if record.profile is not None:
+        out["profile"] = [dict(row) for row in record.profile]
+    return out
+
+
+def record_from_dict(data: Mapping[str, object]) -> BenchRecord:
+    """Rebuild a record serialized by :func:`record_to_dict`."""
+    version = data.get("perfwatch_version")
+    if version != PERFWATCH_VERSION:
+        raise PerfWatchError(
+            f"perfwatch record version {version!r} not supported "
+            f"(this build reads version {PERFWATCH_VERSION})"
+        )
+    try:
+        metrics = {
+            name: MetricValue(
+                value=float(mv["value"]),
+                unit=str(mv.get("unit", "")),
+                direction=str(mv.get("direction", LOWER_IS_BETTER)),
+            )
+            for name, mv in dict(data["metrics"]).items()
+        }
+        profile = data.get("profile")
+        return BenchRecord(
+            scenario_id=str(data["scenario"]),
+            tier=str(data["tier"]),
+            params=dict(data["params"]),
+            repeats=int(data["repeats"]),
+            wall_s=tuple(float(v) for v in data["wall_s"]),
+            cpu_s=tuple(float(v) for v in data["cpu_s"]),
+            metrics=metrics,
+            environment=dict(data["environment"]),
+            library_version=str(data["library_version"]),
+            timestamp_unix=float(data["timestamp_unix"]),
+            timestamp_utc=str(data["timestamp_utc"]),
+            profile=tuple(dict(row) for row in profile) if profile else None,
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise PerfWatchError(f"malformed perf-watch record: {exc}") from exc
+
+
+def canonical_json(data: object) -> str:
+    """Deterministic JSON: sorted keys, compact separators, finite floats."""
+    return json.dumps(
+        data, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+def record_key(record: BenchRecord) -> str:
+    """SHA-256 content address of a record's canonical JSON."""
+    payload = canonical_json(record_to_dict(record)).encode("utf-8")
+    return hashlib.sha256(payload).hexdigest()

@@ -1,0 +1,137 @@
+"""Content-addressed history store and ``BENCH_<scenario>.json`` trajectories.
+
+Layout under the store root (default ``.perfwatch/``)::
+
+    objects/<sha256>.json   one record, canonical JSON (content-addressed)
+    index.json              {"scenarios": {id: [key, ...]}} in append order
+
+Appending the same record content twice stores one object but two index
+entries — a repeat observation of identical numbers is still an
+observation.  The repo-root trajectory files are a *view* of the store:
+``BENCH_<scenario>.json`` holds the scenario's full record list in append
+order, serialized with sorted keys and a fixed indent so the bytes are a
+pure function of the records (tested in ``tests/test_perfwatch_store.py``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..exceptions import PerfWatchError
+from .schema import (
+    PERFWATCH_VERSION,
+    BenchRecord,
+    canonical_json,
+    record_from_dict,
+    record_key,
+    record_to_dict,
+)
+
+__all__ = ["DEFAULT_HISTORY_DIR", "HistoryStore", "trajectory_path"]
+
+#: Default history-store directory, relative to the working tree root.
+DEFAULT_HISTORY_DIR = ".perfwatch"
+
+
+def trajectory_path(directory: Union[str, Path], scenario_id: str) -> Path:
+    """Where a scenario's trajectory file lives: ``BENCH_<scenario>.json``."""
+    return Path(directory) / f"BENCH_{scenario_id}.json"
+
+
+class HistoryStore:
+    """Append-only, content-addressed store of :class:`BenchRecord`\\ s."""
+
+    def __init__(self, root: Union[str, Path] = DEFAULT_HISTORY_DIR):
+        self.root = Path(root)
+        self._objects = self.root / "objects"
+        self._index_path = self.root / "index.json"
+        self._index: Optional[Dict[str, List[str]]] = None
+
+    # -- index ---------------------------------------------------------
+    def _load_index(self) -> Dict[str, List[str]]:
+        if self._index is None:
+            if self._index_path.exists():
+                data = json.loads(self._index_path.read_text())
+                version = data.get("perfwatch_version")
+                if version != PERFWATCH_VERSION:
+                    raise PerfWatchError(
+                        f"history index version {version!r} not supported "
+                        f"(this build reads version {PERFWATCH_VERSION})"
+                    )
+                self._index = {
+                    str(k): list(v) for k, v in dict(data["scenarios"]).items()
+                }
+            else:
+                self._index = {}
+        return self._index
+
+    def _write_index(self) -> None:
+        index = self._load_index()
+        payload = {
+            "perfwatch_version": PERFWATCH_VERSION,
+            "scenarios": {k: index[k] for k in sorted(index)},
+        }
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._index_path.write_text(
+            json.dumps(payload, sort_keys=True, indent=2) + "\n"
+        )
+
+    # -- objects -------------------------------------------------------
+    def append(self, record: BenchRecord) -> str:
+        """Store a record; returns its content key."""
+        key = record_key(record)
+        self._objects.mkdir(parents=True, exist_ok=True)
+        obj_path = self._objects / f"{key}.json"
+        if not obj_path.exists():
+            obj_path.write_text(canonical_json(record_to_dict(record)) + "\n")
+        index = self._load_index()
+        index.setdefault(record.scenario_id, []).append(key)
+        self._write_index()
+        return key
+
+    def get(self, key: str) -> BenchRecord:
+        """Load one record by content key."""
+        obj_path = self._objects / f"{key}.json"
+        if not obj_path.exists():
+            raise PerfWatchError(f"no perf-watch object {key!r} under {self.root}")
+        return record_from_dict(json.loads(obj_path.read_text()))
+
+    # -- queries -------------------------------------------------------
+    def scenario_ids(self) -> List[str]:
+        """Scenarios with at least one record, sorted."""
+        return sorted(self._load_index())
+
+    def keys(self, scenario_id: str) -> List[str]:
+        """A scenario's record keys in append order (empty if none)."""
+        return list(self._load_index().get(scenario_id, []))
+
+    def records(self, scenario_id: str) -> List[BenchRecord]:
+        """A scenario's records in append order."""
+        return [self.get(key) for key in self.keys(scenario_id)]
+
+    # -- trajectory views ---------------------------------------------
+    def write_trajectory(
+        self, scenario_id: str, directory: Union[str, Path] = "."
+    ) -> Path:
+        """Write ``BENCH_<scenario>.json`` for one scenario; returns the path."""
+        records = self.records(scenario_id)
+        if not records:
+            raise PerfWatchError(f"no history for scenario {scenario_id!r}")
+        payload = {
+            "perfwatch_version": PERFWATCH_VERSION,
+            "scenario": scenario_id,
+            "records": [record_to_dict(r) for r in records],
+        }
+        target = trajectory_path(directory, scenario_id)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(json.dumps(payload, sort_keys=True, indent=2) + "\n")
+        return target
+
+    def write_trajectories(self, directory: Union[str, Path] = ".") -> List[Path]:
+        """Write every scenario's trajectory file; returns the paths."""
+        return [
+            self.write_trajectory(scenario_id, directory)
+            for scenario_id in self.scenario_ids()
+        ]

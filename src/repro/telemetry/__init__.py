@@ -41,6 +41,7 @@ from .metrics import (
     Histogram,
     MetricsRegistry,
 )
+from .profiling import Hotspot, profile_callable, profile_hotspots
 from .render import render_slowest, render_span_tree, slowest_spans
 from .session import (
     TELEMETRY_VERSION,
@@ -69,6 +70,9 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "Hotspot",
+    "profile_callable",
+    "profile_hotspots",
     "render_slowest",
     "render_span_tree",
     "slowest_spans",

@@ -1,0 +1,78 @@
+"""cProfile-backed hotspot extraction for spans and perf-watch records.
+
+The tracer's opt-in ``profile=`` mode and the perf-watch runner both need
+the same thing from :mod:`cProfile`: a deterministic JSON-compatible
+"top-N cumulative hotspots" digest, not the full interactive
+:mod:`pstats` experience.  :func:`profile_hotspots` produces that digest;
+:func:`profile_callable` wraps one function call in a profiler and returns
+the digest alongside the result.
+
+cProfile cannot nest on a thread, so callers that might already be inside
+a profiled region must guard themselves (the tracer keeps a per-thread
+flag; see :meth:`repro.telemetry.spans.Tracer.span`).
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+from typing import Any, Callable, Dict, List, Tuple
+
+__all__ = ["Hotspot", "profile_hotspots", "profile_callable"]
+
+#: One hotspot row: ``{"func", "calls", "tottime_s", "cumtime_s"}``.
+Hotspot = Dict[str, object]
+
+
+def _format_site(func_key: Tuple[str, int, str]) -> str:
+    """``(file, line, name)`` → the pstats-style ``file:line(name)`` label."""
+    filename, line, name = func_key
+    if filename == "~" and line == 0:  # builtins have no source location
+        return name
+    return f"{filename}:{line}({name})"
+
+
+def profile_hotspots(profiler: cProfile.Profile, top: int = 10) -> List[Hotspot]:
+    """Top-``top`` functions of ``profiler`` by cumulative time.
+
+    The profiler must be stopped.  Rows are sorted by cumulative seconds
+    (descending), ties broken by the formatted call-site label so the
+    digest is stable run-to-run for equal-cost entries.  The profiler's
+    own bookkeeping frames (``Profile.enable``/``disable``) are dropped.
+    """
+    if top < 1:
+        raise ValueError(f"top must be >= 1, got {top}")
+    # pstats keys entries by the stable (file, line, name) triple, which is
+    # what makes the digest comparable across runs.
+    stats = pstats.Stats(profiler)
+    rows: List[Hotspot] = []
+    for func_key, (cc, nc, tt, ct, _callers) in stats.stats.items():  # type: ignore[attr-defined]
+        name = func_key[2]
+        if name in ("enable", "disable") and func_key[0] == "~":
+            continue
+        rows.append(
+            {
+                "func": _format_site(func_key),
+                "calls": int(nc),
+                "tottime_s": float(tt),
+                "cumtime_s": float(ct),
+            }
+        )
+    rows.sort(key=lambda r: (-r["cumtime_s"], r["func"]))  # type: ignore[operator]
+    return rows[:top]
+
+
+def profile_callable(
+    fn: Callable[..., Any],
+    *args: Any,
+    top: int = 10,
+    **kwargs: Any,
+) -> Tuple[Any, List[Hotspot]]:
+    """Run ``fn(*args, **kwargs)`` under cProfile; return ``(result, hotspots)``."""
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = fn(*args, **kwargs)
+    finally:
+        profiler.disable()
+    return result, profile_hotspots(profiler, top=top)

@@ -27,6 +27,7 @@ back with the payload; the parent absorbs both (see
 from __future__ import annotations
 
 from contextlib import contextmanager
+from datetime import datetime, timezone
 from typing import Dict, Iterator, List, Optional, Sequence
 
 from ..exceptions import ReproError
@@ -71,7 +72,14 @@ class TelemetrySession:
     boundaries, labelled by span name).
     """
 
-    def __init__(self, label: str = "session", *, process: str = "main"):
+    def __init__(
+        self,
+        label: str = "session",
+        *,
+        process: str = "main",
+        profile: bool = False,
+        profile_top: int = 10,
+    ):
         self.label = label
         self.metrics = MetricsRegistry()
         for kind, name, help_text in STANDARD_INSTRUMENTS:
@@ -81,7 +89,12 @@ class TelemetrySession:
             "Wall-clock duration of telemetry spans, by span name.",
             buckets=DEFAULT_TIME_BUCKETS_S,
         )
-        self.tracer = Tracer(process=process, on_close=self._observe_span)
+        self.tracer = Tracer(
+            process=process,
+            on_close=self._observe_span,
+            profile=profile,
+            profile_top=profile_top,
+        )
 
     def _observe_span(self, span: Span) -> None:
         self._span_hist.observe(span.duration_s, name=span.name)
@@ -93,10 +106,18 @@ class TelemetrySession:
         return self.tracer.spans
 
     def export(self, *, attribution: Optional[Sequence[Dict]] = None) -> Dict:
-        """JSON-compatible dump: spans, metrics, optional attribution rows."""
+        """JSON-compatible dump: spans, metrics, optional attribution rows.
+
+        ``epoch_unix``/``epoch_utc`` give the absolute UTC wall-clock
+        instant of relative span time 0.0, so exports from different
+        sessions and machines can be ordered on one calendar timeline.
+        """
+        epoch_dt = datetime.fromtimestamp(self.tracer.epoch_unix, tz=timezone.utc)
         out: Dict = {
             "telemetry_version": TELEMETRY_VERSION,
             "label": self.label,
+            "epoch_unix": self.tracer.epoch_unix,
+            "epoch_utc": epoch_dt.isoformat().replace("+00:00", "Z"),
             "spans": self.tracer.as_dicts(),
             "metrics": self.metrics.as_dict(),
         }

@@ -11,9 +11,20 @@ launched the pool, and shifted onto the parent's clock.
 
 All timing uses :func:`time.perf_counter` relative to the tracer's epoch,
 so span times are monotonic, start at ~0 for the session, and never go
-backwards on clock adjustments.  Span timings are *observability data*:
-they are volatile run-to-run and are deliberately excluded from cache keys
-and manifest fingerprints (see :mod:`repro.campaign.manifest`).
+backwards on clock adjustments.  The tracer also stamps
+:attr:`~Tracer.epoch_unix` — the absolute UTC wall-clock instant
+(:func:`time.time`) captured at the same moment as the monotonic epoch —
+so relative span times from different sessions and machines can be placed
+on one calendar timeline (exports carry both; perf-watch records rely on
+it).  Span timings are *observability data*: they are volatile run-to-run
+and are deliberately excluded from cache keys and manifest fingerprints
+(see :mod:`repro.campaign.manifest`).
+
+With ``profile=True`` the tracer attaches a cProfile session to each
+outermost span on a thread (cProfile cannot nest) and stores the top-N
+cumulative hotspots in the span's ``attrs["profile"]``.  The default
+``profile=False`` path costs one attribute check per span, and the
+no-session null path is untouched entirely.
 
 When no telemetry session is active the instrumented code paths get the
 :data:`NULL_TRACER`, whose :meth:`~NullTracer.span` returns a shared no-op
@@ -95,11 +106,12 @@ def span_from_dict(data: Dict) -> Span:
 class _SpanHandle:
     """Context manager closing one span; yields the span for ``.set()``."""
 
-    __slots__ = ("_tracer", "span")
+    __slots__ = ("_tracer", "span", "_profiler")
 
-    def __init__(self, tracer: "Tracer", span: Span):
+    def __init__(self, tracer: "Tracer", span: Span, profiler=None):
         self._tracer = tracer
         self.span = span
+        self._profiler = profiler
 
     def __enter__(self) -> Span:
         return self.span
@@ -107,6 +119,8 @@ class _SpanHandle:
     def __exit__(self, exc_type, exc, tb) -> bool:
         if exc_type is not None:
             self.span.attrs.setdefault("error", exc_type.__name__)
+        if self._profiler is not None:
+            self._tracer._finish_profile(self.span, self._profiler)
         self._tracer._close(self.span)
         return False
 
@@ -130,6 +144,12 @@ class Tracer:
     on_close:
         Optional callback fired with each span as it closes — the session
         uses it to feed the span-duration histogram.
+    profile:
+        Opt-in cProfile mode: each outermost span on a thread runs under a
+        profiler and receives its top-``profile_top`` cumulative hotspots
+        in ``attrs["profile"]`` when it closes.
+    profile_top:
+        How many hotspot rows to keep per profiled span.
     """
 
     enabled = True
@@ -139,10 +159,17 @@ class Tracer:
         *,
         process: str = "main",
         on_close: Optional[Callable[[Span], None]] = None,
+        profile: bool = False,
+        profile_top: int = 10,
     ):
         self.process = process
         self._on_close = on_close
+        # Capture both clocks back-to-back: epoch_unix is the UTC
+        # wall-clock meaning of relative span time 0.0.
         self._epoch = time.perf_counter()
+        self.epoch_unix = time.time()
+        self.profile = bool(profile)
+        self.profile_top = int(profile_top)
         self._lock = threading.Lock()
         self._local = threading.local()
         self._spans: List[Span] = []  # in start order; t_end filled on close
@@ -179,7 +206,22 @@ class Tracer:
             )
             self._spans.append(span)
         stack.append(span)
-        return _SpanHandle(self, span)
+        profiler = None
+        if self.profile and not getattr(self._local, "profiling", False):
+            import cProfile
+
+            profiler = cProfile.Profile()
+            self._local.profiling = True
+            profiler.enable()
+        return _SpanHandle(self, span, profiler)
+
+    def _finish_profile(self, span: Span, profiler) -> None:
+        """Stop a span's profiler and attach its hotspot digest."""
+        from .profiling import profile_hotspots
+
+        profiler.disable()
+        self._local.profiling = False
+        span.attrs["profile"] = profile_hotspots(profiler, top=self.profile_top)
 
     def _close(self, span: Span) -> None:
         span.t_end = self.clock()
@@ -276,6 +318,8 @@ class NullTracer:
     """Zero-cost tracer: every ``span()`` is the same no-op handle."""
 
     enabled = False
+    profile = False
+    epoch_unix = 0.0
 
     @property
     def spans(self) -> List[Span]:

@@ -1,0 +1,415 @@
+"""Perf-watch: schema, registry, runner, statistical baselines, reports.
+
+The load-bearing guarantees:
+
+* records serialize canonically — identical content yields an identical
+  SHA-256 key, so the history store is genuinely content-addressed;
+* the classifier treats the edge cases as features, not accidents: first
+  run (no baseline), zero-variance and single-sample histories, and
+  symmetric handling of lower- and higher-is-better metrics;
+* the runner enforces the declared metric contract exactly — silent
+  metric drift raises instead of recording garbage;
+* verdicts are deterministic (seeded bootstrap): the same history and
+  new value always classify the same way.
+"""
+
+import json
+
+import pytest
+
+from repro.exceptions import PerfWatchError
+from repro.perfwatch import (
+    BenchRecord,
+    BenchScenario,
+    HistoryStore,
+    MetricSpec,
+    MetricValue,
+    Verdict,
+    build_report,
+    classify_record,
+    classify_value,
+    discover,
+    environment_fingerprint,
+    get_scenario,
+    overall_verdict,
+    record_from_dict,
+    record_key,
+    record_to_dict,
+    render_compare,
+    render_report,
+    report_to_dict,
+    run_scenario,
+    scenarios,
+    utc_timestamp,
+)
+from repro.perfwatch import registry as registry_mod
+
+
+def make_record(scenario_id="toy.scn", wall=(1.0, 1.1, 0.9), metrics=None, ts=1_700_000_000.0):
+    """A small, fully-populated record for store/classifier tests."""
+    unix, iso = utc_timestamp(ts)
+    return BenchRecord(
+        scenario_id=scenario_id,
+        tier="quick",
+        params={"n": 4},
+        repeats=len(wall),
+        wall_s=tuple(wall),
+        cpu_s=tuple(wall),
+        metrics={
+            name: MetricValue(value=value, direction=direction)
+            for name, (value, direction) in (metrics or {}).items()
+        },
+        environment={"python": "3.x", "machine": "test"},
+        library_version="1.3.0",
+        timestamp_unix=unix,
+        timestamp_utc=iso,
+    )
+
+
+@pytest.fixture
+def fresh_registry():
+    """Run a test against an empty registry, restoring the real one after."""
+    saved = dict(registry_mod._REGISTRY)
+    registry_mod.clear_registry()
+    yield
+    registry_mod.clear_registry()
+    registry_mod._REGISTRY.update(saved)
+
+
+class TestSchema:
+    def test_record_round_trip(self):
+        record = make_record(metrics={"gflops": (12.5, "higher")})
+        rebuilt = record_from_dict(record_to_dict(record))
+        assert rebuilt == record
+
+    def test_record_key_is_a_content_address(self):
+        a = make_record(ts=1_700_000_000.0)
+        b = make_record(ts=1_700_000_000.0)
+        assert record_key(a) == record_key(b)
+        # timestamps are part of the content: a rerun is a new record
+        later = make_record(ts=1_700_000_001.0)
+        assert record_key(later) != record_key(a)
+
+    def test_canonical_json_is_sorted_and_compact(self):
+        from repro.perfwatch import canonical_json
+
+        assert canonical_json({"b": 1, "a": [2, 3]}) == '{"a":[2,3],"b":1}'
+        with pytest.raises(ValueError):
+            canonical_json({"x": float("nan")})
+
+    def test_version_gate_rejects_future_records(self):
+        data = record_to_dict(make_record())
+        data["perfwatch_version"] = 99
+        with pytest.raises(PerfWatchError, match="version"):
+            record_from_dict(data)
+
+    def test_malformed_record_raises_perfwatch_error(self):
+        data = record_to_dict(make_record())
+        del data["wall_s"]
+        with pytest.raises(PerfWatchError, match="malformed"):
+            record_from_dict(data)
+
+    def test_sample_count_must_match_repeats(self):
+        unix, iso = utc_timestamp(0.0)
+        with pytest.raises(PerfWatchError, match="samples"):
+            BenchRecord(
+                scenario_id="x", tier="quick", params={}, repeats=3,
+                wall_s=(1.0,), cpu_s=(1.0,), metrics={}, environment={},
+                library_version="1", timestamp_unix=unix, timestamp_utc=iso,
+            )
+
+    def test_metric_spec_rejects_unknown_direction(self):
+        with pytest.raises(PerfWatchError, match="direction"):
+            MetricSpec("x", direction="sideways")
+
+    def test_baseline_metrics_lead_with_wall_time(self):
+        record = make_record(
+            wall=(2.0, 1.5, 1.8),
+            metrics={"z_metric": (5.0, "higher"), "a_metric": (1.0, "lower")},
+        )
+        names = list(record.baseline_metrics())
+        assert names == ["wall_s", "a_metric", "z_metric"]
+        value, direction = record.baseline_metrics()["wall_s"]
+        assert value == 1.5 and direction == "lower"
+
+    def test_utc_timestamp_renders_iso_z(self):
+        unix, iso = utc_timestamp(0.0)
+        assert unix == 0.0
+        assert iso == "1970-01-01T00:00:00Z"
+
+    def test_environment_fingerprint_fields(self):
+        env = environment_fingerprint()
+        assert set(env) >= {"python", "platform", "machine", "cpu_count", "numpy"}
+
+
+class TestRegistry:
+    def test_bad_scenario_id_rejected(self):
+        with pytest.raises(PerfWatchError, match="scenario id"):
+            BenchScenario(scenario_id="-bad", fn=lambda: None)
+
+    def test_wall_s_metric_name_is_reserved(self):
+        with pytest.raises(PerfWatchError, match="reserved"):
+            BenchScenario(
+                scenario_id="ok", fn=lambda: None, metrics=(MetricSpec("wall_s"),)
+            )
+
+    def test_reregistration_same_source_replaces(self, fresh_registry):
+        scn = BenchScenario(scenario_id="dup", fn=lambda: None, source="/a.py")
+        registry_mod.register(scn)
+        replacement = BenchScenario(
+            scenario_id="dup", fn=lambda: None, repeats=7, source="/a.py"
+        )
+        registry_mod.register(replacement)
+        assert get_scenario("dup").repeats == 7
+
+    def test_reregistration_different_source_raises(self, fresh_registry):
+        registry_mod.register(
+            BenchScenario(scenario_id="dup", fn=lambda: None, source="/a.py")
+        )
+        with pytest.raises(PerfWatchError, match="already registered"):
+            registry_mod.register(
+                BenchScenario(scenario_id="dup", fn=lambda: None, source="/b.py")
+            )
+
+    def test_unknown_scenario_lists_registered(self, fresh_registry):
+        registry_mod.register(BenchScenario(scenario_id="known", fn=lambda: None))
+        with pytest.raises(PerfWatchError, match="known"):
+            get_scenario("missing")
+
+    def test_tier_filter_and_validation(self, fresh_registry):
+        registry_mod.register(
+            BenchScenario(scenario_id="a", fn=lambda: None, tier="quick")
+        )
+        registry_mod.register(
+            BenchScenario(scenario_id="b", fn=lambda: None, tier="full")
+        )
+        assert [s.scenario_id for s in scenarios(tier="quick")] == ["a"]
+        with pytest.raises(PerfWatchError, match="tier"):
+            scenarios(tier="nightly")
+
+    def test_discover_collects_scenarios_and_reports_bad_files(
+        self, fresh_registry, tmp_path
+    ):
+        (tmp_path / "bench_disc_good.py").write_text(
+            "from repro.perfwatch import MetricSpec, scenario\n"
+            "@scenario('disc.good', metrics=(MetricSpec('m'),))\n"
+            "def good():\n"
+            "    return {'m': 1.0}\n"
+        )
+        (tmp_path / "bench_disc_broken.py").write_text("raise RuntimeError('boom')\n")
+        found, errors = discover(tmp_path)
+        assert "disc.good" in [s.scenario_id for s in found]
+        assert errors == [("bench_disc_broken.py", "RuntimeError: boom")]
+
+
+class TestRunner:
+    def test_run_scenario_records_declared_metrics(self, fresh_registry):
+        calls = []
+
+        def fn(n):
+            calls.append(n)
+            return {"total": float(n)}
+
+        scn = BenchScenario(
+            scenario_id="run.basic",
+            fn=fn,
+            params={"n": 3},
+            repeats=2,
+            metrics=(MetricSpec("total", direction="higher"),),
+        )
+        record = run_scenario(scn)
+        assert calls == [3, 3]
+        assert record.repeats == 2 and len(record.wall_s) == 2
+        assert record.metrics["total"].value == 3.0
+        assert record.metrics["total"].direction == "higher"
+        assert record.profile is None
+        assert record.timestamp_utc.endswith("Z")
+
+    def test_setup_state_is_built_once_and_threaded_through(self, fresh_registry):
+        built = []
+
+        def setup():
+            built.append(True)
+            return {"base": 10}
+
+        scn = BenchScenario(
+            scenario_id="run.setup",
+            fn=lambda state, k: {"out": float(state["base"] + k)},
+            setup=setup,
+            params={"k": 5},
+            repeats=3,
+            metrics=(MetricSpec("out"),),
+        )
+        record = run_scenario(scn)
+        assert built == [True]
+        assert record.metrics["out"].value == 15.0
+
+    def test_metric_drift_raises(self, fresh_registry):
+        scn = BenchScenario(
+            scenario_id="run.drift",
+            fn=lambda: {"surprise": 1.0},
+            repeats=1,
+            metrics=(MetricSpec("declared"),),
+        )
+        with pytest.raises(PerfWatchError, match="declared"):
+            run_scenario(scn)
+
+    def test_profile_mode_attaches_hotspots(self, fresh_registry):
+        scn = BenchScenario(
+            scenario_id="run.prof",
+            fn=lambda: {"m": float(sum(i * i for i in range(2000)))},
+            repeats=1,
+            metrics=(MetricSpec("m", direction="higher"),),
+        )
+        record = run_scenario(scn, profile=True, profile_top=5)
+        assert record.profile is not None and len(record.profile) >= 1
+        assert len(record.profile) <= 5
+        row = record.profile[0]
+        assert set(row) == {"func", "calls", "tottime_s", "cumtime_s"}
+        # profile payload survives the canonical round trip
+        rebuilt = record_from_dict(record_to_dict(record))
+        assert rebuilt.profile == record.profile
+
+
+class TestClassifier:
+    def test_first_run_has_no_baseline(self):
+        verdict = classify_value([], 1.23)
+        assert verdict.verdict is Verdict.NO_BASELINE
+        assert verdict.baseline_n == 0
+        assert verdict.ci_low is None and verdict.ci_high is None
+
+    def test_zero_variance_baseline_exact_match_is_stable(self):
+        verdict = classify_value([2.0, 2.0, 2.0, 2.0], 2.0)
+        assert verdict.verdict is Verdict.STABLE
+        assert verdict.ci_low == verdict.ci_high == 2.0
+
+    def test_zero_variance_baseline_big_shift_still_classifies(self):
+        slower = classify_value([2.0, 2.0, 2.0], 3.0, direction="lower")
+        faster = classify_value([2.0, 2.0, 2.0], 1.0, direction="lower")
+        assert slower.verdict is Verdict.REGRESSED
+        assert faster.verdict is Verdict.IMPROVED
+
+    def test_single_sample_history_tolerates_min_effect_band(self):
+        # 3% off a one-sample baseline sits inside the 5% min-effect band
+        assert classify_value([1.00], 1.03).verdict is Verdict.STABLE
+        # 20% off does not
+        assert classify_value([1.00], 1.20).verdict is Verdict.REGRESSED
+
+    def test_direction_flip_is_symmetric(self):
+        history = [10.0, 10.2, 9.8, 10.1]
+        as_time = classify_value(history, 15.0, direction="lower")
+        as_rate = classify_value(history, 15.0, direction="higher")
+        assert as_time.verdict is Verdict.REGRESSED
+        assert as_rate.verdict is Verdict.IMPROVED
+        down_time = classify_value(history, 6.0, direction="lower")
+        down_rate = classify_value(history, 6.0, direction="higher")
+        assert down_time.verdict is Verdict.IMPROVED
+        assert down_rate.verdict is Verdict.REGRESSED
+
+    def test_verdicts_are_deterministic(self):
+        history = [1.0, 1.05, 0.97, 1.02, 1.01]
+        a = classify_value(history, 1.4)
+        b = classify_value(history, 1.4)
+        assert a == b
+
+    def test_bad_direction_and_min_effect_rejected(self):
+        with pytest.raises(PerfWatchError):
+            classify_value([1.0], 1.0, direction="diagonal")
+        with pytest.raises(PerfWatchError):
+            classify_value([1.0], 1.0, min_effect=-0.1)
+
+    def test_classify_record_skips_records_missing_a_metric(self):
+        old_no_metric = make_record(wall=(1.0,))
+        old_with_metric = make_record(
+            wall=(1.0,), metrics={"gflops": (10.0, "higher")}
+        )
+        new = make_record(wall=(1.0,), metrics={"gflops": (10.0, "higher")})
+        verdicts = {
+            v.metric: v
+            for v in classify_record([old_no_metric, old_with_metric], new)
+        }
+        assert verdicts["wall_s"].baseline_n == 2
+        assert verdicts["gflops"].baseline_n == 1
+        assert verdicts["gflops"].verdict is Verdict.STABLE
+
+    def test_classify_record_respects_window_and_scenario(self):
+        other = make_record(scenario_id="other.scn", wall=(99.0,))
+        history = [make_record(wall=(w,)) for w in (5.0, 5.0, 1.0, 1.0)]
+        new = make_record(wall=(1.0,))
+        (wall,) = classify_record(history + [other], new, window=2)
+        # only the trailing two 1.0s feed the baseline: 1.0 is stable
+        assert wall.baseline_n == 2
+        assert wall.verdict is Verdict.STABLE
+
+    def test_overall_verdict_severity_order(self):
+        def mv(verdict):
+            return classify_value([], 0.0) if verdict is Verdict.NO_BASELINE else (
+                classify_value([1.0, 1.0], {
+                    Verdict.STABLE: 1.0,
+                    Verdict.IMPROVED: 0.5,
+                    Verdict.REGRESSED: 2.0,
+                }[verdict])
+            )
+
+        assert overall_verdict([]) is Verdict.NO_BASELINE
+        assert overall_verdict([mv(Verdict.STABLE)]) is Verdict.STABLE
+        assert (
+            overall_verdict([mv(Verdict.STABLE), mv(Verdict.IMPROVED)])
+            is Verdict.IMPROVED
+        )
+        assert (
+            overall_verdict([mv(Verdict.IMPROVED), mv(Verdict.NO_BASELINE)])
+            is Verdict.NO_BASELINE
+        )
+        assert (
+            overall_verdict(
+                [mv(Verdict.IMPROVED), mv(Verdict.NO_BASELINE), mv(Verdict.REGRESSED)]
+            )
+            is Verdict.REGRESSED
+        )
+
+
+class TestReport:
+    def _seeded_store(self, tmp_path):
+        store = HistoryStore(tmp_path / "hist")
+        for wall in (1.0, 1.02, 0.99, 0.40):  # last run is a big improvement
+            store.append(
+                make_record(wall=(wall,), metrics={"gflops": (1.0 / wall, "higher")})
+            )
+        return store
+
+    def test_build_report_judges_latest_against_prior(self, tmp_path):
+        (report,) = build_report(self._seeded_store(tmp_path))
+        assert report.scenario_id == "toy.scn"
+        assert report.history_n == 3  # prior records; the latest is the judged one
+        assert report.verdict is Verdict.IMPROVED
+        rendered = render_report([report])
+        assert "toy.scn" in rendered and "improved" in rendered
+
+    def test_report_to_dict_is_json_ready(self, tmp_path):
+        reports = build_report(self._seeded_store(tmp_path))
+        payload = json.loads(json.dumps(report_to_dict(reports)))
+        (entry,) = payload["scenarios"]
+        assert entry["scenario"] == "toy.scn"
+        assert entry["verdict"] == "improved"
+        assert {m["metric"] for m in entry["metrics"]} == {"wall_s", "gflops"}
+
+    def test_empty_report_renders_hint(self):
+        assert "no history" in render_report([])
+        assert report_to_dict([])["scenarios"] == []
+
+    def test_compare_rejects_cross_scenario_records(self):
+        a = make_record(scenario_id="one")
+        b = make_record(scenario_id="two")
+        with pytest.raises(PerfWatchError, match="different scenarios"):
+            render_compare(a, b)
+
+    def test_compare_and_single_record_report(self, tmp_path):
+        store = HistoryStore(tmp_path / "hist")
+        store.append(make_record(wall=(1.0,)))
+        (report,) = build_report(store)  # single record: nothing prior to judge
+        assert report.verdict is Verdict.NO_BASELINE
+        base = make_record(wall=(1.0,))
+        new = make_record(wall=(0.5,), ts=1_700_000_100.0)
+        rendered = render_compare(base, new)
+        assert "wall_s" in rendered and "-50.0%" in rendered

@@ -1,0 +1,179 @@
+"""`tgi bench` CLI verbs against a tiny hermetic scenario.
+
+Uses its own bench dir (one trivial scenario) so the tests never execute
+the real benchmark suite, and checks the output contract: machine
+products (tables, JSON) on stdout, status chatter on stderr.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+BENCH_SRC = """\
+from repro.perfwatch import MetricSpec, scenario
+
+@scenario(
+    "clitoy.sum",
+    description="trivial arithmetic scenario for CLI tests",
+    tier="quick",
+    repeats=2,
+    metrics=(MetricSpec("total", direction="higher"),),
+)
+def clitoy_sum(n=200):
+    return {"total": float(sum(range(n)))}
+"""
+
+
+@pytest.fixture(scope="module")
+def bench_dir(tmp_path_factory):
+    """One bench dir for the whole module: discovery caches module imports
+    process-wide, so every test must point at the same source file."""
+    directory = tmp_path_factory.mktemp("clibench")
+    (directory / "bench_clitoy.py").write_text(BENCH_SRC)
+    return directory
+
+
+class TestParser:
+    def test_bench_run_defaults(self):
+        args = build_parser().parse_args(["bench", "run", "--quick"])
+        assert args.command == "bench"
+        assert args.bench_command == "run"
+        assert args.quick and not args.profile
+        assert args.trajectory_dir == "."
+
+    def test_bench_report_flags(self):
+        args = build_parser().parse_args(
+            ["bench", "report", "--json", "--window", "5", "--fail-on-regression"]
+        )
+        assert args.as_json and args.window == 5 and args.fail_on_regression
+
+    def test_bench_compare_takes_scenario(self):
+        args = build_parser().parse_args(["bench", "compare", "clitoy.sum"])
+        assert args.scenario == "clitoy.sum"
+
+    def test_bench_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench"])
+
+
+class TestBenchVerbs:
+    def _run(self, bench_dir, tmp_path, extra=()):
+        return main(
+            [
+                "bench", "run",
+                "--scenario", "clitoy.sum",
+                "--bench-dir", str(bench_dir),
+                "--history", str(tmp_path / "hist"),
+                "--trajectory-dir", str(tmp_path / "traj"),
+                *extra,
+            ]
+        )
+
+    def test_list_shows_scenario(self, bench_dir, capsys):
+        assert main(["bench", "list", "--bench-dir", str(bench_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "clitoy.sum" in out and "total" in out
+
+    def test_run_records_history_and_trajectory(self, bench_dir, tmp_path, capsys):
+        assert self._run(bench_dir, tmp_path) == 0
+        captured = capsys.readouterr()
+        # results table on stdout, status chatter on stderr
+        assert "clitoy.sum" in captured.out
+        assert "no-baseline" in captured.out  # first run has nothing to judge
+        assert "bench clitoy.sum" in captured.err
+        trajectory = tmp_path / "traj" / "BENCH_clitoy.sum.json"
+        payload = json.loads(trajectory.read_text())
+        assert len(payload["records"]) == 1
+        record = payload["records"][0]
+        assert record["metrics"]["total"]["value"] == float(sum(range(200)))
+        assert record["repeats"] == 2
+        assert record["timestamp_utc"].endswith("Z")
+
+    def test_second_run_gets_a_verdict_and_report_classifies(
+        self, bench_dir, tmp_path, capsys
+    ):
+        assert self._run(bench_dir, tmp_path) == 0
+        assert self._run(bench_dir, tmp_path) == 0
+        capsys.readouterr()
+        assert main(["bench", "report", "--history", str(tmp_path / "hist")]) == 0
+        out = capsys.readouterr().out
+        assert "clitoy.sum" in out
+        assert "total" in out and "wall_s" in out
+
+    def test_report_json_is_machine_readable_stdout(
+        self, bench_dir, tmp_path, capsys
+    ):
+        assert self._run(bench_dir, tmp_path) == 0
+        capsys.readouterr()
+        assert main(
+            ["bench", "report", "--json", "--history", str(tmp_path / "hist")]
+        ) == 0
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)  # stdout is pure JSON
+        (entry,) = payload["scenarios"]
+        assert entry["scenario"] == "clitoy.sum"
+        assert entry["verdict"] in ("no-baseline", "stable", "improved", "regressed")
+
+    def test_report_empty_history_is_not_an_error(self, tmp_path, capsys):
+        assert main(["bench", "report", "--history", str(tmp_path / "empty")]) == 0
+        captured = capsys.readouterr()
+        assert "no history" in captured.out
+        assert "no history" in captured.err
+        assert main(
+            ["bench", "report", "--json", "--history", str(tmp_path / "empty")]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scenarios"] == []
+
+    def test_compare_needs_two_records(self, bench_dir, tmp_path, capsys):
+        assert self._run(bench_dir, tmp_path) == 0
+        capsys.readouterr()
+        assert main(
+            ["bench", "compare", "clitoy.sum", "--history", str(tmp_path / "hist")]
+        ) == 1
+        assert "only one record" in capsys.readouterr().err
+        assert self._run(bench_dir, tmp_path) == 0
+        capsys.readouterr()
+        assert main(
+            ["bench", "compare", "clitoy.sum", "--history", str(tmp_path / "hist")]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "trajectory" in out  # the history view follows the delta table
+        assert "wall_s" in out and "total" in out
+
+    def test_compare_unknown_scenario_fails(self, tmp_path, capsys):
+        assert main(
+            ["bench", "compare", "ghost.scn", "--history", str(tmp_path / "hist")]
+        ) == 1
+        assert "no history" in capsys.readouterr().err
+
+    def test_no_record_leaves_history_untouched(self, bench_dir, tmp_path, capsys):
+        assert self._run(bench_dir, tmp_path, extra=("--no-record",)) == 0
+        capsys.readouterr()
+        assert not (tmp_path / "hist").exists()
+        assert not (tmp_path / "traj").exists()
+
+    def test_run_with_profile_attaches_hotspots(self, bench_dir, tmp_path, capsys):
+        assert self._run(bench_dir, tmp_path, extra=("--profile",)) == 0
+        capsys.readouterr()
+        trajectory = tmp_path / "traj" / "BENCH_clitoy.sum.json"
+        record = json.loads(trajectory.read_text())["records"][-1]
+        assert record["profile"], "profiled run must carry a hotspot digest"
+        assert {"func", "calls", "tottime_s", "cumtime_s"} == set(
+            record["profile"][0]
+        )
+
+    def test_unknown_scenario_raises_helpfully(self, bench_dir, tmp_path):
+        from repro.exceptions import PerfWatchError
+
+        with pytest.raises(PerfWatchError, match="unknown scenario"):
+            main(
+                [
+                    "bench", "run",
+                    "--scenario", "ghost.scn",
+                    "--bench-dir", str(bench_dir),
+                    "--history", str(tmp_path / "hist"),
+                ]
+            )

@@ -1,0 +1,111 @@
+"""Perf-watch history store: content addressing and trajectory determinism.
+
+The ``BENCH_<scenario>.json`` trajectory bytes must be a pure function of
+the records they render — rewriting the same history anywhere, any number
+of times, yields byte-identical files.  That is what makes the repo-root
+trajectory diffable and reviewable.
+"""
+
+import json
+
+import pytest
+
+from repro.exceptions import PerfWatchError
+from repro.perfwatch import (
+    PERFWATCH_VERSION,
+    HistoryStore,
+    record_key,
+    trajectory_path,
+)
+
+from .test_perfwatch import make_record
+
+
+class TestStore:
+    def test_append_get_round_trip(self, tmp_path):
+        store = HistoryStore(tmp_path / "hist")
+        record = make_record(metrics={"gflops": (2.0, "higher")})
+        key = store.append(record)
+        assert key == record_key(record)
+        assert store.get(key) == record
+        assert store.scenario_ids() == ["toy.scn"]
+        assert store.keys("toy.scn") == [key]
+
+    def test_duplicate_content_stores_once_but_counts_twice(self, tmp_path):
+        store = HistoryStore(tmp_path / "hist")
+        record = make_record()
+        key_a = store.append(record)
+        key_b = store.append(record)
+        assert key_a == key_b
+        # one object on disk, two observations in the index
+        assert len(list((tmp_path / "hist" / "objects").iterdir())) == 1
+        assert store.keys("toy.scn") == [key_a, key_a]
+        assert len(store.records("toy.scn")) == 2
+
+    def test_records_preserve_append_order(self, tmp_path):
+        store = HistoryStore(tmp_path / "hist")
+        walls = [(3.0,), (1.0,), (2.0,)]
+        for i, wall in enumerate(walls):
+            store.append(make_record(wall=wall, ts=1_700_000_000.0 + i))
+        assert [r.wall_s for r in store.records("toy.scn")] == walls
+
+    def test_missing_object_raises(self, tmp_path):
+        store = HistoryStore(tmp_path / "hist")
+        with pytest.raises(PerfWatchError, match="no perf-watch object"):
+            store.get("0" * 64)
+
+    def test_index_version_gate(self, tmp_path):
+        root = tmp_path / "hist"
+        root.mkdir()
+        (root / "index.json").write_text(
+            json.dumps({"perfwatch_version": 99, "scenarios": {}})
+        )
+        with pytest.raises(PerfWatchError, match="version"):
+            HistoryStore(root).scenario_ids()
+
+
+class TestTrajectories:
+    def test_trajectory_bytes_are_deterministic(self, tmp_path):
+        records = [
+            make_record(wall=(w,), ts=1_700_000_000.0 + i)
+            for i, w in enumerate((1.0, 1.1))
+        ]
+        outputs = []
+        for sub in ("a", "b"):
+            store = HistoryStore(tmp_path / sub / "hist")
+            for record in records:
+                store.append(record)
+            path = store.write_trajectory("toy.scn", tmp_path / sub)
+            assert path == trajectory_path(tmp_path / sub, "toy.scn")
+            assert path.name == "BENCH_toy.scn.json"
+            # rewriting in place is also byte-stable
+            first = path.read_bytes()
+            store.write_trajectory("toy.scn", tmp_path / sub)
+            assert path.read_bytes() == first
+            outputs.append(first)
+        assert outputs[0] == outputs[1]
+
+    def test_trajectory_payload_shape(self, tmp_path):
+        store = HistoryStore(tmp_path / "hist")
+        store.append(make_record())
+        path = store.write_trajectory("toy.scn", tmp_path)
+        payload = json.loads(path.read_text())
+        assert payload["perfwatch_version"] == PERFWATCH_VERSION
+        assert payload["scenario"] == "toy.scn"
+        assert len(payload["records"]) == 1
+        assert payload["records"][0]["scenario"] == "toy.scn"
+
+    def test_empty_trajectory_raises(self, tmp_path):
+        store = HistoryStore(tmp_path / "hist")
+        with pytest.raises(PerfWatchError, match="no history"):
+            store.write_trajectory("ghost.scn", tmp_path)
+
+    def test_write_trajectories_covers_every_scenario(self, tmp_path):
+        store = HistoryStore(tmp_path / "hist")
+        store.append(make_record(scenario_id="a.scn"))
+        store.append(make_record(scenario_id="b.scn"))
+        paths = store.write_trajectories(tmp_path / "out")
+        assert sorted(p.name for p in paths) == [
+            "BENCH_a.scn.json",
+            "BENCH_b.scn.json",
+        ]

@@ -304,6 +304,77 @@ class TestSession:
         assert list(DEFAULT_TIME_BUCKETS_S) == sorted(DEFAULT_TIME_BUCKETS_S)
 
 
+class TestClockEpochs:
+    def test_export_carries_absolute_utc_epoch(self):
+        import time
+
+        before = time.time()
+        with tele.use(TelemetrySession(label="epoch")) as session:
+            pass
+        after = time.time()
+        export = session.export()
+        assert before <= export["epoch_unix"] <= after
+        assert export["epoch_utc"].endswith("Z") and "T" in export["epoch_utc"]
+        assert json.dumps(export)  # both epochs are JSON-serializable
+
+    def test_epochs_are_captured_together(self):
+        tracer = Tracer()
+        # perf epoch and unix epoch are read back to back at construction;
+        # a span started immediately after sits within a second of both
+        with tracer.span("s"):
+            pass
+        (span,) = tracer.spans
+        assert 0 <= span.t_start < 1.0
+        assert tracer.epoch_unix > 0
+
+
+class TestProfilingHooks:
+    def test_profile_disabled_by_default(self):
+        with tele.use(TelemetrySession()) as session:
+            with tele.span("outer"):
+                with tele.span("inner"):
+                    pass
+        assert all("profile" not in s.attrs for s in session.spans)
+
+    def test_profile_attaches_hotspots_to_outermost_span_only(self):
+        with tele.use(TelemetrySession(profile=True, profile_top=4)) as session:
+            with tele.span("outer"):
+                with tele.span("inner"):
+                    sum(i * i for i in range(5000))
+        spans = {s.name: s for s in session.spans}
+        assert "profile" in spans["outer"].attrs
+        assert "profile" not in spans["inner"].attrs
+        rows = spans["outer"].attrs["profile"]
+        assert 1 <= len(rows) <= 4
+        assert set(rows[0]) == {"func", "calls", "tottime_s", "cumtime_s"}
+        # cumulative-time ordering, descending
+        cum = [row["cumtime_s"] for row in rows]
+        assert cum == sorted(cum, reverse=True)
+
+    def test_sibling_top_level_spans_each_get_a_profile(self):
+        with tele.use(TelemetrySession(profile=True)) as session:
+            with tele.span("first"):
+                pass
+            with tele.span("second"):
+                pass
+        assert all("profile" in s.attrs for s in session.spans)
+
+    def test_profiled_export_is_json_round_trippable(self):
+        with tele.use(TelemetrySession(profile=True)) as session:
+            with tele.span("s"):
+                sum(range(1000))
+        export = json.loads(json.dumps(session.export()))
+        (span,) = export["spans"]
+        assert isinstance(span["attrs"]["profile"], list)
+
+    def test_profile_callable_helper(self):
+        from repro.telemetry import profile_callable
+
+        result, hotspots = profile_callable(lambda n: sum(range(n)), 10_000)
+        assert result == sum(range(10_000))
+        assert hotspots and all("cumtime_s" in row for row in hotspots)
+
+
 QUICK_CONFIG = None
 
 
