@@ -50,6 +50,10 @@ Subpackages
 :mod:`repro.telemetry`
     Observability: span tracing, a metrics registry with Prometheus
     export, and the Eq. 10-12 energy-attribution view.
+:mod:`repro.faults`
+    Deterministic fault injection (transient job failures, meter dropout,
+    node crashes) exercising the campaign layer's containment, retry,
+    and partial-TGI degradation paths.
 """
 
 from .cluster import presets
@@ -81,9 +85,10 @@ from .core import (
 )
 from .power import NodePowerModel, PowerTrace, WallPlugMeter
 from .sim import ClusterExecutor
-from .exceptions import ReproError
+from .exceptions import CampaignExecutionError, InjectedFault, ReproError
+from .faults import FaultInjector, FaultPlan
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 from .campaign import (  # noqa: E402 - needs __version__ for cache stamps
     CampaignJob,
@@ -129,5 +134,9 @@ __all__ = [
     "ResultCache",
     "TelemetrySession",
     "ReproError",
+    "CampaignExecutionError",
+    "InjectedFault",
+    "FaultPlan",
+    "FaultInjector",
     "__version__",
 ]

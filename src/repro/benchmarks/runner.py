@@ -74,14 +74,20 @@ class SweepResult:
 
 
 def run_sweep(
-    suite: BenchmarkSuite, executor: ClusterExecutor, core_counts: Sequence[int]
+    suite: BenchmarkSuite,
+    executor: ClusterExecutor,
+    core_counts: Sequence[int],
+    *,
+    on_error: str = "raise",
 ) -> SweepResult:
     """Run ``suite`` at each core count on one executor, in order.
 
     This is the pure execution primitive behind :class:`ScalingSweep` and
     the campaign layer's jobs: given the same suite, a freshly-seeded
     executor, and the same core counts, it produces bit-identical results
-    regardless of which process runs it.
+    regardless of which process runs it.  ``on_error`` is forwarded to
+    :meth:`BenchmarkSuite.run` — ``"skip"`` yields partial suite points
+    when individual benchmarks fail (e.g. under injected node crashes).
     """
     if not core_counts:
         raise BenchmarkError("need at least one core count")
@@ -94,7 +100,7 @@ def run_sweep(
     for cores in core_counts:
         points.append(ScalePoint(cores=cores))
         with tele.span("sweep.point", cores=cores):
-            suites.append(suite.run(executor, cores))
+            suites.append(suite.run(executor, cores, on_error=on_error))
     return SweepResult(points=tuple(points), suites=tuple(suites))
 
 

@@ -17,7 +17,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterator, List, Sequence, Tuple
 
 from .. import telemetry as tele
-from ..exceptions import BenchmarkError
+from ..exceptions import BenchmarkError, ReproError
 from ..sim.executor import ClusterExecutor
 from .base import Benchmark, BenchmarkResult
 from .iozone import IOzoneBenchmark
@@ -118,13 +118,46 @@ class BenchmarkSuite:
             return min(cores, num_nodes)
         return cores
 
-    def run(self, executor: ClusterExecutor, cores: int) -> SuiteResult:
-        """Run every member at the scale implied by ``cores``."""
+    #: Valid failure policies for :meth:`run`.
+    ON_ERROR_MODES = ("raise", "skip")
+
+    def run(
+        self, executor: ClusterExecutor, cores: int, *, on_error: str = "raise"
+    ) -> SuiteResult:
+        """Run every member at the scale implied by ``cores``.
+
+        ``on_error`` selects the failure policy: ``"raise"`` (default)
+        propagates the first benchmark failure; ``"skip"`` contains
+        library-raised errors (:class:`~repro.exceptions.ReproError`,
+        including injected node crashes) to the failing member and returns
+        a *partial* :class:`SuiteResult` over the survivors — the input to
+        the degraded-TGI path.  A suite with no survivors still raises.
+        """
+        if on_error not in self.ON_ERROR_MODES:
+            raise BenchmarkError(
+                f"on_error must be one of {self.ON_ERROR_MODES}, got {on_error!r}"
+            )
         with tele.span(
             "suite.run", cores=cores, cluster=executor.cluster.name
         ):
             results = []
+            failures = []
             for benchmark in self.benchmarks:
                 scale = self.scale_for(benchmark, cores, executor)
-                results.append(benchmark.run(executor, scale))
+                try:
+                    results.append(benchmark.run(executor, scale))
+                except ReproError as exc:
+                    if on_error == "raise":
+                        raise
+                    failures.append((benchmark.name, exc))
+                    if tele.active():
+                        tele.count(
+                            "tgi_benchmarks_skipped_total", benchmark=benchmark.name
+                        )
+            if failures and not results:
+                names = [name for name, _ in failures]
+                raise BenchmarkError(
+                    f"every benchmark failed at cores={cores}: {names}; "
+                    f"first error: {failures[0][1]}"
+                ) from failures[0][1]
         return SuiteResult(cores=cores, results=tuple(results))

@@ -44,7 +44,7 @@ from .manifest import (
     manifest_fingerprint,
     write_manifest,
 )
-from .runner import CampaignResult, CampaignRunner, JobOutcome
+from .runner import CampaignResult, CampaignRunner, JobOutcome, run_cache_stats
 
 __all__ = [
     "CacheStats",
@@ -67,4 +67,5 @@ __all__ = [
     "CampaignResult",
     "CampaignRunner",
     "JobOutcome",
+    "run_cache_stats",
 ]

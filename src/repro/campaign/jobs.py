@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..cluster import presets
 from ..cluster.cluster import ClusterSpec
@@ -33,6 +33,7 @@ from ..experiments.config import (
     config_from_dict,
     config_to_dict,
 )
+from ..faults import FaultInjector, FaultPlan, plan_from_dict, plan_to_dict
 from ..serialization import sweep_result_from_dict, sweep_result_to_dict
 from ..sim.executor import ClusterExecutor
 
@@ -96,7 +97,10 @@ class CampaignJob:
 
     ``core_counts`` of ``()`` means "the machine's full core count"
     (resolved at execution time).  ``reference_suite`` selects the
-    capability-sized HPL used for reference-system runs.
+    capability-sized HPL used for reference-system runs.  ``faults``
+    optionally attaches a deterministic :class:`~repro.faults.FaultPlan`;
+    a faulted job is still pure in the caching sense — the plan is part of
+    the job's identity, so its cache key differs from the clean job's.
     """
 
     job_id: str
@@ -105,6 +109,7 @@ class CampaignJob:
     seed: int = 0
     config: ExperimentConfig = PAPER_CONFIG
     reference_suite: bool = False
+    faults: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if not self.job_id:
@@ -113,18 +118,31 @@ class CampaignJob:
             raise ReproError(f"core counts must be >= 0, got {self.core_counts}")
 
 
-def execute_job(job: CampaignJob) -> Dict:
+def execute_job(job: CampaignJob, *, attempt: int = 0) -> Dict:
     """Run one job and return its JSON-compatible payload.
 
     Pure in the caching sense: output depends only on the job (and the code
     version).  Safe to call from a worker process — everything it needs
     arrives pickled inside ``job``.
+
+    ``attempt`` selects the retry attempt for fault injection: a plan with
+    ``transient_failures=N`` makes attempts ``0..N-1`` raise and attempt
+    ``N`` succeed with the *same* payload a clean job produces (each
+    attempt gets a freshly seeded executor, so success is
+    attempt-invariant and the cache stays sound).
     """
+    injector: Optional[FaultInjector] = None
+    if job.faults is not None and job.faults.injects_anything:
+        injector = FaultInjector(job.faults, scope=job.job_id, attempt=attempt)
+        injector.check_transient()
     cluster = job.cluster.resolve()
-    executor = ClusterExecutor(cluster, rng=job.seed)
+    executor = ClusterExecutor(cluster, rng=job.seed, faults=injector)
     suite = build_suite(job.config, reference=job.reference_suite)
     core_counts = [c or cluster.total_cores for c in (job.core_counts or (0,))]
-    sweep = run_sweep(suite, executor, core_counts)
+    on_error = (
+        "skip" if injector is not None and job.faults.containment == "benchmark" else "raise"
+    )
+    sweep = run_sweep(suite, executor, core_counts, on_error=on_error)
     payload = {
         "payload_version": PAYLOAD_VERSION,
         "job_id": job.job_id,
@@ -223,11 +241,15 @@ def job_to_dict(job: CampaignJob) -> Dict:
         "seed": job.seed,
         "config": config_to_dict(job.config),
         "reference_suite": job.reference_suite,
+        # Emitted only when set, so manifests of clean jobs keep their
+        # pre-fault-injection byte layout (and fingerprints).
+        **({"faults": plan_to_dict(job.faults)} if job.faults is not None else {}),
     }
 
 
 def job_from_dict(data: Dict) -> CampaignJob:
     """Rebuild a job serialized by :func:`job_to_dict`."""
+    faults = data.get("faults")
     return CampaignJob(
         job_id=data["job_id"],
         cluster=ClusterRef(**data["cluster"]),
@@ -235,4 +257,5 @@ def job_from_dict(data: Dict) -> CampaignJob:
         seed=data["seed"],
         config=config_from_dict(data["config"]),
         reference_suite=data["reference_suite"],
+        faults=plan_from_dict(faults) if faults is not None else None,
     )

@@ -16,6 +16,7 @@ from pathlib import Path
 from typing import Dict, Union
 
 from ..exceptions import ReproError
+from ..serialization import atomic_write_text
 from .cache import cache_key
 
 __all__ = [
@@ -42,13 +43,19 @@ VOLATILE_CAMPAIGN_FIELDS = (
     "cache_enabled",
     # Observability summary: spans/metrics describe execution, never results.
     "telemetry",
+    # Failure accounting: a warm cache skips executions, so retry counts
+    # differ between cold and warm runs of the same campaign.
+    "failures",
     # Not volatile, but derived from the core — excluded so that
     # recomputing manifest_fingerprint(manifest) reproduces the stored one.
     "fingerprint",
 )
 
 #: Per-job fields that vary run-to-run without the results changing.
-VOLATILE_JOB_FIELDS = ("wall_s", "cache_status")
+#: ``attempts`` depends on cache warmth; ``error`` tracebacks differ
+#: between the pool and serial call stacks.  ``status`` is *not* here —
+#: whether a job succeeded is part of what the campaign computed.
+VOLATILE_JOB_FIELDS = ("wall_s", "cache_status", "attempts", "error")
 
 
 def manifest_core(manifest: Dict) -> Dict:
@@ -72,8 +79,8 @@ def manifest_fingerprint(manifest: Dict) -> str:
 
 
 def write_manifest(manifest: Dict, path: Union[str, Path]) -> None:
-    """Write a manifest as stable, human-diffable JSON."""
-    Path(path).write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+    """Write a manifest as stable, human-diffable JSON (atomically)."""
+    atomic_write_text(Path(path), json.dumps(manifest, indent=2, sort_keys=True) + "\n")
 
 
 def load_manifest(path: Union[str, Path]) -> Dict:

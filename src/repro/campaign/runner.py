@@ -17,52 +17,127 @@ Ordering is part of the contract: outcomes and manifest rows follow job
 submission order, never completion order, so parallel runs are manifest-
 identical to serial runs modulo the volatile timing fields.
 
+Failure containment
+-------------------
+Each job attempt executes under a try/except boundary in both the pool and
+the serial paths: an exception fails *that job*, never the campaign.  A
+failed job's outcome carries ``status="failed"`` and a structured ``error``
+(exception type, message, truncated traceback).  ``retries`` re-attempts a
+failed job with seeded exponential backoff; a success on retry yields the
+same payload a clean run would (each attempt executes with a freshly
+seeded executor), so caching stays sound.  The failure *policy* is the
+runner's: ``keep_going=False`` (default, matching the historical abort
+behaviour) raises :class:`~repro.exceptions.CampaignExecutionError` once a
+job exhausts its retries; ``keep_going=True`` finishes the surviving jobs
+and returns a result whose manifest records the damage — the input to the
+partial-TGI path (see :mod:`repro.core.tgi`).
+
 When a telemetry session is active (:mod:`repro.telemetry`) the runner
 traces each job's lifecycle — ``job.serialize`` → ``job.cache_probe`` →
-``job.execute`` → ``job.store`` — and counts jobs and cache behaviour into
-the metrics registry.  Pool workers collect spans and metrics in their own
-process and ship them back beside the payload; the parent absorbs worker
-spans under its ``campaign.pool`` span and merges worker metric state.
-Telemetry never touches payloads, cache keys, or manifest fingerprints:
-runs are byte-identical with telemetry on or off.
+``job.execute`` (one span per attempt) → ``job.store`` — and counts jobs,
+failures, retries, and cache behaviour into the metrics registry.  Pool
+workers collect spans and metrics in their own process and ship them back
+beside the payload; the parent absorbs worker spans under its
+``campaign.pool`` span and merges worker metric state.  Telemetry never
+touches payloads, cache keys, or manifest fingerprints: runs are
+byte-identical with telemetry on or off.
 """
 
 from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+import traceback as traceback_module
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from .. import telemetry as tele
 from ..benchmarks.runner import SweepResult
 from ..benchmarks.suite import SuiteResult
-from ..exceptions import ReproError
+from ..exceptions import CampaignExecutionError, ReproError
+from ..rng import child_rng
 from .cache import ResultCache, cache_key
 from .jobs import CampaignJob, execute_job, job_to_dict, payload_sweep
 from .manifest import MANIFEST_VERSION, manifest_fingerprint, write_manifest
 
-__all__ = ["JobOutcome", "CampaignResult", "CampaignRunner", "run_cache_stats"]
+__all__ = [
+    "JobOutcome",
+    "CampaignResult",
+    "CampaignRunner",
+    "run_cache_stats",
+    "TRACEBACK_LIMIT_CHARS",
+]
 
 #: Cache statuses a job outcome can carry.
-CACHE_STATUSES = ("hit", "computed", "uncached")
+CACHE_STATUSES = ("hit", "computed", "uncached", "failed")
+
+#: Structured-error tracebacks are tail-truncated to this many characters
+#: (the tail names the raising frame; the head is usually pool plumbing).
+TRACEBACK_LIMIT_CHARS = 4000
 
 
-@dataclass(frozen=True)
-class JobOutcome:
-    """One job's result plus its execution record."""
+def _error_info(exc: BaseException) -> Dict[str, str]:
+    """Structured record of a contained job failure."""
+    tb = "".join(
+        traceback_module.format_exception(type(exc), exc, exc.__traceback__)
+    )
+    if len(tb) > TRACEBACK_LIMIT_CHARS:
+        tb = "...(truncated)...\n" + tb[-TRACEBACK_LIMIT_CHARS:]
+    return {
+        "type": type(exc).__name__,
+        "message": str(exc),
+        "traceback": tb,
+    }
 
-    job: CampaignJob
-    key: str
-    payload: Dict
-    cache_status: str  # "hit" | "computed" | "uncached"
-    wall_s: float
 
-    @property
-    def sweep(self) -> SweepResult:
-        """The job's results as a live sweep object."""
-        return payload_sweep(self.payload)
+def _retry_delay(base_s: float, attempt: int, seed: int, scope: str) -> float:
+    """Seconds to wait before retry ``attempt`` (1-based) of one job.
+
+    Seeded exponential backoff with jitter: ``base * 2**(attempt-1)``
+    scaled by a uniform factor in ``[0.5, 1.5)`` drawn from a named stream,
+    so a retrying fleet does not thunder in lockstep yet tests can pin the
+    exact delays.  A non-positive base disables waiting entirely.
+    """
+    if base_s <= 0.0:
+        return 0.0
+    jitter = float(child_rng(seed, f"retry:{scope}:{attempt}").uniform(0.5, 1.5))
+    return base_s * (2.0 ** (attempt - 1)) * jitter
+
+
+def _attempt_job(
+    job: CampaignJob,
+    *,
+    retries: int = 0,
+    backoff_s: float = 0.0,
+    backoff_seed: int = 0,
+) -> Tuple[Optional[Dict], Optional[Dict], int, float]:
+    """Run one job with containment and retries.
+
+    Returns ``(payload, error, attempts, wall_s)`` — exactly one of
+    ``payload``/``error`` is non-``None``.  ``wall_s`` sums the execution
+    time of every attempt and excludes backoff sleeps, so it reflects work
+    done, not policy.  ``KeyboardInterrupt`` (and other non-``Exception``
+    escapes) propagate: containment is for job failures, not for the
+    operator's ctrl-C.
+    """
+    error: Optional[Dict] = None
+    wall = 0.0
+    for attempt in range(retries + 1):
+        if attempt:
+            delay = _retry_delay(backoff_s, attempt, backoff_seed, job.job_id)
+            if delay > 0.0:
+                time.sleep(delay)
+        t0 = time.perf_counter()
+        try:
+            with tele.span("job.execute", job=job.job_id, attempt=attempt):
+                payload = execute_job(job, attempt=attempt)
+            wall += time.perf_counter() - t0
+            return payload, None, attempt + 1, wall
+        except Exception as exc:  # containment boundary — one job, not the run
+            wall += time.perf_counter() - t0
+            error = _error_info(exc)
+    return None, error, retries + 1, wall
 
 
 def run_cache_stats(
@@ -73,7 +148,8 @@ def run_cache_stats(
     The single source for ``CampaignResult.cache_stats``, the manifest's
     ``cache_run`` block, and the CLI summary — hits are jobs served from
     cache, misses are jobs that had to execute (whether or not a cache was
-    configured), invalidations are stale entries dropped during the run.
+    configured, and whether or not they succeeded), invalidations are
+    stale entries dropped during the run.
     """
     jobs = len(statuses)
     hits = sum(1 for s in statuses if s == "hit")
@@ -84,6 +160,48 @@ def run_cache_stats(
         "invalidations": invalidations,
         "hit_rate": hits / jobs if jobs else 0.0,
     }
+
+
+@dataclass(frozen=True)
+class JobOutcome:
+    """One job's result plus its execution record.
+
+    ``status`` is ``"ok"`` or ``"failed"``; a failed outcome has
+    ``payload=None`` and a structured ``error`` dict (``type``,
+    ``message``, ``traceback``).  ``attempts`` counts executions of the
+    job this run (0 for a cache hit — nothing executed).
+    """
+
+    job: CampaignJob
+    key: str
+    payload: Optional[Dict]
+    cache_status: str  # one of CACHE_STATUSES
+    wall_s: float
+    status: str = "ok"
+    error: Optional[Dict] = None
+    attempts: int = 1
+
+    @property
+    def ok(self) -> bool:
+        """Whether the job produced a payload."""
+        return self.status == "ok"
+
+    @property
+    def retries(self) -> int:
+        """Executions beyond the first (0 when the job ran once or was cached)."""
+        return max(0, self.attempts - 1)
+
+    @property
+    def sweep(self) -> SweepResult:
+        """The job's results as a live sweep object."""
+        if self.payload is None:
+            error = self.error or {}
+            raise ReproError(
+                f"job {self.job.job_id!r} failed after {self.attempts} attempt(s) "
+                f"({error.get('type', 'unknown')}: {error.get('message', '')}); "
+                "no sweep to rebuild"
+            )
+        return payload_sweep(self.payload)
 
 
 class CampaignResult:
@@ -122,6 +240,21 @@ class CampaignResult:
         return sweep.suites[0]
 
     @property
+    def succeeded(self) -> List[JobOutcome]:
+        """Outcomes that produced payloads, in submission order."""
+        return [o for o in self.outcomes if o.ok]
+
+    @property
+    def failed(self) -> List[JobOutcome]:
+        """Outcomes that exhausted their retries, in submission order."""
+        return [o for o in self.outcomes if not o.ok]
+
+    @property
+    def ok(self) -> bool:
+        """Whether every job produced a payload."""
+        return not self.failed
+
+    @property
     def cache_stats(self) -> Dict[str, float]:
         """Run-level cache accounting (jobs/hits/misses/invalidations/hit_rate)."""
         return dict(self.manifest["cache_run"])
@@ -142,15 +275,23 @@ class CampaignResult:
 
 
 def _execute_keyed(args):
-    """Pool-side shim: (index, job, telemetry?) -> (index, payload, spans, metrics).
+    """Pool-side shim: one keyed job in, one contained result out.
 
-    With telemetry requested, the worker collects into its own session and
-    ships the finished spans (dict form) and the metric state back with the
-    payload; both are ``None`` otherwise.
+    Takes ``(index, job, with_telemetry, retries, backoff_s, backoff_seed)``
+    and returns ``(index, payload, error, attempts, wall_s, spans, metrics)``.
+    The worker measures its own wall time (the parent cannot observe
+    per-job durations through ``pool.map``) and contains job exceptions so
+    one bad job never tears down the pool.  With telemetry requested, the
+    worker collects into its own session and ships the finished spans
+    (dict form) and the metric state back with the payload; both are
+    ``None`` otherwise.
     """
-    index, job, with_telemetry = args
+    index, job, with_telemetry, retries, backoff_s, backoff_seed = args
     if not with_telemetry:
-        return index, execute_job(job), None, None
+        payload, error, attempts, wall = _attempt_job(
+            job, retries=retries, backoff_s=backoff_s, backoff_seed=backoff_seed
+        )
+        return index, payload, error, attempts, wall, None, None
     # Under the fork start method the worker inherits a *copy* of the
     # parent's ambient session; nothing collected into it would ever ship
     # back, so drop it and collect into a fresh per-worker session.
@@ -159,9 +300,18 @@ def _execute_keyed(args):
         label=f"worker:{job.job_id}", process=f"worker-{os.getpid()}"
     )
     with tele.use(session):
-        with tele.span("job.execute", job=job.job_id):
-            payload = execute_job(job)
-    return index, payload, session.tracer.as_dicts(), session.metrics.state()
+        payload, error, attempts, wall = _attempt_job(
+            job, retries=retries, backoff_s=backoff_s, backoff_seed=backoff_seed
+        )
+    return (
+        index,
+        payload,
+        error,
+        attempts,
+        wall,
+        session.tracer.as_dicts(),
+        session.metrics.state(),
+    )
 
 
 class CampaignRunner:
@@ -171,21 +321,57 @@ class CampaignRunner:
     ----------
     workers:
         Process-pool width; ``1`` (default) runs inline.  Pools that fail
-        to start (restricted platforms) degrade to the serial path, which
-        is result-identical by construction.
+        to start (restricted platforms) or die mid-campaign degrade to the
+        serial path, which is result-identical by construction and only
+        re-executes jobs whose results were not already collected.
     cache:
         A :class:`ResultCache`, or ``None`` to always execute.
+    retries:
+        Extra executions granted to a failing job (0 = one attempt only).
+        Backed off exponentially from ``backoff_s`` with seeded jitter.
+    keep_going:
+        Failure policy once retries are exhausted: ``False`` (default)
+        raises :class:`~repro.exceptions.CampaignExecutionError`;
+        ``True`` records the failure and finishes the surviving jobs.
+    backoff_s:
+        Base backoff delay in seconds (0 disables sleeping — the right
+        setting for simulated faults and tests).
+    backoff_seed:
+        Seed for the backoff jitter stream.
     """
 
-    def __init__(self, *, workers: int = 1, cache: Optional[ResultCache] = None):
+    def __init__(
+        self,
+        *,
+        workers: int = 1,
+        cache: Optional[ResultCache] = None,
+        retries: int = 0,
+        keep_going: bool = False,
+        backoff_s: float = 0.0,
+        backoff_seed: int = 0,
+    ):
         if workers < 1:
             raise ReproError(f"workers must be >= 1, got {workers}")
+        if retries < 0:
+            raise ReproError(f"retries must be >= 0, got {retries}")
+        if backoff_s < 0:
+            raise ReproError(f"backoff_s must be >= 0, got {backoff_s}")
         self.workers = workers
         self.cache = cache
+        self.retries = retries
+        self.keep_going = keep_going
+        self.backoff_s = backoff_s
+        self.backoff_seed = backoff_seed
 
     # ------------------------------------------------------------------
     def run(self, jobs: Sequence[CampaignJob], *, label: str = "campaign") -> CampaignResult:
-        """Execute the campaign and return outcomes plus manifest."""
+        """Execute the campaign and return outcomes plus manifest.
+
+        Raises :class:`~repro.exceptions.CampaignExecutionError` when a
+        job exhausts its retries under the fail-fast policy (the default);
+        with ``keep_going`` the error surfaces in the outcome/manifest and
+        the method still returns.
+        """
         jobs = list(jobs)
         if not jobs:
             raise ReproError("campaign needs at least one job")
@@ -204,6 +390,8 @@ class CampaignRunner:
             payloads: Dict[int, Dict] = {}
             statuses: Dict[int, str] = {}
             walls: Dict[int, float] = {}
+            errors: Dict[int, Dict] = {}
+            attempts: Dict[int, int] = {}
 
             pending: List[int] = []
             for index, key in enumerate(keys):
@@ -218,11 +406,30 @@ class CampaignRunner:
                             payloads[index] = cached
                             statuses[index] = "hit"
                             walls[index] = time.perf_counter() - t0
+                            attempts[index] = 0
                             continue
                 pending.append(index)
 
-            workers_used = self._execute(jobs, pending, payloads, walls)
+            workers_used = self._execute(jobs, pending, payloads, walls, errors, attempts)
+
+            failed = [i for i in pending if i in errors]
+            if failed and not self.keep_going:
+                failures = [
+                    {"job_id": jobs[i].job_id, "error": errors[i]} for i in failed
+                ]
+                first = failures[0]
+                raise CampaignExecutionError(
+                    f"{len(failed)} of {len(jobs)} campaign job(s) failed "
+                    f"(first: {first['job_id']} — {first['error']['type']}: "
+                    f"{first['error']['message']}); rerun with keep_going=True "
+                    "to collect the surviving jobs",
+                    failures=failures,
+                )
+
             for index in pending:
+                if index in errors:
+                    statuses[index] = "failed"
+                    continue
                 statuses[index] = "uncached" if self.cache is None else "computed"
                 with tele.span(
                     "job.store", job=jobs[index].job_id, skipped=self.cache is None
@@ -232,15 +439,26 @@ class CampaignRunner:
             if tele.active():
                 for index in range(len(jobs)):
                     tele.count("tgi_campaign_jobs_total", status=statuses[index])
+                jobs_failed = len(failed)
+                retries_total = sum(
+                    max(0, attempts.get(i, 1) - 1) for i in pending
+                )
+                if jobs_failed:
+                    tele.count("tgi_campaign_jobs_failed_total", jobs_failed)
+                if retries_total:
+                    tele.count("tgi_campaign_jobs_retried_total", retries_total)
 
         total_wall = time.perf_counter() - t_start
         outcomes = [
             JobOutcome(
                 job=jobs[i],
                 key=keys[i],
-                payload=payloads[i],
+                payload=payloads.get(i),
                 cache_status=statuses[i],
-                wall_s=walls[i],
+                wall_s=walls.get(i, 0.0),
+                status="failed" if i in errors else "ok",
+                error=errors.get(i),
+                attempts=attempts.get(i, 1),
             )
             for i in range(len(jobs))
         ]
@@ -259,11 +477,21 @@ class CampaignRunner:
         pending: List[int],
         payloads: Dict[int, Dict],
         walls: Dict[int, float],
+        errors: Dict[int, Dict],
+        attempts: Dict[int, int],
     ) -> int:
-        """Run the uncached jobs; returns the worker count actually used."""
+        """Run the uncached jobs; returns the worker count actually used.
+
+        Fills exactly one of ``payloads[i]``/``errors[i]`` (plus
+        ``walls[i]`` and ``attempts[i]``) for every pending index it
+        reaches; under fail-fast it stops dispatching after the first
+        exhausted job.  If the pool dies mid-campaign, the serial fallback
+        picks up only the indices whose results were not yet collected.
+        """
         if not pending:
             return 1
         session = tele.current()
+        pool_failed_mid_stream = False
         if self.workers > 1 and len(pending) > 1:
             try:
                 with ProcessPoolExecutor(max_workers=self.workers) as pool:
@@ -272,17 +500,34 @@ class CampaignRunner:
                         workers=min(self.workers, len(pending)),
                         jobs=len(pending),
                     ) as pool_span:
-                        t0 = time.perf_counter()
-                        for index, payload, span_dicts, metric_state in pool.map(
+                        for (
+                            index,
+                            payload,
+                            error,
+                            job_attempts,
+                            wall,
+                            span_dicts,
+                            metric_state,
+                        ) in pool.map(
                             _execute_keyed,
-                            [(i, jobs[i], session is not None) for i in pending],
+                            [
+                                (
+                                    i,
+                                    jobs[i],
+                                    session is not None,
+                                    self.retries,
+                                    self.backoff_s,
+                                    self.backoff_seed,
+                                )
+                                for i in pending
+                            ],
                         ):
-                            payloads[index] = payload
-                            # Per-job wall time is unobservable from the parent
-                            # under a pool; record elapsed-so-far, which is still
-                            # monotone and sums sensibly.  Volatile by contract.
-                            walls[index] = time.perf_counter() - t0
-                            t0 = time.perf_counter()
+                            walls[index] = wall
+                            attempts[index] = job_attempts
+                            if error is not None:
+                                errors[index] = error
+                            else:
+                                payloads[index] = payload
                             if session is not None and span_dicts:
                                 session.tracer.absorb(
                                     span_dicts,
@@ -291,14 +536,36 @@ class CampaignRunner:
                                 )
                             if session is not None and metric_state:
                                 session.metrics.merge(metric_state)
+                            if error is not None and not self.keep_going:
+                                # Fail fast: stop feeding the pool; run()
+                                # raises from the recorded error.
+                                pool.shutdown(wait=False, cancel_futures=True)
+                                return min(self.workers, len(pending))
                 return min(self.workers, len(pending))
-            except (OSError, PermissionError, ImportError):
-                pass  # fall through to the serial path
-        for index in pending:
-            t0 = time.perf_counter()
-            with tele.span("job.execute", job=jobs[index].job_id):
-                payloads[index] = execute_job(jobs[index])
-            walls[index] = time.perf_counter() - t0
+            except (OSError, PermissionError, ImportError, BrokenExecutor):
+                pool_failed_mid_stream = True  # fall through to the serial path
+        remaining = [
+            i for i in pending if i not in payloads and i not in errors
+        ]
+        if pool_failed_mid_stream and len(remaining) < len(pending) and tele.active():
+            tele.count(
+                "tgi_campaign_pool_fallback_total", resumed_jobs=len(remaining)
+            )
+        for index in remaining:
+            payload, error, job_attempts, wall = _attempt_job(
+                jobs[index],
+                retries=self.retries,
+                backoff_s=self.backoff_s,
+                backoff_seed=self.backoff_seed,
+            )
+            walls[index] = wall
+            attempts[index] = job_attempts
+            if error is not None:
+                errors[index] = error
+                if not self.keep_going:
+                    return 1
+            else:
+                payloads[index] = payload
         return 1
 
     # ------------------------------------------------------------------
@@ -313,6 +580,8 @@ class CampaignRunner:
         from .. import __version__
 
         session = tele.current()
+        jobs_failed = sum(1 for o in outcomes if not o.ok)
+        retries_total = sum(o.retries for o in outcomes)
         manifest = {
             "manifest_version": MANIFEST_VERSION,
             "label": label,
@@ -326,6 +595,15 @@ class CampaignRunner:
             "cache_run": run_cache_stats(
                 [o.cache_status for o in outcomes], invalidations=invalidations
             ),
+            # Failure accounting; volatile because a warm cache changes how
+            # many executions (and hence retries) actually happened.
+            "failures": {
+                "jobs_failed": jobs_failed,
+                "jobs_retried": sum(1 for o in outcomes if o.retries),
+                "retries_total": retries_total,
+                "retries_allowed": self.retries,
+                "keep_going": self.keep_going,
+            },
             # Volatile observability summary; the full export is written by
             # the CLI beside the manifest.  Excluded from the fingerprint.
             "telemetry": None
@@ -340,12 +618,15 @@ class CampaignRunner:
                 {
                     "job_id": o.job.job_id,
                     "key": o.key,
-                    "payload_sha256": cache_key(o.payload),
-                    "cluster_name": o.payload["cluster_name"],
+                    "status": o.status,
+                    "payload_sha256": cache_key(o.payload) if o.ok else None,
+                    "cluster_name": o.payload["cluster_name"] if o.ok else None,
                     "core_counts": list(o.job.core_counts),
                     "spec": job_to_dict(o.job),
                     "cache_status": o.cache_status,
                     "wall_s": o.wall_s,
+                    "attempts": o.attempts,
+                    "error": o.error,
                 }
                 for o in outcomes
             ],

@@ -36,6 +36,7 @@ from .analysis.tables import render_table
 from .benchmarks import BenchmarkSuite
 from .cluster import presets
 from .core import TGICalculator, format_ranking, rank_systems
+from .exceptions import ReproError
 from .experiments import (
     EXPERIMENTS,
     PAPER_CONFIG,
@@ -183,6 +184,48 @@ def build_parser() -> argparse.ArgumentParser:
     )
     campaign.add_argument(
         "--fleet-seed", type=int, default=20110615, help="fleet generation seed"
+    )
+    campaign.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="extra attempts granted to a failing job (seeded exponential backoff)",
+    )
+    campaign.add_argument(
+        "--retry-backoff",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="base backoff delay between attempts (0 = retry immediately)",
+    )
+    policy = campaign.add_mutually_exclusive_group()
+    policy.add_argument(
+        "--keep-going",
+        dest="keep_going",
+        action="store_true",
+        help="finish surviving jobs when one fails (exit code 3 reports the damage)",
+    )
+    policy.add_argument(
+        "--fail-fast",
+        dest="keep_going",
+        action="store_false",
+        help="abort the campaign on the first exhausted job (default)",
+    )
+    campaign.set_defaults(keep_going=False)
+    campaign.add_argument(
+        "--inject",
+        action="append",
+        default=[],
+        metavar="JOB:KIND[:VALUE]",
+        help="inject a deterministic fault into JOB; KIND is transient[:N], "
+        "flaky[:P], meter-dropout[:P], node-crash[:P], or benchmark-crash[:P]; "
+        "repeatable, multiple specs for one job compose into one plan",
+    )
+    campaign.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="seed for the injected-fault draws (fixed seed = fixed fault pattern)",
     )
 
     bench = sub.add_parser(
@@ -721,6 +764,117 @@ def _cmd_archive(output: str) -> int:
     return 0
 
 
+#: ``--inject`` kinds -> FaultPlan field updates (VALUE semantics per kind).
+_FAULT_KIND_FIELDS = {
+    "transient": ("transient_failures", int, 1),
+    "flaky": ("transient_probability", float, 1.0),
+    "meter-dropout": ("meter_dropout", float, 0.5),
+    "node-crash": ("node_crash_probability", float, 1.0),
+    "benchmark-crash": ("node_crash_probability", float, 1.0),
+}
+
+
+def _parse_fault_specs(specs, fault_seed: int):
+    """``--inject`` specs -> ``{job_id: FaultPlan}``.
+
+    Multiple specs naming one job compose into a single plan;
+    ``benchmark-crash`` additionally switches the plan's containment so
+    the crash fails individual benchmarks instead of the whole job.
+    """
+    from .faults import plan_from_dict, plan_to_dict
+
+    plans = {}
+    for spec in specs:
+        parts = spec.split(":")
+        if len(parts) not in (2, 3):
+            raise ReproError(
+                f"bad --inject spec {spec!r}; expected JOB:KIND[:VALUE]"
+            )
+        job_id, kind = parts[0], parts[1]
+        if kind not in _FAULT_KIND_FIELDS:
+            raise ReproError(
+                f"unknown fault kind {kind!r} in --inject {spec!r}; "
+                f"kinds: {sorted(_FAULT_KIND_FIELDS)}"
+            )
+        field_name, cast, default = _FAULT_KIND_FIELDS[kind]
+        try:
+            value = cast(parts[2]) if len(parts) == 3 else default
+        except ValueError:
+            raise ReproError(
+                f"bad value {parts[2]!r} for {kind} in --inject {spec!r}"
+            ) from None
+        base = plans.get(job_id)
+        data = plan_to_dict(base) if base else {}
+        data[field_name] = value
+        data["seed"] = fault_seed
+        if kind == "benchmark-crash":
+            data["containment"] = "benchmark"
+        plans[job_id] = plan_from_dict(data)
+    return plans
+
+
+def _campaign_tgi_summary(result) -> None:
+    """Print a coverage-annotated TGI table for the surviving jobs.
+
+    Requires an ok ``reference`` job; each other surviving job contributes
+    its final scale point.  Partial suite points (benchmarks lost to
+    contained faults) produce degraded TGIs, flagged in the table and on
+    stderr so they are never mistaken for full ones.
+    """
+    from .core import ReferenceSet
+
+    by_id = {o.job.job_id: o for o in result}
+    ref_outcome = by_id.get("reference")
+    if ref_outcome is None or not ref_outcome.ok:
+        _console.status("no surviving reference job; skipping the TGI summary")
+        return
+    reference = ReferenceSet.from_suite_result(
+        result.suite("reference"),
+        system_name=ref_outcome.payload["cluster_name"],
+    )
+    calculator = TGICalculator(reference, allow_partial=True)
+    rows = []
+    degraded = []
+    for outcome in result:
+        if not outcome.ok or outcome.job.job_id == "reference":
+            continue
+        suite_point = outcome.sweep.suites[-1]
+        try:
+            tgi = calculator.compute(suite_point)
+        except ReproError as exc:
+            _console.status(f"TGI skipped for {outcome.job.job_id}: {exc}")
+            continue
+        coverage = "full" if tgi.complete else f"{tgi.coverage:.0%}"
+        if not tgi.complete:
+            degraded.append((outcome.job.job_id, tgi))
+        rows.append(
+            [
+                outcome.job.job_id,
+                outcome.payload["cluster_name"],
+                suite_point.cores,
+                f"{tgi.value:.4f}",
+                coverage,
+            ]
+        )
+    if not rows:
+        return
+    _console.out()
+    _console.out(
+        render_table(
+            ["job", "system", "cores", "TGI", "coverage"],
+            rows,
+            title=f"TGI vs {reference.system_name} (arithmetic-mean weights)",
+            align_right_from=2,
+        )
+    )
+    for job_id, tgi in degraded:
+        _console.error(
+            f"warning: TGI for {job_id} is degraded — {tgi.coverage:.0%} "
+            f"coverage, missing {', '.join(tgi.missing)}; weights were "
+            "renormalized over the survivors"
+        )
+
+
 def _cmd_campaign(
     workers: int,
     cache_dir: Optional[str],
@@ -729,15 +883,47 @@ def _cmd_campaign(
     era: str,
     fleet_seed: int,
     telemetry: Optional[str] = None,
+    retries: int = 0,
+    retry_backoff: float = 0.0,
+    keep_going: bool = False,
+    inject=(),
+    fault_seed: int = 0,
 ) -> int:
+    import dataclasses
+
     from .campaign import CampaignRunner, ResultCache, fleet_jobs, paper_jobs
     from .telemetry import attribution_to_dicts, campaign_attribution, render_attribution
 
     jobs = paper_jobs(PAPER_CONFIG)
     if fleet:
         jobs += fleet_jobs(fleet, era=era, fleet_seed=fleet_seed)
+    plans = _parse_fault_specs(inject, fault_seed)
+    if plans:
+        known = {job.job_id for job in jobs}
+        unknown = sorted(set(plans) - known)
+        if unknown:
+            raise ReproError(
+                f"--inject names unknown job(s) {unknown}; campaign has {sorted(known)}"
+            )
+        jobs = [
+            dataclasses.replace(job, faults=plans[job.job_id])
+            if job.job_id in plans
+            else job
+            for job in jobs
+        ]
+        _console.status(
+            "fault injection armed: "
+            + ", ".join(f"{jid} <- {plans[jid]}" for jid in sorted(plans))
+        )
     cache = ResultCache(cache_dir) if cache_dir else None
-    runner = CampaignRunner(workers=workers, cache=cache)
+    runner = CampaignRunner(
+        workers=workers,
+        cache=cache,
+        retries=retries,
+        keep_going=keep_going,
+        backoff_s=retry_backoff,
+        backoff_seed=fault_seed,
+    )
 
     session = None
     if telemetry:
@@ -748,19 +934,22 @@ def _cmd_campaign(
 
     rows = []
     for outcome in result:
+        error = outcome.error or {}
         rows.append(
             [
                 outcome.job.job_id,
-                outcome.payload["cluster_name"],
+                outcome.payload["cluster_name"] if outcome.ok else "-",
                 len(outcome.job.core_counts) or 1,
+                outcome.status,
                 outcome.cache_status,
+                outcome.attempts,
                 f"{outcome.wall_s:.3f}",
-                outcome.key[:12],
+                outcome.key[:12] if outcome.ok else error.get("type", "?"),
             ]
         )
     _console.out(
         render_table(
-            ["job", "system", "points", "cache", "wall s", "key"],
+            ["job", "system", "points", "status", "cache", "tries", "wall s", "key/error"],
             rows,
             title=f"Campaign: {len(jobs)} jobs, workers={workers}",
             align_right_from=2,
@@ -768,12 +957,20 @@ def _cmd_campaign(
     )
     manifest = result.manifest
     stats = result.cache_stats
+    failures = manifest["failures"]
     _console.status(
         f"\ntotal wall: {manifest['total_wall_s']:.2f} s  |  "
         f"cache: {stats['hits']}/{stats['jobs']} hits "
         f"({100 * stats['hit_rate']:.0f}%)"
         + (f"  |  dir: {cache_dir}" if cache_dir else "  (caching disabled)")
     )
+    if failures["jobs_failed"] or failures["retries_total"]:
+        _console.status(
+            f"failures: {failures['jobs_failed']} job(s) failed, "
+            f"{failures['jobs_retried']} retried "
+            f"({failures['retries_total']} extra attempt(s), "
+            f"{retries} allowed per job)"
+        )
     if cache is not None:
         cstats = cache.cache_stats
         _console.status(
@@ -784,6 +981,7 @@ def _cmd_campaign(
     if manifest_path:
         result.write_manifest(manifest_path)
         _console.status(f"manifest written to {manifest_path}")
+    _campaign_tgi_summary(result)
     if session is not None:
         attribution = campaign_attribution(result)
         _console.out()
@@ -791,6 +989,12 @@ def _cmd_campaign(
         _write_telemetry(
             session, telemetry, attribution=attribution_to_dicts(attribution)
         )
+    if result.failed:
+        _console.error(
+            f"campaign finished with {len(result.failed)} failed job(s): "
+            + ", ".join(o.job.job_id for o in result.failed)
+        )
+        return 3
     return 0
 
 
@@ -853,9 +1057,26 @@ def _cmd_specs() -> int:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Exit codes: 0 success; 1 a library error (:class:`ReproError` — one
+    line on stderr, no traceback); 2 argparse usage errors; 3 a campaign
+    that completed under ``--keep-going`` but lost jobs; 130 interrupted.
+    """
     args = build_parser().parse_args(argv)
     _console.quiet = args.quiet
+    try:
+        return _dispatch(args)
+    except KeyboardInterrupt:
+        _console.error("interrupted")
+        return 130
+    except ReproError as exc:
+        _console.error(f"error: {exc}")
+        return 1
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    """Route parsed arguments to their command handler."""
     if args.command == "list":
         return _cmd_list()
     if args.command == "run":
@@ -879,6 +1100,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             args.era,
             args.fleet_seed,
             telemetry=args.telemetry,
+            retries=args.retries,
+            retry_backoff=args.retry_backoff,
+            keep_going=args.keep_going,
+            inject=args.inject,
+            fault_seed=args.fault_seed,
         )
     if args.command == "trace":
         return _cmd_trace(args.input, args.system, args.cores, args.top)

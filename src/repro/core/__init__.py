@@ -33,6 +33,7 @@ from .weights import (
     EnergyWeights,
     PowerWeights,
     CustomWeights,
+    renormalize_weights,
     validate_weights,
 )
 from .tgi import TGICalculator, TGIResult, TGISeries, tgi_from_components
@@ -68,6 +69,7 @@ __all__ = [
     "EnergyWeights",
     "PowerWeights",
     "CustomWeights",
+    "renormalize_weights",
     "validate_weights",
     "TGICalculator",
     "TGIResult",

@@ -45,6 +45,11 @@ class RankedSystem:
         """The system's TGI."""
         return self.tgi.value
 
+    @property
+    def coverage(self) -> float:
+        """Fraction of the reference's benchmarks behind this TGI (1.0 = full)."""
+        return self.tgi.coverage
+
 
 def rank_systems(
     entries: Sequence[Tuple[str, SuiteResult]],

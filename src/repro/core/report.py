@@ -52,32 +52,52 @@ def format_tgi_result(result: TGIResult) -> str:
                 f"{result.weights[name] * result.ree[name]:.4f}",
             ]
         )
+    partial = (
+        ""
+        if result.complete
+        else (
+            f" PARTIAL: {result.coverage:.0%} coverage, "
+            f"missing {', '.join(result.missing)}"
+        )
+    )
     table = render_table(
         ["Benchmark", "EE", "REE", "Weight", "Contribution"],
         rows,
         title=(
             f"TGI = {result.value:.4f}  "
             f"(weights: {result.weighting_name}, reference: {result.reference_name}, "
-            f"{result.cores} cores)"
+            f"{result.cores} cores){partial}"
         ),
     )
     return table
 
 
 def format_ranking(ranking: Sequence[RankedSystem]) -> str:
-    """Render a Green500-style TGI ranking."""
+    """Render a Green500-style TGI ranking.
+
+    When any entry is a degraded (partial-coverage) TGI, a Coverage
+    column appears so no partial number can masquerade as a full one;
+    full-coverage rankings render exactly as before.
+    """
+    any_partial = any(not entry.tgi.complete for entry in ranking)
     rows: List[List[object]] = []
     for entry in ranking:
-        rows.append(
-            [
-                entry.rank,
-                entry.system_name,
-                f"{entry.value:.4f}",
-                entry.tgi.least_efficient_benchmark,
-            ]
-        )
+        row: List[object] = [
+            entry.rank,
+            entry.system_name,
+            f"{entry.value:.4f}",
+            entry.tgi.least_efficient_benchmark,
+        ]
+        if any_partial:
+            row.append(
+                "full" if entry.tgi.complete else f"{entry.coverage:.0%}"
+            )
+        rows.append(row)
+    headers = ["Rank", "System", "TGI", "Weakest subsystem"]
+    if any_partial:
+        headers.append("Coverage")
     return render_table(
-        ["Rank", "System", "TGI", "Weakest subsystem"],
+        headers,
         rows,
         title="TGI ranking (greener first)",
         align_right_from=2,

@@ -42,7 +42,15 @@ def tgi_from_components(ree: Dict[str, float], weights: Dict[str, float]) -> flo
 
 @dataclass(frozen=True)
 class TGIResult:
-    """TGI at one scale point, with its ingredients."""
+    """TGI at one scale point, with its ingredients.
+
+    ``coverage`` is the fraction of the reference's benchmarks the suite
+    actually ran (1.0 for a full run); ``missing`` names the ones it lost.
+    A degraded TGI sums renormalized weights over the survivors only — it
+    is comparable to full TGIs in spirit but must never be presented as
+    one, which is why coverage travels with the value through ranking and
+    report rendering.
+    """
 
     cores: int
     value: float
@@ -51,6 +59,13 @@ class TGIResult:
     efficiencies: Dict[str, float]
     weighting_name: str
     reference_name: str
+    coverage: float = 1.0
+    missing: Tuple[str, ...] = ()
+
+    @property
+    def complete(self) -> bool:
+        """Whether every reference benchmark contributed (no degradation)."""
+        return not self.missing
 
     @property
     def least_efficient_benchmark(self) -> str:
@@ -60,7 +75,11 @@ class TGIResult:
 
     def __str__(self) -> str:
         parts = ", ".join(f"{k}={v:.3f}" for k, v in sorted(self.ree.items()))
-        return f"TGI[{self.weighting_name}]@{self.cores} cores = {self.value:.4f} (REE: {parts})"
+        note = "" if self.complete else f" [partial: {self.coverage:.0%} coverage]"
+        return (
+            f"TGI[{self.weighting_name}]@{self.cores} cores = "
+            f"{self.value:.4f} (REE: {parts}){note}"
+        )
 
 
 @dataclass(frozen=True)
@@ -103,6 +122,14 @@ class TGICalculator:
     metric:
         Efficiency metric; performance-per-watt by default (Eq. 2).  The
         same metric must have produced the reference set.
+    allow_partial:
+        Whether a suite covering only *some* of the reference's benchmarks
+        is acceptable.  Off by default: historically a partial suite
+        slipped through silently (``check_covers`` only tests suite ⊆
+        reference) and produced a TGI indistinguishable from a full one.
+        Now a partial suite raises unless explicitly allowed, in which
+        case the survivors' weights are renormalized to sum to one
+        (paper Section II) and the result carries its ``coverage``.
     """
 
     def __init__(
@@ -111,14 +138,26 @@ class TGICalculator:
         *,
         weighting: Optional[WeightingScheme] = None,
         metric: Optional[EfficiencyMetric] = None,
+        allow_partial: bool = False,
     ):
         self.reference = reference
         self.weighting = weighting or ArithmeticMeanWeights()
         self.metric = metric or PerformancePerWatt()
+        self.allow_partial = allow_partial
 
     def compute(self, suite_result: SuiteResult) -> TGIResult:
         """TGI for one suite run (one point of Figure 5/6)."""
         self.reference.check_covers(suite_result.names)
+        missing = tuple(
+            sorted(set(self.reference.benchmarks) - set(suite_result.names))
+        )
+        if missing and not self.allow_partial:
+            raise MetricError(
+                f"suite is missing benchmarks {list(missing)} of reference "
+                f"{self.reference.system_name!r}; pass allow_partial=True to "
+                "compute a coverage-annotated degraded TGI"
+            )
+        coverage = len(suite_result.names) / len(self.reference.benchmarks)
         efficiencies = {
             r.benchmark: self.metric.value(r) for r in suite_result.results
         }
@@ -126,7 +165,10 @@ class TGICalculator:
             name: self.reference.relative(name, ee)
             for name, ee in efficiencies.items()
         }
-        weights = self.weighting.weights(suite_result)
+        if missing:
+            weights = self.weighting.partial_weights(suite_result)
+        else:
+            weights = self.weighting.weights(suite_result)
         value = tgi_from_components(ree, weights)
         return TGIResult(
             cores=suite_result.cores,
@@ -136,6 +178,8 @@ class TGICalculator:
             efficiencies=efficiencies,
             weighting_name=self.weighting.name,
             reference_name=self.reference.system_name,
+            coverage=coverage,
+            missing=missing,
         )
 
     def compute_series(self, sweep: SweepResult) -> TGISeries:

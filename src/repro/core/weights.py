@@ -27,6 +27,7 @@ from ..exceptions import WeightError
 
 __all__ = [
     "validate_weights",
+    "renormalize_weights",
     "WeightingScheme",
     "ArithmeticMeanWeights",
     "TimeWeights",
@@ -52,6 +53,31 @@ def validate_weights(weights: Mapping[str, float]) -> Dict[str, float]:
     return dict(weights)
 
 
+def renormalize_weights(
+    weights: Mapping[str, float], survivors
+) -> Dict[str, float]:
+    """Restrict full-suite weights to the surviving benchmarks, re-summing to 1.
+
+    The graceful-degradation rule of the fault-tolerance layer: when a
+    campaign loses benchmarks, the survivors' original weights are scaled
+    by the inverse of their combined mass so the Section II constraint
+    (Σ W_i = 1) still holds over the reduced suite.  Raises
+    :class:`~repro.exceptions.WeightError` when a survivor has no weight
+    or the surviving mass is zero (nothing to renormalize over).
+    """
+    validate_weights(weights)
+    survivors = list(survivors)
+    if not survivors:
+        raise WeightError("no surviving benchmarks to renormalize weights over")
+    missing = [name for name in survivors if name not in weights]
+    if missing:
+        raise WeightError(
+            f"survivors {missing} have no weight; weights cover {sorted(weights)}"
+        )
+    kept = {name: weights[name] for name in survivors}
+    return validate_weights(_normalize(kept, "surviving benchmarks"))
+
+
 def _normalize(raw: Dict[str, float], what: str) -> Dict[str, float]:
     total = sum(raw.values())
     if total <= 0:
@@ -68,6 +94,17 @@ class WeightingScheme(abc.ABC):
     @abc.abstractmethod
     def weights(self, suite_result: SuiteResult) -> Dict[str, float]:
         """benchmark name -> weight; guaranteed to satisfy the constraint."""
+
+    def partial_weights(self, suite_result: SuiteResult) -> Dict[str, float]:
+        """Weights for a *partial* suite (some benchmarks lost to failures).
+
+        Measurement-derived schemes (arithmetic mean, time, energy, power)
+        already compute from whatever the suite contains, which *is* the
+        renormalization over survivors — so the default just delegates.
+        Schemes with fixed full-suite weights override this (see
+        :class:`CustomWeights`).
+        """
+        return self.weights(suite_result)
 
 
 class ArithmeticMeanWeights(WeightingScheme):
@@ -133,3 +170,7 @@ class CustomWeights(WeightingScheme):
                 f"custom weights cover {sorted(covered)}, suite has {sorted(names)}"
             )
         return dict(self._weights)
+
+    def partial_weights(self, suite_result: SuiteResult) -> Dict[str, float]:
+        """The fixed weights restricted to the survivors and re-summed to 1."""
+        return renormalize_weights(self._weights, suite_result.names)

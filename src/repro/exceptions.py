@@ -20,6 +20,11 @@ __all__ = [
     "ReferenceMismatchError",
     "ExperimentError",
     "PerfWatchError",
+    "CampaignExecutionError",
+    "FaultInjectionError",
+    "InjectedFault",
+    "TransientFault",
+    "NodeCrashFault",
 ]
 
 
@@ -69,3 +74,32 @@ class ExperimentError(ReproError):
 
 class PerfWatchError(ReproError):
     """A perf-watch scenario, record, or history store is invalid."""
+
+
+class CampaignExecutionError(ReproError):
+    """One or more campaign jobs failed and the policy said to abort.
+
+    ``failures`` holds one ``{"job_id", "error"}`` dict per failed job so
+    callers (and the CLI) can report what went wrong without parsing the
+    message string.
+    """
+
+    def __init__(self, message: str, *, failures=None):
+        super().__init__(message)
+        self.failures = list(failures or [])
+
+
+class FaultInjectionError(ReproError):
+    """A fault plan or injector was configured with invalid values."""
+
+
+class InjectedFault(ReproError):
+    """Base class for deterministically injected faults (never raised raw)."""
+
+
+class TransientFault(InjectedFault):
+    """An injected transient job failure (clears on retry once exhausted)."""
+
+
+class NodeCrashFault(InjectedFault):
+    """An injected node crash partway through a simulated run."""

@@ -20,6 +20,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Union
 
 from ..exceptions import PerfWatchError
+from ..serialization import atomic_write_text
 from .schema import (
     PERFWATCH_VERSION,
     BenchRecord,
@@ -74,8 +75,9 @@ class HistoryStore:
             "scenarios": {k: index[k] for k in sorted(index)},
         }
         self.root.mkdir(parents=True, exist_ok=True)
-        self._index_path.write_text(
-            json.dumps(payload, sort_keys=True, indent=2) + "\n"
+        # Atomic: a crash mid-write must not corrupt the append-only history.
+        atomic_write_text(
+            self._index_path, json.dumps(payload, sort_keys=True, indent=2) + "\n"
         )
 
     # -- objects -------------------------------------------------------
@@ -85,7 +87,7 @@ class HistoryStore:
         self._objects.mkdir(parents=True, exist_ok=True)
         obj_path = self._objects / f"{key}.json"
         if not obj_path.exists():
-            obj_path.write_text(canonical_json(record_to_dict(record)) + "\n")
+            atomic_write_text(obj_path, canonical_json(record_to_dict(record)) + "\n")
         index = self._load_index()
         index.setdefault(record.scenario_id, []).append(key)
         self._write_index()
@@ -126,7 +128,7 @@ class HistoryStore:
         }
         target = trajectory_path(directory, scenario_id)
         target.parent.mkdir(parents=True, exist_ok=True)
-        target.write_text(json.dumps(payload, sort_keys=True, indent=2) + "\n")
+        atomic_write_text(target, json.dumps(payload, sort_keys=True, indent=2) + "\n")
         return target
 
     def write_trajectories(self, directory: Union[str, Path] = ".") -> List[Path]:

@@ -19,6 +19,7 @@ pipeline as the paper's.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 import numpy as np
@@ -81,6 +82,14 @@ class MeterSpec:
             raise MeterError(
                 f"dropout_probability must be in [0, 1), got {self.dropout_probability!r}"
             )
+
+    def with_dropout(self, probability: float) -> "MeterSpec":
+        """The same instrument losing each sample with ``probability``.
+
+        Used by fault injection to degrade a meter without re-stating the
+        rest of its datasheet; validation runs again on the copy.
+        """
+        return dataclasses.replace(self, dropout_probability=probability)
 
 
 #: The instrument used in the paper, with an uncapped range so a single

@@ -21,6 +21,7 @@ cluster is recorded by *name and shape only* — specs are code, not data.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Dict, List, Union
 
@@ -43,6 +44,7 @@ __all__ = [
     "sweep_result_from_dict",
     "reference_to_dict",
     "reference_from_dict",
+    "atomic_write_text",
     "save_json",
     "load_json",
     "trace_to_csv",
@@ -165,10 +167,28 @@ def reference_from_dict(data: Dict) -> ReferenceSet:
     return ReferenceSet(data["efficiencies"], system_name=data["system_name"])
 
 
-def save_json(data: Dict, path: Union[str, Path]) -> None:
-    """Write a serialized object to a JSON file."""
+def atomic_write_text(path: Union[str, Path], text: str) -> None:
+    """Write ``text`` to ``path`` via a temp file and ``os.replace``.
+
+    A crash (or a contained job failure unwinding the stack) mid-write can
+    otherwise leave a half-serialized archive that poisons every later
+    read.  The temp name carries the pid so two processes targeting the
+    same path never collide on the intermediate file; the final rename is
+    atomic on POSIX and Windows alike.
+    """
     path = Path(path)
-    path.write_text(json.dumps(data, indent=2, sort_keys=True))
+    tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+    try:
+        tmp.write_text(text)
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():
+            tmp.unlink()
+
+
+def save_json(data: Dict, path: Union[str, Path]) -> None:
+    """Write a serialized object to a JSON file (atomically)."""
+    atomic_write_text(path, json.dumps(data, indent=2, sort_keys=True))
 
 
 def load_json(path: Union[str, Path]) -> Dict:

@@ -28,8 +28,9 @@ import numpy as np
 from .. import telemetry as tele
 from ..cluster.cluster import ClusterSpec
 from ..exceptions import SimulationError
+from ..faults import FaultInjector
 from ..power.components import NodeUtilization
-from ..power.meter import WallPlugMeter
+from ..power.meter import WATTS_UP_PRO, WallPlugMeter
 from ..power.node_power import NodePowerModel
 from ..power.trace import PiecewisePower, PowerTrace
 from ..rng import RandomState
@@ -101,6 +102,13 @@ class ClusterExecutor:
         The metering instrument; defaults to a seeded Watts Up? PRO model.
     rng:
         Seed for the default meter (ignored when ``meter`` is given).
+    faults:
+        Optional :class:`~repro.faults.FaultInjector`.  When set, the
+        default meter's spec is degraded per the plan (sample dropout) and
+        every :meth:`execute` call may raise an injected
+        :class:`~repro.exceptions.NodeCrashFault` — drawn deterministically
+        from the plan's seed — after the engine runs but before any power
+        is metered, modelling a node dying mid-phase.
     metering:
         Where the instrument sits:
 
@@ -121,6 +129,7 @@ class ClusterExecutor:
         node_power: Optional[NodePowerModel] = None,
         meter: Optional[WallPlugMeter] = None,
         rng: RandomState = None,
+        faults: Optional[FaultInjector] = None,
         metering: str = "system",
     ):
         if metering not in self.METERING_MODES:
@@ -129,7 +138,11 @@ class ClusterExecutor:
             )
         self.cluster = cluster
         self.node_power = node_power or NodePowerModel(node=cluster.node)
-        self.meter = meter or WallPlugMeter(rng=rng)
+        self.faults = faults
+        if meter is None:
+            spec = faults.meter_spec(WATTS_UP_PRO) if faults else WATTS_UP_PRO
+            meter = WallPlugMeter(spec, rng=rng)
+        self.meter = meter
         self.metering = metering
 
     # ------------------------------------------------------------------
@@ -152,6 +165,10 @@ class ClusterExecutor:
         makespan = engine.makespan(intervals)
         if makespan <= 0:
             raise SimulationError("run has zero duration; no phases with time in any program")
+        if self.faults is not None:
+            self.faults.maybe_crash(
+                label=label, makespan=makespan, num_nodes=self.cluster.num_nodes
+            )
         with tele.span("sim.power.integrate", label=label):
             truth, breakdown = self._cluster_power(placement, intervals, makespan)
         with tele.span("sim.power.meter", label=label):

@@ -79,9 +79,15 @@ def suite_attribution(
 
 
 def campaign_attribution(result: "CampaignResult") -> List[AttributionRow]:
-    """Attribution rows for every scale point of every campaign job."""
+    """Attribution rows for every scale point of every campaign job.
+
+    Failed jobs have no payload — there is nothing to attribute, so they
+    simply contribute no rows.
+    """
     rows: List[AttributionRow] = []
     for outcome in result:
+        if getattr(outcome, "payload", None) is None:
+            continue
         sweep = outcome.sweep
         for suite_result in sweep.suites:
             rows.extend(

@@ -40,11 +40,12 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Fire" in out and "SystemG" in out
 
-    def test_run_unknown_experiment_raises(self):
-        from repro.exceptions import ExperimentError
-
-        with pytest.raises(ExperimentError):
-            main(["run", "fig99"])
+    def test_run_unknown_experiment_exits_one(self, capsys):
+        # Library errors must not escape as tracebacks: one line on
+        # stderr, exit code 1.
+        assert main(["run", "fig99"]) == 1
+        err = capsys.readouterr().err
+        assert "error:" in err and "fig99" in err
 
 
 class TestExtendedCommands:

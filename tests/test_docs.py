@@ -30,6 +30,7 @@ class TestDocFilesExist:
             "docs/simulator.md",
             "docs/campaign_runner.md",
             "docs/telemetry.md",
+            "docs/fault_tolerance.md",
         ],
     )
     def test_exists_and_nonempty(self, relpath):

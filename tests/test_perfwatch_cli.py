@@ -165,15 +165,17 @@ class TestBenchVerbs:
             record["profile"][0]
         )
 
-    def test_unknown_scenario_raises_helpfully(self, bench_dir, tmp_path):
-        from repro.exceptions import PerfWatchError
-
-        with pytest.raises(PerfWatchError, match="unknown scenario"):
-            main(
-                [
-                    "bench", "run",
-                    "--scenario", "ghost.scn",
-                    "--bench-dir", str(bench_dir),
-                    "--history", str(tmp_path / "hist"),
-                ]
-            )
+    def test_unknown_scenario_fails_helpfully(self, bench_dir, tmp_path, capsys):
+        # PerfWatchError is a ReproError: one line on stderr, exit 1,
+        # no traceback.
+        code = main(
+            [
+                "bench", "run",
+                "--scenario", "ghost.scn",
+                "--bench-dir", str(bench_dir),
+                "--history", str(tmp_path / "hist"),
+            ]
+        )
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "unknown scenario" in err and "ghost.scn" in err
