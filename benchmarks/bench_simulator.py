@@ -79,6 +79,72 @@ def power_folding_scenario():
     executor.execute(placement, programs)
 
 
+# --- power integration (sweep-line pipeline) ------------------------------
+#
+# The engine run happens in setup (untimed); the timed region is exactly
+# the integration phase the sweep-line rewrite targets.  Per-rank staggered
+# durations make nearly every interval endpoint a distinct global cut, so
+# the scenario exercises the integrator at its real segment density.
+
+
+def _integration_state(num_nodes):
+    cluster = presets.fire(num_nodes)
+    num_ranks = num_nodes * cluster.node.cores
+    executor = ClusterExecutor(cluster, rng=7)
+    placement = breadth_first_placement(cluster, num_ranks)
+    programs = [
+        RankProgram(
+            rank=r,
+            phases=[
+                compute_phase(10.0 + r * 0.001),
+                barrier(),
+                compute_phase(5.0 + (r % 32) * 0.01),
+            ],
+        )
+        for r in range(num_ranks)
+    ]
+    engine = SimulationEngine(programs)
+    intervals = engine.run()
+    makespan = engine.makespan(intervals)
+    return executor, placement, intervals, makespan
+
+
+_SEGMENT_METRICS = (
+    MetricSpec(
+        "segments_out",
+        unit="segments",
+        direction="lower",
+        help="compacted truth-curve segments produced by the integrator",
+    ),
+)
+
+
+@scenario(
+    "sim.power_integration_1024",
+    description="sweep-line power integration: 1024 ranks on 64 Fire nodes",
+    setup=lambda: _integration_state(64),
+    metrics=_SEGMENT_METRICS,
+)
+def power_integration_1024_scenario(state):
+    executor, placement, intervals, makespan = state
+    _, _, stats = executor.integrate_power(placement, intervals, makespan)
+    return {"segments_out": float(stats["segments_out"])}
+
+
+@scenario(
+    "sim.power_integration_4096",
+    description="sweep-line power integration: 4096 ranks on 256 Fire nodes",
+    setup=lambda: _integration_state(256),
+    tier="full",
+    repeats=2,
+    metrics=_SEGMENT_METRICS,
+)
+def power_integration_4096_scenario(state):
+    executor, placement, intervals, makespan = state
+    _, _, stats = executor.integrate_power(placement, intervals, makespan)
+    return {"segments_out": float(stats["segments_out"])}
+
+
 @scenario(
     "sim.campaign_serial_50",
     description="the 50-config fleet campaign through the serial executor",
@@ -192,6 +258,27 @@ def test_campaign_parallel_beats_serial():
     assert parallel_s < serial_s, (parallel_s, serial_s)
     # and the pool changed nothing but the wall time
     assert [o.payload for o in parallel] == [o.payload for o in serial]
+
+
+def test_power_integration_vectorized_beats_reference():
+    """Acceptance: the sweep-line path is >= 5x the scalar oracle at 1024 ranks."""
+    executor, placement, intervals, makespan = _integration_state(64)
+    reference = ClusterExecutor(executor.cluster, rng=7, integration="reference")
+
+    t0 = time.perf_counter()
+    truth_vec, breakdown_vec, _ = executor.integrate_power(placement, intervals, makespan)
+    vec_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    truth_ref, breakdown_ref, _ = reference.integrate_power(placement, intervals, makespan)
+    ref_s = time.perf_counter() - t0
+
+    # same physics ...
+    assert truth_vec.energy() == pytest.approx(truth_ref.energy(), rel=1e-9)
+    for component, joules in breakdown_ref.items():
+        assert breakdown_vec[component] == pytest.approx(joules, rel=1e-9, abs=1e-9)
+    # ... much faster
+    assert ref_s / vec_s >= 5.0, f"speedup only {ref_s / vec_s:.1f}x ({ref_s:.2f}s vs {vec_s:.2f}s)"
 
 
 def test_campaign_warm_cache_cost(benchmark, tmp_path):

@@ -17,6 +17,7 @@ The chain mirrors the paper's measurement setup (Figure 1):
 
 from .components import (
     NodeUtilization,
+    NodeUtilizationArray,
     CPUPowerModel,
     MemoryPowerModel,
     StoragePowerModel,
@@ -33,6 +34,7 @@ from .dvfs import DVFSOperatingPoint, DVFSModel
 
 __all__ = [
     "NodeUtilization",
+    "NodeUtilizationArray",
     "CPUPowerModel",
     "MemoryPowerModel",
     "StoragePowerModel",

@@ -15,11 +15,23 @@ therefore splits the per-core dynamic range into an *awake floor*
 intensity-proportional remainder — so compute-bound HPL draws close to TDP
 while memory-bound STREAM draws noticeably less at the same core count,
 matching the power gap the paper observes between its benchmarks.
+
+Batched evaluation: every model also exposes ``power_many``, which takes a
+:class:`NodeUtilizationArray` (struct-of-arrays: one ndarray per utilization
+field) and returns watts per timeline slice in one NumPy expression.  The
+formulas are written with the exact same operation order as the scalar
+``power`` methods, so a batched evaluation is bitwise identical to mapping
+the scalar model over the slices — the sweep-line integrator in
+:mod:`repro.sim.executor` relies on this to stay equivalent to its scalar
+reference oracle.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
 
 from ..cluster.accelerator import AcceleratorSpec
 from ..cluster.cpu import CPUSpec
@@ -31,6 +43,7 @@ from ..validation import check_fraction
 
 __all__ = [
     "NodeUtilization",
+    "NodeUtilizationArray",
     "CPUPowerModel",
     "MemoryPowerModel",
     "StoragePowerModel",
@@ -87,8 +100,72 @@ class NodeUtilization:
         return cls()
 
 
-def _linear(idle_w: float, active_w: float, util: float) -> float:
-    """Linear interpolation between a component's idle and active power."""
+@dataclass(frozen=True, eq=False)  # ndarray fields: identity equality only
+class NodeUtilizationArray:
+    """A whole utilization timeline as struct-of-arrays.
+
+    Field-for-field the batched counterpart of :class:`NodeUtilization`:
+    each attribute is a 1-D float array with one entry per timeline slice.
+    Instances are produced by trusted code (the sweep-line integrator), so
+    construction validates shape agreement but not per-element ranges —
+    the producers clamp to [0, 1] themselves.
+    """
+
+    cpu_active_fraction: np.ndarray
+    cpu_intensity: np.ndarray
+    memory: np.ndarray
+    storage: np.ndarray
+    nic: np.ndarray
+    accelerator: np.ndarray
+
+    _FIELDS = (
+        "cpu_active_fraction",
+        "cpu_intensity",
+        "memory",
+        "storage",
+        "nic",
+        "accelerator",
+    )
+
+    def __post_init__(self) -> None:
+        shapes = {getattr(self, name).shape for name in self._FIELDS}
+        if len(shapes) != 1 or next(iter(shapes)) != (len(self),):
+            raise PowerModelError(
+                f"utilization arrays must share one 1-D shape, got {sorted(shapes)}"
+            )
+
+    def __len__(self) -> int:
+        return int(np.asarray(self.cpu_active_fraction).shape[0])
+
+    @classmethod
+    def idle(cls, n: int) -> "NodeUtilizationArray":
+        """``n`` fully idle slices."""
+        zeros = np.zeros(n)
+        return cls(zeros, zeros, zeros, zeros, zeros, zeros)
+
+    @classmethod
+    def from_utilizations(cls, utils: Sequence[NodeUtilization]) -> "NodeUtilizationArray":
+        """Pack scalar utilizations into one batch (tests, adapters)."""
+        return cls(
+            *(
+                np.array([getattr(u, name) for u in utils], dtype=float)
+                for name in cls._FIELDS
+            )
+        )
+
+    def at(self, i: int) -> NodeUtilization:
+        """The scalar :class:`NodeUtilization` of slice ``i``."""
+        return NodeUtilization(
+            **{name: float(getattr(self, name)[i]) for name in self._FIELDS}
+        )
+
+
+def _linear(idle_w: float, active_w: float, util):
+    """Linear interpolation between a component's idle and active power.
+
+    ``util`` may be a scalar or an ndarray; the expression is elementwise
+    either way, which keeps the scalar and batched paths bitwise equal.
+    """
     return idle_w + (active_w - idle_w) * util
 
 
@@ -118,6 +195,13 @@ class CPUPowerModel:
         package = self.spec.idle_watts + dynamic_range * util.cpu_active_fraction * per_core_load
         return self.sockets * package
 
+    def power_many(self, util: NodeUtilizationArray) -> np.ndarray:
+        """DC watts per timeline slice (same operation order as :meth:`power`)."""
+        dynamic_range = self.spec.tdp_watts - self.spec.idle_watts
+        per_core_load = self.awake_floor + (1.0 - self.awake_floor) * util.cpu_intensity
+        package = self.spec.idle_watts + dynamic_range * util.cpu_active_fraction * per_core_load
+        return self.sockets * package
+
 
 @dataclass(frozen=True)
 class MemoryPowerModel:
@@ -134,6 +218,10 @@ class MemoryPowerModel:
         """DC watts for the given utilization."""
         return self.sockets * _linear(self.spec.idle_watts, self.spec.active_watts, util.memory)
 
+    def power_many(self, util: NodeUtilizationArray) -> np.ndarray:
+        """DC watts per timeline slice."""
+        return self.sockets * _linear(self.spec.idle_watts, self.spec.active_watts, util.memory)
+
 
 @dataclass(frozen=True)
 class StoragePowerModel:
@@ -143,6 +231,10 @@ class StoragePowerModel:
 
     def power(self, util: NodeUtilization) -> float:
         """DC watts for the given utilization."""
+        return _linear(self.spec.idle_watts, self.spec.active_watts, util.storage)
+
+    def power_many(self, util: NodeUtilizationArray) -> np.ndarray:
+        """DC watts per timeline slice."""
         return _linear(self.spec.idle_watts, self.spec.active_watts, util.storage)
 
 
@@ -156,6 +248,10 @@ class NICPowerModel:
         """DC watts for the given utilization."""
         return _linear(self.spec.idle_watts, self.spec.active_watts, util.nic)
 
+    def power_many(self, util: NodeUtilizationArray) -> np.ndarray:
+        """DC watts per timeline slice."""
+        return _linear(self.spec.idle_watts, self.spec.active_watts, util.nic)
+
 
 @dataclass(frozen=True)
 class AcceleratorPowerModel:
@@ -165,4 +261,8 @@ class AcceleratorPowerModel:
 
     def power(self, util: NodeUtilization) -> float:
         """DC watts for the given utilization."""
+        return _linear(self.spec.idle_watts, self.spec.tdp_watts, util.accelerator)
+
+    def power_many(self, util: NodeUtilizationArray) -> np.ndarray:
+        """DC watts per timeline slice."""
         return _linear(self.spec.idle_watts, self.spec.tdp_watts, util.accelerator)

@@ -144,9 +144,14 @@ class WallPlugMeter:
         dt = self.spec.sample_interval_s
         n = max(1, int(np.floor(truth.duration / dt)))
         times = truth.t_start + (np.arange(n) + 0.5) * dt
-        times = times[times <= truth.t_start + truth.duration]
+        # Float noise can push only the *last* mid-interval sample past the
+        # covered range; trim by bisection instead of a full boolean scan.
+        end = truth.t_start + truth.duration
+        times = times[: int(np.searchsorted(times, end, side="right"))]
         if times.size == 0:
             times = np.array([truth.t_start + truth.duration / 2.0])
+        # One searchsorted prices every sample against the (compacted)
+        # truth curve; noise, clipping, and quantization are elementwise.
         true_watts = truth.power_at_many(times)
         noise = self._noise_rng.uniform(
             -self.spec.noise_counts, self.spec.noise_counts, size=times.size
@@ -157,8 +162,6 @@ class WallPlugMeter:
         if self.spec.dropout_probability > 0 and times.size > 1:
             kept = self._noise_rng.random(times.size) >= self.spec.dropout_probability
             kept[0] = True  # a log always has its first record
-            if not kept.any():
-                kept[0] = True
             times = times[kept]
             quantized = quantized[kept]
         return PowerTrace(times, quantized)

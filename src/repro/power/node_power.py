@@ -10,7 +10,9 @@ downstream (the meter) sums wall watts across nodes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional
+
+import numpy as np
 
 from ..cluster.node import NodeSpec
 from .components import (
@@ -19,6 +21,7 @@ from .components import (
     MemoryPowerModel,
     NICPowerModel,
     NodeUtilization,
+    NodeUtilizationArray,
     StoragePowerModel,
 )
 from .psu import PSUModel
@@ -120,4 +123,44 @@ class NodePowerModel:
         }
         if self._accelerators:
             breakdown["accelerators"] = sum(acc.power(util) for acc in self._accelerators)
+        return breakdown
+
+    # -- batched struct-of-arrays API ----------------------------------
+    #
+    # One call prices a node's whole timeline.  Each method mirrors its
+    # scalar sibling operation-for-operation so that batched evaluation is
+    # bitwise identical to mapping the scalar model over the slices (the
+    # sweep-line integrator's equivalence guarantee rests on this).
+
+    def dc_power_many(self, util: NodeUtilizationArray) -> np.ndarray:
+        """DC watts per timeline slice."""
+        total = (
+            self.node.base_watts
+            + self._cpu.power_many(util)
+            + self._memory.power_many(util)
+            + self._storage.power_many(util)
+            + self._nic.power_many(util)
+        )
+        for acc in self._accelerators:
+            total = total + acc.power_many(util)
+        return total
+
+    def wall_power_many(self, util: NodeUtilizationArray) -> np.ndarray:
+        """AC watts per timeline slice."""
+        return self.psu.wall_watts_many(self.dc_power_many(util))
+
+    def component_breakdown_many(self, util: NodeUtilizationArray) -> Dict[str, np.ndarray]:
+        """Per-component DC watts, one array per component class."""
+        breakdown = {
+            "base": np.full(len(util), self.node.base_watts),
+            "cpu": self._cpu.power_many(util),
+            "memory": self._memory.power_many(util),
+            "storage": self._storage.power_many(util),
+            "nic": self._nic.power_many(util),
+        }
+        if self._accelerators:
+            acc_watts = self._accelerators[0].power_many(util)
+            for acc in self._accelerators[1:]:
+                acc_watts = acc_watts + acc.power_many(util)
+            breakdown["accelerators"] = acc_watts
         return breakdown

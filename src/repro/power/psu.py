@@ -66,21 +66,44 @@ class PSUModel:
         for eff in effs:
             if not 0 < eff <= 1:
                 raise PowerModelError(f"efficiency {eff} outside (0, 1]")
+        # Cache the interpolation grid once: efficiency() sits on the hot
+        # power-integration path and must not rebuild arrays per call.
+        object.__setattr__(self, "_loads", np.array(loads, dtype=float))
+        object.__setattr__(self, "_effs", np.array(effs, dtype=float))
 
     def efficiency(self, dc_watts: float) -> float:
         """Conversion efficiency at the given DC draw."""
         if dc_watts < 0:
             raise PowerModelError(f"dc_watts must be >= 0, got {dc_watts}")
         load = min(dc_watts / self.rated_watts, 1.0)
-        loads = np.array([p[0] for p in self.curve])
-        effs = np.array([p[1] for p in self.curve])
-        return float(np.interp(load, loads, effs))
+        return float(np.interp(load, self._loads, self._effs))
 
     def wall_watts(self, dc_watts: float) -> float:
         """AC power drawn from the outlet for the given DC load."""
         if dc_watts == 0:
             return 0.0
         return dc_watts / self.efficiency(dc_watts)
+
+    def efficiency_many(self, dc_watts: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`efficiency` over an array of DC draws."""
+        dc = np.asarray(dc_watts, dtype=float)
+        if dc.size and dc.min() < 0:
+            raise PowerModelError("dc_watts must be >= 0")
+        load = np.minimum(dc / self.rated_watts, 1.0)
+        return np.interp(load, self._loads, self._effs)
+
+    def wall_watts_many(self, dc_watts: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`wall_watts`: one division per timeline slice.
+
+        Elementwise identical to the scalar method — same clamp, same
+        interpolation grid, and the ``dc == 0 -> 0`` short-circuit is
+        applied as a mask after the division.
+        """
+        dc = np.asarray(dc_watts, dtype=float)
+        watts = dc / self.efficiency_many(dc)
+        if dc.size:
+            watts[dc == 0.0] = 0.0
+        return watts
 
 
 #: Lossless supply for ablation studies.

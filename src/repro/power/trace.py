@@ -106,6 +106,40 @@ class PiecewisePower:
         """A constant-power interval (convenience for tests/examples)."""
         return cls([(0.0, duration, watts)])
 
+    @classmethod
+    def from_arrays(
+        cls,
+        starts: np.ndarray,
+        ends: np.ndarray,
+        watts: np.ndarray,
+    ) -> "PiecewisePower":
+        """Trusted constructor for pre-validated segment arrays.
+
+        The per-segment Python validation in ``__init__`` is O(segments)
+        interpreter work — measurable when the sweep-line integrator hands
+        over tens of thousands of segments per run.  Callers promise the
+        arrays are already sorted, non-negative, tiling, and non-empty
+        (the integrator asserts exact tiling before calling); only O(1)
+        structural checks run here.  The arrays are adopted, not copied.
+        """
+        starts = np.asarray(starts, dtype=float)
+        ends = np.asarray(ends, dtype=float)
+        watts = np.asarray(watts, dtype=float)
+        if not (starts.ndim == ends.ndim == watts.ndim == 1):
+            raise PowerModelError("segment arrays must be 1-D")
+        if not (starts.size == ends.size == watts.size):
+            raise PowerModelError(
+                f"segment arrays differ in length: "
+                f"{starts.size}/{ends.size}/{watts.size}"
+            )
+        if starts.size == 0:
+            raise PowerModelError("PiecewisePower needs at least one non-empty segment")
+        self = cls.__new__(cls)
+        self._starts = starts
+        self._ends = ends
+        self._watts = watts
+        return self
+
     def __repr__(self) -> str:
         return (
             f"PiecewisePower({len(self._watts)} segments, "

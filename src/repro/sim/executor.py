@@ -16,6 +16,32 @@ Given a placement and the engine's per-rank intervals it
 The result is a :class:`RunRecord` carrying both the exact and the measured
 power/energy, so callers can use the measured values (as the paper does) and
 tests can bound the measurement error.
+
+Integration paths
+-----------------
+
+Two implementations of step 1–3 coexist:
+
+* ``integration="vectorized"`` (default) — a sweep-line pipeline.  Per
+  node, interval start/end events become difference arrays whose prefix
+  sums give every component's demand per timeline slice in O(n log n);
+  the slices are priced in a handful of NumPy calls through the power
+  stack's struct-of-arrays API
+  (:meth:`~repro.power.node_power.NodePowerModel.wall_power_many`).  The
+  cross-node merge ``searchsorted``\\ s every node curve onto the global
+  cut grid, sums a nodes x cuts watts matrix, compacts runs of equal
+  watts, and hands the arrays to
+  :meth:`~repro.power.trace.PiecewisePower.from_arrays`.
+* ``integration="reference"`` — the original midpoint-scan implementation,
+  kept as the scalar oracle: per slice, per node, a Python rescan of every
+  rank interval.  O(slices x intervals), but independently simple.
+
+Both paths snap breakpoints that float noise has pushed within ``_EPS`` of
+each other onto a single representative *before* slicing, so no slice —
+and none of its joules — is ever dropped, and both assert that the final
+segments tile ``[0, makespan]`` exactly.  Property tests
+(``tests/test_power_integration.py``) pin the two paths to each other on
+energy, attribution, and the power curve itself.
 """
 
 from __future__ import annotations
@@ -29,7 +55,7 @@ from .. import telemetry as tele
 from ..cluster.cluster import ClusterSpec
 from ..exceptions import SimulationError
 from ..faults import FaultInjector
-from ..power.components import NodeUtilization
+from ..power.components import NodeUtilization, NodeUtilizationArray
 from ..power.meter import WATTS_UP_PRO, WallPlugMeter
 from ..power.node_power import NodePowerModel
 from ..power.trace import PiecewisePower, PowerTrace
@@ -41,6 +67,46 @@ from .workload import RankProgram
 __all__ = ["ClusterExecutor", "RunRecord"]
 
 _EPS = 1e-9
+
+
+def _snap_cuts(times: np.ndarray, makespan: float) -> np.ndarray:
+    """Sorted unique breakpoints over ``[0, makespan]`` with float noise merged.
+
+    Raw cut candidates (interval starts/ends from every rank) can land
+    within ``_EPS`` of each other when different ranks accumulate the same
+    logical time through different float additions.  Slicing between such
+    near-duplicates used to produce sub-``_EPS`` slivers that were silently
+    dropped — leaking their joules.  Here every group of candidates closer
+    than ``_EPS`` collapses onto a single representative, so all surviving
+    slice widths exceed ``_EPS`` and the slices tile the span exactly.
+
+    Callers always include ``0.0`` and ``makespan`` among ``times``; both
+    survive as the exact first/last representative.
+    """
+    arr = np.unique(np.clip(np.asarray(times, dtype=float), 0.0, makespan))
+    keep = np.ones(arr.size, dtype=bool)
+    np.greater(np.diff(arr), _EPS, out=keep[1:])
+    reps = arr[keep]
+    if makespan - reps[-1] <= _EPS:
+        # the group containing makespan is represented by makespan itself,
+        # not by the group's smallest member, so the span closes exactly
+        reps[-1] = makespan
+    else:  # pragma: no cover - callers pass makespan in `times`
+        reps = np.append(reps, makespan)
+    return reps
+
+
+def _assert_tiling(starts: np.ndarray, ends: np.ndarray, makespan: float) -> None:
+    """Fail loudly if the segments do not tile ``[0, makespan]`` exactly."""
+    if (
+        starts.size == 0
+        or starts[0] != 0.0
+        or ends[-1] != makespan
+        or not np.array_equal(ends[:-1], starts[1:])
+    ):
+        raise SimulationError(
+            "internal error: power segments do not tile [0, makespan] exactly"
+        )
 
 
 @dataclass(frozen=True)
@@ -117,10 +183,20 @@ class ClusterExecutor:
         * ``"active-nodes"``: only nodes hosting at least one rank are
           metered (a common lab shortcut).  Kept for the metering-boundary
           ablation; it visibly reshapes every EE curve.
+    integration:
+        Which power-integration pipeline folds rank intervals into the
+        cluster power curve:
+
+        * ``"vectorized"`` (default): the sweep-line pipeline (see module
+          docstring) — the fast path every campaign and curve runs on;
+        * ``"reference"``: the scalar midpoint-scan oracle, kept for
+          equivalence testing and as executable documentation.
     """
 
     #: Valid metering boundaries.
     METERING_MODES = ("system", "active-nodes")
+    #: Valid power-integration pipelines.
+    INTEGRATION_MODES = ("vectorized", "reference")
 
     def __init__(
         self,
@@ -131,10 +207,16 @@ class ClusterExecutor:
         rng: RandomState = None,
         faults: Optional[FaultInjector] = None,
         metering: str = "system",
+        integration: str = "vectorized",
     ):
         if metering not in self.METERING_MODES:
             raise SimulationError(
                 f"metering must be one of {self.METERING_MODES}, got {metering!r}"
+            )
+        if integration not in self.INTEGRATION_MODES:
+            raise SimulationError(
+                f"integration must be one of {self.INTEGRATION_MODES}, "
+                f"got {integration!r}"
             )
         self.cluster = cluster
         self.node_power = node_power or NodePowerModel(node=cluster.node)
@@ -144,6 +226,7 @@ class ClusterExecutor:
             meter = WallPlugMeter(spec, rng=rng)
         self.meter = meter
         self.metering = metering
+        self.integration = integration
 
     # ------------------------------------------------------------------
     def execute(
@@ -169,8 +252,9 @@ class ClusterExecutor:
             self.faults.maybe_crash(
                 label=label, makespan=makespan, num_nodes=self.cluster.num_nodes
             )
-        with tele.span("sim.power.integrate", label=label):
-            truth, breakdown = self._cluster_power(placement, intervals, makespan)
+        with tele.span("sim.power.integrate", label=label) as integrate_span:
+            truth, breakdown, stats = self.integrate_power(placement, intervals, makespan)
+            integrate_span.set(**stats)
         with tele.span("sim.power.meter", label=label):
             trace = self.meter.measure(truth)
         return RunRecord(
@@ -184,13 +268,241 @@ class ClusterExecutor:
         )
 
     # ------------------------------------------------------------------
-    def _cluster_power(
+    def integrate_power(
         self,
         placement: Placement,
         intervals: List[List[RankInterval]],
         makespan: float,
-    ) -> Tuple[PiecewisePower, Dict[str, float]]:
-        """(cluster wall-power curve, component DC-energy attribution)."""
+    ) -> Tuple[PiecewisePower, Dict[str, float], Dict[str, object]]:
+        """Fold rank intervals into the cluster wall-power curve.
+
+        Returns ``(truth, breakdown, stats)``: the ground-truth
+        :class:`~repro.power.trace.PiecewisePower`, the component
+        DC-energy attribution, and the integration-path statistics that
+        :meth:`execute` attaches to the ``sim.power.integrate`` span
+        (``integration``, ``segments_in``, ``segments_out``,
+        ``compaction_ratio``).
+
+        Public so perf-watch scenarios can time the integration phase in
+        isolation (the engine run happens in their setup).
+        """
+        if self.integration == "reference":
+            return self._integrate_reference(placement, intervals, makespan)
+        return self._integrate_vectorized(placement, intervals, makespan)
+
+    # -- shared pieces -------------------------------------------------
+    def _idle_node_count(self, used: int) -> int:
+        if self.metering == "system":
+            return self.cluster.num_nodes - used
+        return 0  # active-nodes: unused nodes sit outside the meter
+
+    def _add_idle_breakdown(self, breakdown: Dict[str, float], idle_nodes: int, makespan: float) -> None:
+        if not idle_nodes:
+            return
+        idle_parts = self.node_power.component_breakdown(NodeUtilization.idle())
+        for component, watts in idle_parts.items():
+            breakdown[component] = (
+                breakdown.get(component, 0.0) + idle_nodes * watts * makespan
+            )
+
+    # -- vectorized sweep-line pipeline --------------------------------
+    def _integrate_vectorized(
+        self,
+        placement: Placement,
+        intervals: List[List[RankInterval]],
+        makespan: float,
+    ) -> Tuple[PiecewisePower, Dict[str, float], Dict[str, object]]:
+        """Sweep-line integration over flat per-node regions.
+
+        All active nodes are processed as contiguous *regions* of shared
+        flat arrays rather than one node at a time: a single pass
+        flattens the intervals, a single lexsort builds every node's
+        snapped cut grid, one ``np.add.at``/``cumsum`` pair folds every
+        component's demand onto every slice of every node, and one
+        :meth:`~repro.power.node_power.NodePowerModel.wall_power_many`
+        call prices the whole cluster.  Because every interval's +demand
+        and -demand both land inside its node's region, the running
+        prefix sum returns to zero at each region boundary, so one flat
+        ``cumsum`` is safe across regions — there is no per-node Python
+        loop anywhere on this path.
+        """
+        # 1. Flatten the intervals into struct-of-arrays form.  Phases are
+        # heavily shared across intervals (and interned for barrier waits),
+        # so their demand vectors are deduplicated by identity and gathered
+        # through a row-index table instead of being re-read per interval.
+        flat = [iv for rank_ivs in intervals for iv in rank_ivs]
+        n_iv = len(flat)
+        iv_start = np.fromiter((iv.t_start for iv in flat), float, n_iv)
+        iv_end = np.fromiter((iv.t_end for iv in flat), float, n_iv)
+        rows = np.empty(n_iv, dtype=np.intp)
+        table: List[Tuple[float, ...]] = []
+        row_of: Dict[int, int] = {}
+        for k, iv in enumerate(flat):
+            phase = iv.phase
+            row = row_of.get(id(phase))
+            if row is None:
+                row = len(table)
+                row_of[id(phase)] = row
+                occ = float(phase.occupies_core)
+                table.append(
+                    (
+                        occ,
+                        occ * phase.cpu_intensity,  # only occupying ranks
+                        phase.memory,               # count toward intensity
+                        phase.storage,
+                        phase.nic,
+                        phase.accelerator,
+                    )
+                )
+            rows[k] = row
+        demands = np.asarray(table).reshape(len(table), 6)[rows]  # (n_iv, 6)
+
+        # Dense node rows 0..m-1 over the nodes actually hosting ranks.
+        nodes_used = placement.nodes_used
+        m = len(nodes_used)
+        row_of_node = {node: i for i, node in enumerate(nodes_used)}
+        counts = [len(rank_ivs) for rank_ivs in intervals]
+        iv_node = np.repeat(
+            np.fromiter(
+                (row_of_node[n] for n in placement.node_of_rank),
+                np.intp,
+                placement.num_ranks,
+            ),
+            counts,
+        )
+
+        # 2. Per-node snapped cut grids, all at once: every endpoint plus
+        # {0, makespan} per node, ordered by (node, time), deduplicated
+        # within _EPS exactly as _snap_cuts does per node.
+        node_rows = np.arange(m)
+        ev_time = np.concatenate(
+            [iv_start, iv_end, np.zeros(m), np.full(m, makespan)]
+        )
+        np.clip(ev_time, 0.0, makespan, out=ev_time)
+        ev_node = np.concatenate([iv_node, iv_node, node_rows, node_rows])
+        order = np.lexsort((ev_time, ev_node))
+        ev_time = ev_time[order]
+        ev_node = ev_node[order]
+        new_region = np.empty(ev_node.size, dtype=bool)
+        new_region[0] = True
+        np.not_equal(ev_node[1:], ev_node[:-1], out=new_region[1:])
+        keep = new_region.copy()
+        keep[1:] |= (ev_time[1:] - ev_time[:-1]) > _EPS
+        cut_time = ev_time[keep]
+        cut_node = ev_node[keep]
+        # Force each region's final cut to makespan (it represents the
+        # snap group containing makespan), mirroring _snap_cuts.
+        last_of_region = np.empty(cut_node.size, dtype=bool)
+        last_of_region[-1] = True
+        np.not_equal(cut_node[1:], cut_node[:-1], out=last_of_region[:-1])
+        cut_time[last_of_region] = makespan
+
+        # 3. Interval endpoints -> flat cut positions, one bisection for
+        # all nodes: shifting each region by node_row * span keeps the
+        # flat key array sorted and confines every lookup to its region.
+        span = makespan + 1.0
+        cut_keys = cut_node * span + cut_time
+        i_start = (
+            np.searchsorted(cut_keys, iv_node * span + iv_start + _EPS, side="right") - 1
+        )
+        i_end = (
+            np.searchsorted(cut_keys, iv_node * span + iv_end + _EPS, side="right") - 1
+        )
+
+        # 4. Difference arrays + one prefix sum fold every component onto
+        # every slice.  Slice p lives between cuts p and p+1 of the same
+        # region; each region's deltas cancel to zero by its last cut, so
+        # the flat cumsum never bleeds across nodes.
+        delta = np.zeros((cut_time.size, 6))
+        np.add.at(delta, i_start, demands)
+        np.subtract.at(delta, i_end, demands)
+        levels = np.cumsum(delta, axis=0)[~last_of_region]
+        slice_node = cut_node[~last_of_region]
+        slice_start = cut_time[~last_of_region]
+        widths = np.empty(cut_time.size)
+        widths[:-1] = cut_time[1:] - cut_time[:-1]
+        widths = widths[~last_of_region]
+
+        # 5. Utilization and wall watts for every slice of every node in
+        # one batched evaluation.  busy counts are sums of 0/1 floats —
+        # exact, so the busy-== 0 -> idle() rule matches the scalar oracle.
+        busy = levels[:, 0]
+        active = busy > 0
+        mean_intensity = np.divide(
+            levels[:, 1], busy, out=np.zeros(busy.size), where=active
+        )
+
+        def demand(level: np.ndarray) -> np.ndarray:
+            # Matches the scalar oracle: a node with no core-occupying rank
+            # reports idle() — residual demands from non-occupying phases
+            # are zeroed, and float cancellation noise is clipped away.
+            return np.where(active, np.clip(level, 0.0, 1.0), 0.0)
+
+        util = NodeUtilizationArray(
+            cpu_active_fraction=np.where(
+                active, np.minimum(1.0, busy / self.cluster.node.cores), 0.0
+            ),
+            cpu_intensity=np.where(active, np.minimum(1.0, mean_intensity), 0.0),
+            memory=demand(levels[:, 2]),
+            storage=demand(levels[:, 3]),
+            nic=demand(levels[:, 4]),
+            accelerator=demand(levels[:, 5]),
+        )
+        watts = self.node_power.wall_power_many(util)
+        breakdown: Dict[str, float] = {}
+        for component, dc_watts in self.node_power.component_breakdown_many(util).items():
+            breakdown[component] = float(np.dot(dc_watts, widths))
+        idle_nodes = self._idle_node_count(m)
+        self._add_idle_breakdown(breakdown, idle_nodes, makespan)
+
+        # 6. Per-node compaction (drop breakpoints where the wall watts do
+        # not change), then the cross-node merge: every compacted node
+        # curve is sampled onto the global snapped cut grid with a single
+        # region-keyed bisection, summed, and compacted again.
+        first_slice = np.empty(slice_node.size, dtype=bool)
+        first_slice[0] = True
+        np.not_equal(slice_node[1:], slice_node[:-1], out=first_slice[1:])
+        keep_c = first_slice.copy()
+        keep_c[1:] |= watts[1:] != watts[:-1]
+        c_start = slice_start[keep_c]
+        c_watts = watts[keep_c]
+        c_keys = slice_node[keep_c] * span + c_start
+
+        cuts = _snap_cuts(
+            np.concatenate([np.array([0.0, makespan]), c_start]), makespan
+        )
+        mids = 0.5 * (cuts[:-1] + cuts[1:])
+        sample_keys = (node_rows[:, None] * span + mids[None, :]).ravel()
+        idx = np.searchsorted(c_keys, sample_keys, side="right") - 1
+        idle_wall = self.node_power.idle_wall_power()
+        total = idle_nodes * idle_wall + c_watts[idx].reshape(m, mids.size).sum(axis=0)
+
+        # Compact runs of equal watts before constructing the truth curve.
+        keep_g = np.ones(total.size, dtype=bool)
+        np.not_equal(total[1:], total[:-1], out=keep_g[1:])
+        seg_starts = cuts[:-1][keep_g]
+        seg_ends = np.concatenate([seg_starts[1:], [makespan]])
+        seg_watts = total[keep_g]
+        _assert_tiling(seg_starts, seg_ends, makespan)
+        truth = PiecewisePower.from_arrays(seg_starts, seg_ends, seg_watts)
+        # Whatever the wall saw beyond the summed DC is conversion loss.
+        breakdown["psu_loss"] = truth.energy() - sum(breakdown.values())
+        stats = {
+            "integration": "vectorized",
+            "segments_in": int(total.size),
+            "segments_out": int(seg_watts.size),
+            "compaction_ratio": float(seg_watts.size / total.size) if total.size else 1.0,
+        }
+        return truth, breakdown, stats
+
+    # -- scalar reference oracle ---------------------------------------
+    def _integrate_reference(
+        self,
+        placement: Placement,
+        intervals: List[List[RankInterval]],
+        makespan: float,
+    ) -> Tuple[PiecewisePower, Dict[str, float], Dict[str, object]]:
+        """The original midpoint-scan integration, kept as the oracle."""
         idle_wall = self.node_power.idle_wall_power()
         # Per-node piecewise wall power as (breakpoints, watts-per-slice),
         # accumulating component DC joules along the way.
@@ -200,35 +512,37 @@ class ClusterExecutor:
             node_curves[node] = self._node_power_curve(
                 placement, node, intervals, makespan, breakdown
             )
-        # Global breakpoints.
-        cuts = {0.0, makespan}
+        # Global breakpoints (snapped, so no sliver is silently dropped).
+        cut_arrays = [np.array([0.0, makespan])]
         for starts, _ in node_curves.values():
-            cuts.update(starts.tolist())
-        cut_list = sorted(cuts)
-        if self.metering == "system":
-            idle_nodes = self.cluster.num_nodes - len(node_curves)
-        else:  # active-nodes: unused nodes sit outside the meter
-            idle_nodes = 0
-        if idle_nodes:
-            idle_parts = self.node_power.component_breakdown(NodeUtilization.idle())
-            for component, watts in idle_parts.items():
-                breakdown[component] = (
-                    breakdown.get(component, 0.0) + idle_nodes * watts * makespan
-                )
-        segments = []
+            cut_arrays.append(starts)
+        cut_list = _snap_cuts(np.concatenate(cut_arrays), makespan).tolist()
+        idle_nodes = self._idle_node_count(len(node_curves))
+        self._add_idle_breakdown(breakdown, idle_nodes, makespan)
+        seg_starts: List[float] = []
+        seg_watts: List[float] = []
         for t0, t1 in zip(cut_list, cut_list[1:]):
-            if t1 - t0 <= _EPS:
-                continue
             mid = 0.5 * (t0 + t1)
             watts = idle_nodes * idle_wall
             for starts, node_watts in node_curves.values():
                 idx = int(np.searchsorted(starts, mid, side="right") - 1)
-                watts += float(node_watts[idx])
-            segments.append((t0, t1, watts))
-        truth = PiecewisePower(segments)
+                watts += float(node_watts[max(idx, 0)])
+            seg_starts.append(t0)
+            seg_watts.append(watts)
+        starts_arr = np.array(seg_starts)
+        ends_arr = np.array(cut_list[1:])
+        _assert_tiling(starts_arr, ends_arr, makespan)
+        truth = PiecewisePower.from_arrays(starts_arr, ends_arr, np.array(seg_watts))
         # Whatever the wall saw beyond the summed DC is conversion loss.
         breakdown["psu_loss"] = truth.energy() - sum(breakdown.values())
-        return truth, breakdown
+        n_segments = len(seg_watts)
+        stats = {
+            "integration": "reference",
+            "segments_in": n_segments,
+            "segments_out": n_segments,
+            "compaction_ratio": 1.0,
+        }
+        return truth, breakdown, stats
 
     def _node_power_curve(
         self,
@@ -245,17 +559,15 @@ class ClusterExecutor:
         node_intervals: List[RankInterval] = []
         for rank in placement.ranks_on_node(node):
             node_intervals.extend(intervals[rank])
-        cuts = {0.0, makespan}
+        cuts = [0.0, makespan]
         for iv in node_intervals:
-            cuts.add(iv.t_start)
-            cuts.add(iv.t_end)
-        cut_list = sorted(c for c in cuts if c <= makespan + _EPS)
+            cuts.append(iv.t_start)
+            cuts.append(iv.t_end)
+        cut_list = _snap_cuts(np.array(cuts), makespan).tolist()
         starts: List[float] = []
         watts: List[float] = []
         cores = self.cluster.node.cores
         for t0, t1 in zip(cut_list, cut_list[1:]):
-            if t1 - t0 <= _EPS:
-                continue
             mid = 0.5 * (t0 + t1)
             util = self._slice_utilization(node_intervals, mid, cores)
             starts.append(t0)

@@ -54,9 +54,13 @@ class PhaseKind(str, enum.Enum):
     WAIT = "wait"  # engine-inserted barrier wait
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Phase:
-    """One phase of one rank's program (see module docstring)."""
+    """One phase of one rank's program (see module docstring).
+
+    ``slots=True``: phases are shared across thousands of intervals and
+    read field-by-field in the power-integration hot loops.
+    """
 
     kind: PhaseKind
     duration_s: float

@@ -152,5 +152,13 @@ class TestPearsonProperties:
             mapped = pearson([a * v + b for v in x], list(range(len(x))))
         except MetricError:
             return
+        # When the spread of a*x is rounding noise next to the values of
+        # a*x+b (e.g. x = [0, 0, 2e-16], b = 1), the mapped series carries
+        # essentially no signal from x and the correlation is dominated by
+        # 1-ulp rounding — invariance is numerically meaningless there.
+        scale = max(abs(b), a * max(abs(v) for v in x))
+        spread = a * (max(x) - min(x))
+        if spread < 1e-6 * scale:
+            return
         # float cancellation in a*x+b degrades precision for |x| << |b|
         assert mapped == pytest.approx(base, abs=1e-3)
