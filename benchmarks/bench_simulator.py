@@ -61,6 +61,63 @@ def engine_scenario():
     engine.makespan(engine.run())
 
 
+# --- engine (struct-of-arrays sweep) --------------------------------------
+#
+# Program construction happens in setup (untimed); the timed region is one
+# vectorized engine execution.  Staggered per-rank durations keep every
+# barrier column honest (distinct arrival times, real wait synthesis).
+
+
+def _engine_programs(num_ranks):
+    return [
+        RankProgram(
+            rank=r,
+            phases=[
+                compute_phase(10.0 + (r % 7) * 0.1),
+                barrier(),
+                compute_phase(5.0 + (r % 32) * 0.01),
+                barrier(),
+                compute_phase(2.0 + (r % 5) * 0.05),
+            ],
+        )
+        for r in range(num_ranks)
+    ]
+
+
+_ENGINE_METRICS = (
+    MetricSpec(
+        "intervals",
+        unit="intervals",
+        direction="higher",
+        help="intervals emitted by the engine run (work accomplished)",
+    ),
+)
+
+
+@scenario(
+    "sim.engine_16384",
+    description="vectorized sweep engine: 16384 ranks, three barrier segments",
+    setup=lambda: _engine_programs(16384),
+    metrics=_ENGINE_METRICS,
+)
+def engine_16384_scenario(programs):
+    arrays = SimulationEngine(programs).run_arrays()
+    return {"intervals": float(len(arrays))}
+
+
+@scenario(
+    "sim.engine_102400",
+    description="vectorized sweep engine: a Top500-class 102400-rank run",
+    setup=lambda: _engine_programs(102400),
+    tier="full",
+    repeats=2,
+    metrics=_ENGINE_METRICS,
+)
+def engine_102400_scenario(programs):
+    arrays = SimulationEngine(programs).run_arrays()
+    return {"intervals": float(len(arrays))}
+
+
 @scenario(
     "sim.power_folding",
     description="fold 128 ranks' activity into a metered cluster power curve",
@@ -279,6 +336,44 @@ def test_power_integration_vectorized_beats_reference():
         assert breakdown_vec[component] == pytest.approx(joules, rel=1e-9, abs=1e-9)
     # ... much faster
     assert ref_s / vec_s >= 5.0, f"speedup only {ref_s / vec_s:.1f}x ({ref_s:.2f}s vs {vec_s:.2f}s)"
+
+
+def test_engine_vectorized_beats_reference():
+    """Acceptance: the sweep engine is >= 3x the event-heap oracle at 8192
+    ranks while emitting the identical schedule."""
+    programs = _engine_programs(8192)
+    vectorized = SimulationEngine(programs, engine="vectorized")
+    reference = SimulationEngine(programs, engine="reference")
+    vectorized.run_arrays()  # warm numpy allocators outside the timed region
+
+    t0 = time.perf_counter()
+    arrays = vectorized.run_arrays()
+    vec_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    ref_intervals = reference.run()
+    ref_s = time.perf_counter() - t0
+
+    # same schedule ...
+    assert len(arrays) == sum(len(per_rank) for per_rank in ref_intervals)
+    assert arrays.makespan == pytest.approx(
+        reference.makespan(ref_intervals), rel=1e-9, abs=1e-9
+    )
+    # ... much faster
+    assert ref_s / vec_s >= 3.0, f"speedup only {ref_s / vec_s:.1f}x ({ref_s:.2f}s vs {vec_s:.2f}s)"
+
+
+@pytest.mark.slow
+def test_engine_102400_under_10s():
+    """Acceptance: a Top500-class 102400-rank simulation completes in
+    under 10 s end-to-end (program compilation included)."""
+    t0 = time.perf_counter()
+    programs = _engine_programs(102400)
+    arrays = SimulationEngine(programs).run_arrays()
+    wall = time.perf_counter() - t0
+    assert len(arrays) > 3 * 102400  # three phases + waits per rank
+    assert arrays.makespan == pytest.approx(18.11)
+    assert wall < 10.0, f"102400-rank simulation took {wall:.1f}s"
 
 
 def test_campaign_warm_cache_cost(benchmark, tmp_path):

@@ -138,6 +138,13 @@ def build_parser() -> argparse.ArgumentParser:
     suite.add_argument(
         "--breakdown", action="store_true", help="also print the energy attribution"
     )
+    suite.add_argument(
+        "--engine",
+        choices=ClusterExecutor.ENGINE_MODES,
+        default="vectorized",
+        help="discrete-event engine: the struct-of-arrays sweep (default) "
+        "or the event-heap reference oracle",
+    )
 
     sub.add_parser(
         "sensitivity", help="weight-simplex sensitivity of TGI at full scale"
@@ -359,6 +366,12 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument(
         "--top", type=int, default=10, help="how many slowest spans to list"
     )
+    trace.add_argument(
+        "--engine",
+        choices=ClusterExecutor.ENGINE_MODES,
+        default="vectorized",
+        help="discrete-event engine for the live run (ignored with --input)",
+    )
     return parser
 
 
@@ -443,7 +456,7 @@ def _chart_for(result) -> Optional[str]:
     return None
 
 
-def _preset_suite_run(system: str, cores: int):
+def _preset_suite_run(system: str, cores: int, engine: str = "vectorized"):
     """Run the capability-view suite on one preset; returns (cluster, n, result)."""
     from .benchmarks import (
         BenchmarkSuite,
@@ -453,7 +466,7 @@ def _preset_suite_run(system: str, cores: int):
     )
 
     cluster = getattr(presets, system)()
-    executor = ClusterExecutor(cluster, rng=PAPER_CONFIG.fire_seed)
+    executor = ClusterExecutor(cluster, rng=PAPER_CONFIG.fire_seed, engine=engine)
     # capability view: memory-sized HPL with the calibrated comm/contention
     # parameters (consistent with `tgi run capability`)
     suite = BenchmarkSuite(
@@ -476,11 +489,11 @@ def _preset_suite_run(system: str, cores: int):
     return cluster, n, suite.run(executor, n)
 
 
-def _cmd_suite(system: str, cores: int, breakdown: bool) -> int:
+def _cmd_suite(system: str, cores: int, breakdown: bool, engine: str = "vectorized") -> int:
     from .core import format_suite_result
     from .units import format_energy
 
-    cluster, n, result = _preset_suite_run(system, cores)
+    cluster, n, result = _preset_suite_run(system, cores, engine)
     _console.out(format_suite_result(result, title=f"{cluster.name} @ {n} cores"))
     if breakdown:
         _console.out()
@@ -494,7 +507,13 @@ def _cmd_suite(system: str, cores: int, breakdown: bool) -> int:
     return 0
 
 
-def _cmd_trace(input_path: Optional[str], system: str, cores: int, top: int) -> int:
+def _cmd_trace(
+    input_path: Optional[str],
+    system: str,
+    cores: int,
+    top: int,
+    engine: str = "vectorized",
+) -> int:
     from .telemetry import (
         AttributionRow,
         render_attribution,
@@ -525,7 +544,7 @@ def _cmd_trace(input_path: Optional[str], system: str, cores: int, top: int) -> 
 
     _console.status(f"tracing a live suite run on {system} ...")
     with tele.use(tele.TelemetrySession(label=f"trace:{system}")) as session:
-        cluster, n, result = _preset_suite_run(system, cores)
+        cluster, n, result = _preset_suite_run(system, cores, engine)
     _console.out(render_span_tree(session.spans))
     _console.out()
     _console.out(render_slowest(session.spans, top))
@@ -1086,7 +1105,7 @@ def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "specs":
         return _cmd_specs()
     if args.command == "suite":
-        return _cmd_suite(args.system, args.cores, args.breakdown)
+        return _cmd_suite(args.system, args.cores, args.breakdown, args.engine)
     if args.command == "sensitivity":
         return _cmd_sensitivity()
     if args.command == "archive":
@@ -1107,7 +1126,7 @@ def _dispatch(args: argparse.Namespace) -> int:
             fault_seed=args.fault_seed,
         )
     if args.command == "trace":
-        return _cmd_trace(args.input, args.system, args.cores, args.top)
+        return _cmd_trace(args.input, args.system, args.cores, args.top, args.engine)
     if args.command == "bench":
         return _cmd_bench(args)
     raise AssertionError(f"unhandled command {args.command!r}")

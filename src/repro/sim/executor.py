@@ -47,7 +47,7 @@ energy, attribution, and the power curve itself.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -60,9 +60,13 @@ from ..power.meter import WATTS_UP_PRO, WallPlugMeter
 from ..power.node_power import NodePowerModel
 from ..power.trace import PiecewisePower, PowerTrace
 from ..rng import RandomState
-from .engine import RankInterval, SimulationEngine
+from .engine import IntervalArrays, RankInterval, SimulationEngine
 from .placement import Placement
 from .workload import RankProgram
+
+#: Either the columnar fast-path form or the per-rank object view — every
+#: integration entry point accepts both.
+Intervals = Union["IntervalArrays", List[List[RankInterval]]]
 
 __all__ = ["ClusterExecutor", "RunRecord"]
 
@@ -191,12 +195,22 @@ class ClusterExecutor:
           docstring) — the fast path every campaign and curve runs on;
         * ``"reference"``: the scalar midpoint-scan oracle, kept for
           equivalence testing and as executable documentation.
+    engine:
+        Which discrete-event engine produces the rank intervals:
+
+        * ``"vectorized"`` (default): the struct-of-arrays sweep engine —
+          emits columnar :class:`~repro.sim.engine.IntervalArrays` that
+          feed the vectorized integrator with no per-interval objects;
+        * ``"reference"``: the original event-heap loop, kept as the
+          equivalence-tested oracle.
     """
 
     #: Valid metering boundaries.
     METERING_MODES = ("system", "active-nodes")
     #: Valid power-integration pipelines.
     INTEGRATION_MODES = ("vectorized", "reference")
+    #: Valid discrete-event engine implementations.
+    ENGINE_MODES = SimulationEngine.ENGINE_MODES
 
     def __init__(
         self,
@@ -208,6 +222,7 @@ class ClusterExecutor:
         faults: Optional[FaultInjector] = None,
         metering: str = "system",
         integration: str = "vectorized",
+        engine: str = "vectorized",
     ):
         if metering not in self.METERING_MODES:
             raise SimulationError(
@@ -218,6 +233,10 @@ class ClusterExecutor:
                 f"integration must be one of {self.INTEGRATION_MODES}, "
                 f"got {integration!r}"
             )
+        if engine not in self.ENGINE_MODES:
+            raise SimulationError(
+                f"engine must be one of {self.ENGINE_MODES}, got {engine!r}"
+            )
         self.cluster = cluster
         self.node_power = node_power or NodePowerModel(node=cluster.node)
         self.faults = faults
@@ -227,6 +246,7 @@ class ClusterExecutor:
         self.meter = meter
         self.metering = metering
         self.integration = integration
+        self.engine = engine
 
     # ------------------------------------------------------------------
     def execute(
@@ -243,9 +263,9 @@ class ClusterExecutor:
             raise SimulationError(
                 f"placement has {placement.num_ranks} ranks, got {len(programs)} programs"
             )
-        engine = SimulationEngine(programs)
-        intervals = engine.run()
-        makespan = engine.makespan(intervals)
+        engine = SimulationEngine(programs, engine=self.engine)
+        intervals = engine.run_arrays()
+        makespan = intervals.makespan
         if makespan <= 0:
             raise SimulationError("run has zero duration; no phases with time in any program")
         if self.faults is not None:
@@ -271,10 +291,15 @@ class ClusterExecutor:
     def integrate_power(
         self,
         placement: Placement,
-        intervals: List[List[RankInterval]],
+        intervals: Intervals,
         makespan: float,
     ) -> Tuple[PiecewisePower, Dict[str, float], Dict[str, object]]:
         """Fold rank intervals into the cluster wall-power curve.
+
+        ``intervals`` may be the engine's columnar
+        :class:`~repro.sim.engine.IntervalArrays` (the fast path — no
+        per-interval objects are ever materialized) or the per-rank
+        ``RankInterval`` lists (flattened on entry).
 
         Returns ``(truth, breakdown, stats)``: the ground-truth
         :class:`~repro.power.trace.PiecewisePower`, the component
@@ -309,16 +334,19 @@ class ClusterExecutor:
     def _integrate_vectorized(
         self,
         placement: Placement,
-        intervals: List[List[RankInterval]],
+        intervals: Intervals,
         makespan: float,
     ) -> Tuple[PiecewisePower, Dict[str, float], Dict[str, object]]:
         """Sweep-line integration over flat per-node regions.
 
         All active nodes are processed as contiguous *regions* of shared
-        flat arrays rather than one node at a time: a single pass
-        flattens the intervals, a single lexsort builds every node's
-        snapped cut grid, one ``np.add.at``/``cumsum`` pair folds every
-        component's demand onto every slice of every node, and one
+        flat arrays rather than one node at a time: the engine's columnar
+        :class:`~repro.sim.engine.IntervalArrays` provides the interval
+        endpoints and deduplicated phase-demand rows directly (per-rank
+        object lists are flattened once on entry), a single lexsort
+        builds every node's snapped cut grid, one ``np.add.at``/``cumsum``
+        pair folds every component's demand onto every slice of every
+        node, and one
         :meth:`~repro.power.node_power.NodePowerModel.wall_power_many`
         call prices the whole cluster.  Because every interval's +demand
         and -demand both land inside its node's region, the running
@@ -326,50 +354,28 @@ class ClusterExecutor:
         ``cumsum`` is safe across regions — there is no per-node Python
         loop anywhere on this path.
         """
-        # 1. Flatten the intervals into struct-of-arrays form.  Phases are
-        # heavily shared across intervals (and interned for barrier waits),
-        # so their demand vectors are deduplicated by identity and gathered
-        # through a row-index table instead of being re-read per interval.
-        flat = [iv for rank_ivs in intervals for iv in rank_ivs]
-        n_iv = len(flat)
-        iv_start = np.fromiter((iv.t_start for iv in flat), float, n_iv)
-        iv_end = np.fromiter((iv.t_end for iv in flat), float, n_iv)
-        rows = np.empty(n_iv, dtype=np.intp)
-        table: List[Tuple[float, ...]] = []
-        row_of: Dict[int, int] = {}
-        for k, iv in enumerate(flat):
-            phase = iv.phase
-            row = row_of.get(id(phase))
-            if row is None:
-                row = len(table)
-                row_of[id(phase)] = row
-                occ = float(phase.occupies_core)
-                table.append(
-                    (
-                        occ,
-                        occ * phase.cpu_intensity,  # only occupying ranks
-                        phase.memory,               # count toward intensity
-                        phase.storage,
-                        phase.nic,
-                        phase.accelerator,
-                    )
-                )
-            rows[k] = row
-        demands = np.asarray(table).reshape(len(table), 6)[rows]  # (n_iv, 6)
+        # 1. The columnar form: interval endpoints plus per-interval rows
+        # into the deduplicated phase-demand table.  Phases are heavily
+        # shared across intervals (and interned for barrier waits), so
+        # their demand vectors are gathered through the row-index table
+        # instead of being re-read per interval.
+        if not isinstance(intervals, IntervalArrays):
+            intervals = IntervalArrays.from_interval_lists(intervals)
+        n_iv = len(intervals)
+        iv_start = np.asarray(intervals.t_start, dtype=float)
+        iv_end = np.asarray(intervals.t_end, dtype=float)
+        demands = intervals.demand_table()[intervals.phase_row]  # (n_iv, 6)
 
         # Dense node rows 0..m-1 over the nodes actually hosting ranks.
         nodes_used = placement.nodes_used
         m = len(nodes_used)
         row_of_node = {node: i for i, node in enumerate(nodes_used)}
-        counts = [len(rank_ivs) for rank_ivs in intervals]
-        iv_node = np.repeat(
-            np.fromiter(
-                (row_of_node[n] for n in placement.node_of_rank),
-                np.intp,
-                placement.num_ranks,
-            ),
-            counts,
+        node_row_of_rank = np.fromiter(
+            (row_of_node[n] for n in placement.node_of_rank),
+            np.intp,
+            placement.num_ranks,
         )
+        iv_node = node_row_of_rank[intervals.rank]
 
         # 2. Per-node snapped cut grids, all at once: every endpoint plus
         # {0, makespan} per node, ordered by (node, time), deduplicated
@@ -499,10 +505,12 @@ class ClusterExecutor:
     def _integrate_reference(
         self,
         placement: Placement,
-        intervals: List[List[RankInterval]],
+        intervals: Intervals,
         makespan: float,
     ) -> Tuple[PiecewisePower, Dict[str, float], Dict[str, object]]:
         """The original midpoint-scan integration, kept as the oracle."""
+        if isinstance(intervals, IntervalArrays):
+            intervals = intervals.to_interval_lists()
         idle_wall = self.node_power.idle_wall_power()
         # Per-node piecewise wall power as (breakpoints, watts-per-slice),
         # accumulating component DC joules along the way.

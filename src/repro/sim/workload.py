@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import List, Sequence, Tuple
 
 from ..exceptions import SimulationError
 from ..validation import check_fraction, check_non_negative
@@ -91,6 +91,23 @@ class Phase:
     def occupies_core(self) -> bool:
         """Whether a core counts as busy during this phase."""
         return self.kind not in (PhaseKind.IDLE, PhaseKind.BARRIER)
+
+    def demand_vector(self) -> Tuple[float, float, float, float, float, float]:
+        """The phase's demand row for the struct-of-arrays integrators:
+        ``(occupies, occupies * intensity, memory, storage, nic,
+        accelerator)``.  Only core-occupying phases contribute intensity;
+        bandwidth demands always count.  Shared by the columnar
+        :class:`~repro.sim.engine.IntervalArrays` and the executor's
+        sweep-line power integration."""
+        occ = 1.0 if self.occupies_core else 0.0
+        return (
+            occ,
+            occ * self.cpu_intensity,
+            self.memory,
+            self.storage,
+            self.nic,
+            self.accelerator,
+        )
 
 
 @dataclass
