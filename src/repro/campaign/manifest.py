@@ -43,6 +43,9 @@ VOLATILE_CAMPAIGN_FIELDS = (
     "cache_enabled",
     # Observability summary: spans/metrics describe execution, never results.
     "telemetry",
+    # Flight-recorder block: journal path/digest/event count describe one
+    # specific execution; journaled and bare runs must fingerprint alike.
+    "journal",
     # Failure accounting: a warm cache skips executions, so retry counts
     # differ between cold and warm runs of the same campaign.
     "failures",

@@ -41,6 +41,17 @@ beside the payload; the parent absorbs worker spans under its
 ``campaign.pool`` span and merges worker metric state.  Telemetry never
 touches payloads, cache keys, or manifest fingerprints: runs are
 byte-identical with telemetry on or off.
+
+Flight recorder
+---------------
+``journal=`` arms the append-only run journal (:mod:`repro.journal`): the
+parent records the run lifecycle, schedule, and cache hits; whichever
+process executes a job appends its attempt-level events (start, contained
+failure, retry, completion with ``getrusage`` CPU/RSS accounting) to the
+*same* file via atomic ``O_APPEND`` line writes, so ``tgi watch`` can
+follow an in-flight campaign from another process.  The manifest records
+the journal's path, run id, and content digest as a volatile block —
+like telemetry, journaling never changes payloads or fingerprints.
 """
 
 from __future__ import annotations
@@ -50,8 +61,10 @@ import time
 import traceback as traceback_module
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from .. import journal as jrnl
 from .. import telemetry as tele
 from ..benchmarks.runner import SweepResult
 from ..benchmarks.suite import SuiteResult
@@ -105,12 +118,35 @@ def _retry_delay(base_s: float, attempt: int, seed: int, scope: str) -> float:
     return base_s * (2.0 ** (attempt - 1)) * jitter
 
 
+#: Journal error messages are clipped to this length (tracebacks live in
+#: the outcome's structured error, not in the event stream).
+_JOURNAL_MESSAGE_LIMIT = 500
+
+
+def _rusage_delta(start: Optional[Dict]) -> Dict:
+    """CPU seconds spent since ``start`` plus the absolute peak RSS.
+
+    Peak RSS is monotonic per process, so it is reported as-is (the peak
+    so far), while CPU time is differenced to charge each job only its
+    own attempts.
+    """
+    end = jrnl.rusage_fields()
+    if start is None or end["cpu_user_s"] is None or start["cpu_user_s"] is None:
+        return end
+    return {
+        "cpu_user_s": end["cpu_user_s"] - start["cpu_user_s"],
+        "cpu_system_s": end["cpu_system_s"] - start["cpu_system_s"],
+        "max_rss_bytes": end["max_rss_bytes"],
+    }
+
+
 def _attempt_job(
     job: CampaignJob,
     *,
     retries: int = 0,
     backoff_s: float = 0.0,
     backoff_seed: int = 0,
+    journal: Optional[jrnl.JournalWriter] = None,
 ) -> Tuple[Optional[Dict], Optional[Dict], int, float]:
     """Run one job with containment and retries.
 
@@ -120,45 +156,99 @@ def _attempt_job(
     done, not policy.  ``KeyboardInterrupt`` (and other non-``Exception``
     escapes) propagate: containment is for job failures, not for the
     operator's ctrl-C.
+
+    With ``journal`` set, every attempt's lifecycle lands in the run
+    journal — start, contained failure, retry decision (with the chosen
+    backoff), and the terminal completed/failed event carrying the
+    ``getrusage`` CPU/RSS accounting of the executing process.
     """
     error: Optional[Dict] = None
     wall = 0.0
+    ru_start = jrnl.rusage_fields() if journal is not None else None
     for attempt in range(retries + 1):
         if attempt:
             delay = _retry_delay(backoff_s, attempt, backoff_seed, job.job_id)
+            if journal is not None:
+                journal.emit(
+                    "job.retried", job=job.job_id, attempt=attempt, delay_s=delay
+                )
             if delay > 0.0:
                 time.sleep(delay)
+        if journal is not None:
+            journal.emit("job.started", job=job.job_id, attempt=attempt)
         t0 = time.perf_counter()
         try:
             with tele.span("job.execute", job=job.job_id, attempt=attempt):
                 payload = execute_job(job, attempt=attempt)
             wall += time.perf_counter() - t0
+            if journal is not None:
+                journal.emit(
+                    "job.completed",
+                    job=job.job_id,
+                    attempts=attempt + 1,
+                    wall_s=wall,
+                    **_rusage_delta(ru_start),
+                )
             return payload, None, attempt + 1, wall
         except Exception as exc:  # containment boundary — one job, not the run
-            wall += time.perf_counter() - t0
+            attempt_wall = time.perf_counter() - t0
+            wall += attempt_wall
             error = _error_info(exc)
+            if journal is not None:
+                journal.emit(
+                    "job.attempt_failed",
+                    job=job.job_id,
+                    attempt=attempt,
+                    error_type=error["type"],
+                    error_message=error["message"][:_JOURNAL_MESSAGE_LIMIT],
+                    wall_s=attempt_wall,
+                )
+    if journal is not None:
+        journal.emit(
+            "job.failed",
+            job=job.job_id,
+            attempts=retries + 1,
+            error_type=error["type"],
+            error_message=error["message"][:_JOURNAL_MESSAGE_LIMIT],
+        )
     return None, error, retries + 1, wall
 
 
 def run_cache_stats(
-    statuses: Sequence[str], *, invalidations: int = 0
+    statuses: Sequence[str],
+    *,
+    executions: Optional[Sequence[int]] = None,
+    invalidations: int = 0,
 ) -> Dict[str, float]:
     """Run-level cache accounting from per-job cache statuses.
 
     The single source for ``CampaignResult.cache_stats``, the manifest's
-    ``cache_run`` block, and the CLI summary — hits are jobs served from
-    cache, misses are jobs that had to execute (whether or not a cache was
-    configured, and whether or not they succeeded), invalidations are
-    stale entries dropped during the run.
+    ``cache_run`` block, and the CLI summary.  Accounting is per
+    *attempt*, not per job: ``hits`` are probe hits, ``misses`` are
+    executed attempts (a job that succeeded on its third attempt was three
+    misses of work, not one), so ``hits + misses == attempts`` holds by
+    construction.  ``executions`` carries the per-job execution counts
+    aligned with ``statuses``; omitted, every non-hit job is assumed to
+    have executed exactly once (the retry-free behaviour).
     """
     jobs = len(statuses)
     hits = sum(1 for s in statuses if s == "hit")
+    if executions is None:
+        misses = jobs - hits
+    else:
+        if len(executions) != jobs:
+            raise ReproError(
+                f"executions has {len(executions)} entries for {jobs} statuses"
+            )
+        misses = int(sum(executions))
+    attempts = hits + misses
     return {
         "jobs": jobs,
+        "attempts": attempts,
         "hits": hits,
-        "misses": jobs - hits,
+        "misses": misses,
         "invalidations": invalidations,
-        "hit_rate": hits / jobs if jobs else 0.0,
+        "hit_rate": hits / attempts if attempts else 0.0,
     }
 
 
@@ -256,8 +346,18 @@ class CampaignResult:
 
     @property
     def cache_stats(self) -> Dict[str, float]:
-        """Run-level cache accounting (jobs/hits/misses/invalidations/hit_rate)."""
-        return dict(self.manifest["cache_run"])
+        """Run-level cache accounting (jobs/attempts/hits/misses/...).
+
+        Enforces the accounting invariant: probe hits plus executed
+        attempts account for every attempt — a books-must-balance check
+        on the retry/cache interplay.
+        """
+        stats = dict(self.manifest["cache_run"])
+        assert stats["hits"] + stats["misses"] == stats["attempts"], (
+            f"cache accounting out of balance: {stats['hits']} hits + "
+            f"{stats['misses']} misses != {stats['attempts']} attempts"
+        )
+        return stats
 
     @property
     def cache_hits(self) -> int:
@@ -274,44 +374,92 @@ class CampaignResult:
         write_manifest(self.manifest, path)
 
 
+#: Jobs this worker process has finished — heartbeat payload.  Lives at
+#: module level so it survives across ``pool.map`` calls into one worker.
+_WORKER_JOBS_DONE = 0
+
+
 def _execute_keyed(args):
     """Pool-side shim: one keyed job in, one contained result out.
 
-    Takes ``(index, job, with_telemetry, retries, backoff_s, backoff_seed)``
-    and returns ``(index, payload, error, attempts, wall_s, spans, metrics)``.
-    The worker measures its own wall time (the parent cannot observe
-    per-job durations through ``pool.map``) and contains job exceptions so
-    one bad job never tears down the pool.  With telemetry requested, the
-    worker collects into its own session and ships the finished spans
-    (dict form) and the metric state back with the payload; both are
-    ``None`` otherwise.
+    Takes ``(index, job, with_telemetry, retries, backoff_s, backoff_seed,
+    journal_path, run_id)`` and returns ``(index, payload, error, attempts,
+    wall_s, spans, metrics)``.  The worker measures its own wall time (the
+    parent cannot observe per-job durations through ``pool.map``) and
+    contains job exceptions so one bad job never tears down the pool.
+    With telemetry requested, the worker collects into its own session and
+    ships the finished spans (dict form) and the metric state back with
+    the payload; both are ``None`` otherwise.
+
+    Journal events do *not* ship back: with ``journal_path`` set the
+    worker opens its own ``O_APPEND`` handle on the shared journal and
+    emits attempt events directly, which is what makes ``tgi watch`` live
+    rather than end-of-run.  Each pickup also emits a ``worker.heartbeat``
+    with the worker's cumulative job count and resource usage.
     """
-    index, job, with_telemetry, retries, backoff_s, backoff_seed = args
-    if not with_telemetry:
-        payload, error, attempts, wall = _attempt_job(
-            job, retries=retries, backoff_s=backoff_s, backoff_seed=backoff_seed
-        )
-        return index, payload, error, attempts, wall, None, None
-    # Under the fork start method the worker inherits a *copy* of the
-    # parent's ambient session; nothing collected into it would ever ship
-    # back, so drop it and collect into a fresh per-worker session.
-    tele.deactivate()
-    session = tele.TelemetrySession(
-        label=f"worker:{job.job_id}", process=f"worker-{os.getpid()}"
-    )
-    with tele.use(session):
-        payload, error, attempts, wall = _attempt_job(
-            job, retries=retries, backoff_s=backoff_s, backoff_seed=backoff_seed
-        )
-    return (
+    global _WORKER_JOBS_DONE
+    (
         index,
-        payload,
-        error,
-        attempts,
-        wall,
-        session.tracer.as_dicts(),
-        session.metrics.state(),
-    )
+        job,
+        with_telemetry,
+        retries,
+        backoff_s,
+        backoff_seed,
+        journal_path,
+        run_id,
+    ) = args
+    journal = None
+    if journal_path is not None:
+        # A fork-started worker inherits the parent's ambient writer (and
+        # its fd); drop the inherited binding and open our own handle so
+        # close/lifetime stay per-process.
+        jrnl.detach()
+        journal = jrnl.JournalWriter(
+            journal_path, run_id=run_id, process=f"worker-{os.getpid()}"
+        )
+        jrnl.attach(journal)
+        journal.emit(
+            "worker.heartbeat", jobs_done=_WORKER_JOBS_DONE, **jrnl.rusage_fields()
+        )
+    try:
+        if not with_telemetry:
+            payload, error, attempts, wall = _attempt_job(
+                job,
+                retries=retries,
+                backoff_s=backoff_s,
+                backoff_seed=backoff_seed,
+                journal=journal,
+            )
+            return index, payload, error, attempts, wall, None, None
+        # Under the fork start method the worker inherits a *copy* of the
+        # parent's ambient session; nothing collected into it would ever
+        # ship back, so drop it and collect into a fresh per-worker session.
+        tele.deactivate()
+        session = tele.TelemetrySession(
+            label=f"worker:{job.job_id}", process=f"worker-{os.getpid()}"
+        )
+        with tele.use(session):
+            payload, error, attempts, wall = _attempt_job(
+                job,
+                retries=retries,
+                backoff_s=backoff_s,
+                backoff_seed=backoff_seed,
+                journal=journal,
+            )
+        return (
+            index,
+            payload,
+            error,
+            attempts,
+            wall,
+            session.tracer.as_dicts(),
+            session.metrics.state(),
+        )
+    finally:
+        if journal is not None:
+            _WORKER_JOBS_DONE += 1
+            jrnl.detach()
+            journal.close()
 
 
 class CampaignRunner:
@@ -338,6 +486,11 @@ class CampaignRunner:
         setting for simulated faults and tests).
     backoff_seed:
         Seed for the backoff jitter stream.
+    journal:
+        Flight-recorder target: a path (the runner creates, finalizes,
+        and digests the journal) or an existing
+        :class:`~repro.journal.JournalWriter` (the caller keeps ownership
+        and finalization).  ``None`` (default) records nothing.
     """
 
     def __init__(
@@ -349,6 +502,7 @@ class CampaignRunner:
         keep_going: bool = False,
         backoff_s: float = 0.0,
         backoff_seed: int = 0,
+        journal: Optional[Union[str, Path, jrnl.JournalWriter]] = None,
     ):
         if workers < 1:
             raise ReproError(f"workers must be >= 1, got {workers}")
@@ -362,6 +516,18 @@ class CampaignRunner:
         self.keep_going = keep_going
         self.backoff_s = backoff_s
         self.backoff_seed = backoff_seed
+        self.journal = journal
+
+    # ------------------------------------------------------------------
+    def _journal_writer(
+        self, label: str
+    ) -> Tuple[Optional[jrnl.JournalWriter], bool]:
+        """The run's journal writer plus whether this runner owns it."""
+        if self.journal is None:
+            return None, False
+        if isinstance(self.journal, jrnl.JournalWriter):
+            return self.journal, False
+        return jrnl.JournalWriter(Path(self.journal), label=label), True
 
     # ------------------------------------------------------------------
     def run(self, jobs: Sequence[CampaignJob], *, label: str = "campaign") -> CampaignResult:
@@ -370,7 +536,9 @@ class CampaignRunner:
         Raises :class:`~repro.exceptions.CampaignExecutionError` when a
         job exhausts its retries under the fail-fast policy (the default);
         with ``keep_going`` the error surfaces in the outcome/manifest and
-        the method still returns.
+        the method still returns.  A fail-fast abort still finalizes a
+        runner-owned journal (``run.stop`` with ``status="aborted"``) —
+        the flight recorder's whole point is surviving the crash.
         """
         jobs = list(jobs)
         if not jobs:
@@ -380,73 +548,118 @@ class CampaignRunner:
             dupes = sorted({i for i in ids if ids.count(i) > 1})
             raise ReproError(f"duplicate job ids in campaign: {dupes}")
 
+        writer, owns_writer = self._journal_writer(label)
+        attached_ambient = False
+        if writer is not None:
+            writer.emit(
+                "run.start",
+                label=label,
+                jobs=len(jobs),
+                workers=self.workers,
+                retries_allowed=self.retries,
+                keep_going=self.keep_going,
+                cache_enabled=self.cache is not None,
+            )
+            # Ambient emission is what lets deeply nested code (the fault
+            # injector) journal on the serial path; pool workers attach
+            # their own per-process handle instead.
+            if jrnl.ambient() is None:
+                jrnl.attach(writer)
+                attached_ambient = True
+
         t_start = time.perf_counter()
         invalidations_before = self.cache.stats.invalidations if self.cache else 0
-        with tele.span("campaign.run", label=label, jobs=len(jobs)):
-            keys: List[str] = []
-            for job in jobs:
-                with tele.span("job.serialize", job=job.job_id):
-                    keys.append(cache_key(job))
-            payloads: Dict[int, Dict] = {}
-            statuses: Dict[int, str] = {}
-            walls: Dict[int, float] = {}
-            errors: Dict[int, Dict] = {}
-            attempts: Dict[int, int] = {}
+        try:
+            with tele.span("campaign.run", label=label, jobs=len(jobs)):
+                keys: List[str] = []
+                for job in jobs:
+                    with tele.span("job.serialize", job=job.job_id):
+                        keys.append(cache_key(job))
+                if writer is not None:
+                    for index, (job, key) in enumerate(zip(jobs, keys)):
+                        writer.emit(
+                            "job.scheduled", job=job.job_id, key=key, index=index
+                        )
+                payloads: Dict[int, Dict] = {}
+                statuses: Dict[int, str] = {}
+                walls: Dict[int, float] = {}
+                errors: Dict[int, Dict] = {}
+                attempts: Dict[int, int] = {}
 
-            pending: List[int] = []
-            for index, key in enumerate(keys):
-                job_id = jobs[index].job_id
-                with tele.span(
-                    "job.cache_probe", job=job_id, skipped=self.cache is None
-                ):
-                    if self.cache is not None:
-                        t0 = time.perf_counter()
-                        cached = self.cache.get(key)
-                        if cached is not None:
-                            payloads[index] = cached
-                            statuses[index] = "hit"
-                            walls[index] = time.perf_counter() - t0
-                            attempts[index] = 0
-                            continue
-                pending.append(index)
+                pending: List[int] = []
+                for index, key in enumerate(keys):
+                    job_id = jobs[index].job_id
+                    with tele.span(
+                        "job.cache_probe", job=job_id, skipped=self.cache is None
+                    ):
+                        if self.cache is not None:
+                            t0 = time.perf_counter()
+                            cached = self.cache.get(key)
+                            if cached is not None:
+                                payloads[index] = cached
+                                statuses[index] = "hit"
+                                walls[index] = time.perf_counter() - t0
+                                attempts[index] = 0
+                                if writer is not None:
+                                    writer.emit(
+                                        "job.cache_hit",
+                                        job=job_id,
+                                        key=key,
+                                        attempt=0,
+                                    )
+                                continue
+                    pending.append(index)
 
-            workers_used = self._execute(jobs, pending, payloads, walls, errors, attempts)
-
-            failed = [i for i in pending if i in errors]
-            if failed and not self.keep_going:
-                failures = [
-                    {"job_id": jobs[i].job_id, "error": errors[i]} for i in failed
-                ]
-                first = failures[0]
-                raise CampaignExecutionError(
-                    f"{len(failed)} of {len(jobs)} campaign job(s) failed "
-                    f"(first: {first['job_id']} — {first['error']['type']}: "
-                    f"{first['error']['message']}); rerun with keep_going=True "
-                    "to collect the surviving jobs",
-                    failures=failures,
+                workers_used = self._execute(
+                    jobs, pending, payloads, walls, errors, attempts, writer
                 )
 
-            for index in pending:
-                if index in errors:
-                    statuses[index] = "failed"
-                    continue
-                statuses[index] = "uncached" if self.cache is None else "computed"
-                with tele.span(
-                    "job.store", job=jobs[index].job_id, skipped=self.cache is None
-                ):
-                    if self.cache is not None:
-                        self.cache.put(keys[index], payloads[index])
-            if tele.active():
-                for index in range(len(jobs)):
-                    tele.count("tgi_campaign_jobs_total", status=statuses[index])
-                jobs_failed = len(failed)
-                retries_total = sum(
-                    max(0, attempts.get(i, 1) - 1) for i in pending
+                failed = [i for i in pending if i in errors]
+                if failed and not self.keep_going:
+                    failures = [
+                        {"job_id": jobs[i].job_id, "error": errors[i]} for i in failed
+                    ]
+                    first = failures[0]
+                    raise CampaignExecutionError(
+                        f"{len(failed)} of {len(jobs)} campaign job(s) failed "
+                        f"(first: {first['job_id']} — {first['error']['type']}: "
+                        f"{first['error']['message']}); rerun with keep_going=True "
+                        "to collect the surviving jobs",
+                        failures=failures,
+                    )
+
+                for index in pending:
+                    if index in errors:
+                        statuses[index] = "failed"
+                        continue
+                    statuses[index] = "uncached" if self.cache is None else "computed"
+                    with tele.span(
+                        "job.store", job=jobs[index].job_id, skipped=self.cache is None
+                    ):
+                        if self.cache is not None:
+                            self.cache.put(keys[index], payloads[index])
+                if tele.active():
+                    for index in range(len(jobs)):
+                        tele.count("tgi_campaign_jobs_total", status=statuses[index])
+                    jobs_failed = len(failed)
+                    retries_total = sum(
+                        max(0, attempts.get(i, 1) - 1) for i in pending
+                    )
+                    if jobs_failed:
+                        tele.count("tgi_campaign_jobs_failed_total", jobs_failed)
+                    if retries_total:
+                        tele.count("tgi_campaign_jobs_retried_total", retries_total)
+        except CampaignExecutionError as exc:
+            if writer is not None and owns_writer:
+                writer.finalize(
+                    status="aborted",
+                    jobs_failed=len(exc.failures),
+                    total_wall_s=time.perf_counter() - t_start,
                 )
-                if jobs_failed:
-                    tele.count("tgi_campaign_jobs_failed_total", jobs_failed)
-                if retries_total:
-                    tele.count("tgi_campaign_jobs_retried_total", retries_total)
+            raise
+        finally:
+            if attached_ambient:
+                jrnl.detach()
 
         total_wall = time.perf_counter() - t_start
         outcomes = [
@@ -465,8 +678,25 @@ class CampaignRunner:
         invalidations = (
             self.cache.stats.invalidations - invalidations_before if self.cache else 0
         )
+        journal_info = None
+        if writer is not None:
+            jobs_failed_total = sum(1 for o in outcomes if not o.ok)
+            journal_info = {
+                "path": str(writer.path),
+                "run_id": writer.run_id,
+                "events": writer.events_written,
+                "sha256": None,
+            }
+            if owns_writer:
+                summary = writer.finalize(
+                    status="ok" if not jobs_failed_total else "failed",
+                    jobs_failed=jobs_failed_total,
+                    total_wall_s=total_wall,
+                )
+                journal_info["events"] = summary["events"]
+                journal_info["sha256"] = summary["sha256"]
         manifest = self._build_manifest(
-            label, outcomes, total_wall, workers_used, invalidations
+            label, outcomes, total_wall, workers_used, invalidations, journal_info
         )
         return CampaignResult(outcomes, manifest)
 
@@ -479,6 +709,7 @@ class CampaignRunner:
         walls: Dict[int, float],
         errors: Dict[int, Dict],
         attempts: Dict[int, int],
+        journal: Optional[jrnl.JournalWriter] = None,
     ) -> int:
         """Run the uncached jobs; returns the worker count actually used.
 
@@ -487,10 +718,15 @@ class CampaignRunner:
         reaches; under fail-fast it stops dispatching after the first
         exhausted job.  If the pool dies mid-campaign, the serial fallback
         picks up only the indices whose results were not yet collected.
+        Pool workers get the journal's *path* (writers hold fds and locks,
+        which do not pickle) and append to it directly; the serial path
+        reuses the parent's writer.
         """
         if not pending:
             return 1
         session = tele.current()
+        journal_path = str(journal.path) if journal is not None else None
+        journal_run_id = journal.run_id if journal is not None else None
         pool_failed_mid_stream = False
         if self.workers > 1 and len(pending) > 1:
             try:
@@ -518,6 +754,8 @@ class CampaignRunner:
                                     self.retries,
                                     self.backoff_s,
                                     self.backoff_seed,
+                                    journal_path,
+                                    journal_run_id,
                                 )
                                 for i in pending
                             ],
@@ -557,6 +795,7 @@ class CampaignRunner:
                 retries=self.retries,
                 backoff_s=self.backoff_s,
                 backoff_seed=self.backoff_seed,
+                journal=journal,
             )
             walls[index] = wall
             attempts[index] = job_attempts
@@ -576,6 +815,7 @@ class CampaignRunner:
         total_wall: float,
         workers_used: int,
         invalidations: int,
+        journal_info: Optional[Dict] = None,
     ) -> Dict:
         from .. import __version__
 
@@ -593,7 +833,9 @@ class CampaignRunner:
             "cache_enabled": self.cache is not None,
             "cache": self.cache.cache_stats if self.cache is not None else None,
             "cache_run": run_cache_stats(
-                [o.cache_status for o in outcomes], invalidations=invalidations
+                [o.cache_status for o in outcomes],
+                executions=[o.attempts for o in outcomes],
+                invalidations=invalidations,
             ),
             # Failure accounting; volatile because a warm cache changes how
             # many executions (and hence retries) actually happened.
@@ -604,6 +846,11 @@ class CampaignRunner:
                 "retries_allowed": self.retries,
                 "keep_going": self.keep_going,
             },
+            # Volatile flight-recorder block: where the journal landed,
+            # how many events it holds, and its content digest.  Excluded
+            # from the fingerprint — journaled and bare runs of the same
+            # jobs are fingerprint-identical.
+            "journal": journal_info,
             # Volatile observability summary; the full export is written by
             # the CLI beside the manifest.  Excluded from the fingerprint.
             "telemetry": None

@@ -8,7 +8,13 @@
     tgi rank                     # TGI ranking of the preset systems
     tgi specs                    # print the preset system spec sheets
     tgi campaign --workers 4     # parallel, cached measurement campaign
+    tgi campaign --journal r.jl  # ... with the flight recorder armed
+    tgi watch r.jl               # live progress of an in-flight journaled run
+    tgi tail r.jl -f             # stream journal events as they arrive
+    tgi journal report r.jl      # post-run anomaly report (stragglers, storms)
+    tgi journal validate r.jl    # schema-check every journal event
     tgi trace                    # span tree + hot spots of an instrumented run
+    tgi trace export --journal r.jl -o t.json   # Perfetto / chrome://tracing
     tgi bench run --quick        # perf-watch: run + record the quick tier
     tgi bench report --json      # regression verdicts from recorded history
 
@@ -17,7 +23,8 @@ fingerprints, traces, reports) goes to stdout; progress and bookkeeping go
 to stderr and are silenced by the global ``--quiet`` flag.  ``run``,
 ``campaign``, and ``bench run`` accept ``--telemetry PATH`` to collect a
 full trace: the JSON export lands at PATH with a Prometheus text dump
-beside it (``.prom``).
+beside it (``.prom``).  ``run`` and ``campaign`` accept ``--journal PATH``
+to arm the append-only flight recorder (see ``docs/observability.md``).
 
 Also reachable as ``python -m repro``.
 """
@@ -26,11 +33,14 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
+import time
 from pathlib import Path
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from . import __version__
+from . import journal as jrnl
 from . import telemetry as tele
 from .analysis.tables import render_table
 from .benchmarks import BenchmarkSuite
@@ -105,6 +115,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="collect spans/metrics and write the telemetry JSON here "
         "(Prometheus text lands beside it with a .prom suffix)",
+    )
+    run.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="append run lifecycle events to this JSONL flight-recorder file",
     )
 
     rank = sub.add_parser("rank", help="rank the preset systems by TGI")
@@ -234,6 +250,85 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="seed for the injected-fault draws (fixed seed = fixed fault pattern)",
     )
+    campaign.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="arm the flight recorder: append run/job/fault events to this "
+        "JSONL file (follow live with `tgi watch PATH`)",
+    )
+
+    watch = sub.add_parser(
+        "watch",
+        help="live progress of a journaled campaign (follows the journal file)",
+    )
+    watch.add_argument("journal", help="journal path passed to --journal")
+    watch.add_argument(
+        "--interval", type=float, default=0.5, metavar="SECONDS",
+        help="poll interval (default: 0.5)",
+    )
+    watch.add_argument(
+        "--once", action="store_true", help="render one snapshot and exit"
+    )
+    watch.add_argument(
+        "--timeout",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="stop following after this long (0 = follow until run.stop)",
+    )
+
+    tail = sub.add_parser("tail", help="print journal events, optionally following")
+    tail.add_argument("journal", help="journal path passed to --journal")
+    tail.add_argument(
+        "-f", "--follow", action="store_true",
+        help="keep polling for new events until run.stop",
+    )
+    tail.add_argument(
+        "--raw", action="store_true", help="raw JSONL lines instead of the human rendering"
+    )
+    tail.add_argument("--interval", type=float, default=0.5, metavar="SECONDS")
+    tail.add_argument(
+        "--timeout", type=float, default=0.0, metavar="SECONDS",
+        help="with --follow, stop after this long (0 = until run.stop)",
+    )
+
+    journal = sub.add_parser(
+        "journal", help="inspect a run journal: anomaly report, validation, summary"
+    )
+    journal_sub = journal.add_subparsers(dest="journal_command", required=True)
+    j_report = journal_sub.add_parser(
+        "report", help="post-run anomaly report: stragglers, retry storms, cache collapse"
+    )
+    j_report.add_argument("journal", help="journal path to analyze")
+    j_report.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="machine-readable report on stdout",
+    )
+    j_report.add_argument(
+        "--straggler-z", type=float, default=3.5,
+        help="modified z-score above which a completed job is a straggler",
+    )
+    j_report.add_argument(
+        "--storm-fraction", type=float, default=0.25,
+        help="retried fraction of executed jobs that flags a run-level storm",
+    )
+    j_report.add_argument(
+        "--collapse-drop", type=float, default=0.5,
+        help="second-half hit rate below this fraction of the first half's flags collapse",
+    )
+    j_report.add_argument(
+        "--fail-on-anomaly", action="store_true",
+        help="exit 1 when anything is flagged (for blocking CI gates)",
+    )
+    j_validate = journal_sub.add_parser(
+        "validate", help="schema-check every event; exit 1 on any violation"
+    )
+    j_validate.add_argument("journal", help="journal path to validate")
+    j_summary = journal_sub.add_parser(
+        "summary", help="final progress snapshot of a recorded run"
+    )
+    j_summary.add_argument("journal", help="journal path to summarize")
 
     bench = sub.add_parser(
         "bench",
@@ -372,16 +467,56 @@ def build_parser() -> argparse.ArgumentParser:
         default="vectorized",
         help="discrete-event engine for the live run (ignored with --input)",
     )
+    # Optional subcommands under `trace`; plain `tgi trace [--input ...]`
+    # keeps its historical behaviour (trace_command stays None).
+    trace_sub = trace.add_subparsers(dest="trace_command")
+    t_export = trace_sub.add_parser(
+        "export",
+        help="convert a journal and/or telemetry export to Chrome trace-event "
+        "JSON (open in ui.perfetto.dev or chrome://tracing)",
+    )
+    t_export.add_argument(
+        "--format",
+        choices=jrnl.TRACE_FORMATS,
+        default="chrome",
+        help="output format (chrome = trace-event JSON, the Perfetto input)",
+    )
+    t_export.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="campaign journal to convert (attempt slices, faults, cache hits)",
+    )
+    t_export.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="PATH",
+        help="telemetry JSON export to overlay (span slices, clock-aligned)",
+    )
+    t_export.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="write the trace JSON here (default: stdout)",
+    )
     return parser
 
 
 def _write_telemetry(session: "tele.TelemetrySession", path: str, *, attribution=None) -> None:
-    """Persist a session: JSON export at ``path``, Prometheus text beside it."""
+    """Persist a session: JSON export at ``path``, Prometheus text beside it.
+
+    Both files go through the shared atomic write-temp + ``os.replace``
+    helper (like manifests and journal summaries), so a crash mid-write
+    never leaves a truncated export behind.
+    """
+    from .serialization import atomic_write_text
+
     export = session.export(attribution=attribution)
     target = Path(path)
-    target.write_text(json.dumps(export, indent=2, sort_keys=True) + "\n")
+    atomic_write_text(target, json.dumps(export, indent=2, sort_keys=True) + "\n")
     prom = target.with_suffix(".prom")
-    prom.write_text(session.to_prometheus())
+    atomic_write_text(prom, session.to_prometheus())
     _console.status(f"telemetry written to {target} (metrics: {prom})")
 
 
@@ -391,7 +526,12 @@ def _cmd_list() -> int:
     return 0
 
 
-def _cmd_run(experiment: str, plot: bool = False, telemetry: Optional[str] = None) -> int:
+def _cmd_run(
+    experiment: str,
+    plot: bool = False,
+    telemetry: Optional[str] = None,
+    journal: Optional[str] = None,
+) -> int:
     context = SharedContext()
     if experiment == "all":
         ids = list(EXPERIMENTS)
@@ -411,12 +551,38 @@ def _cmd_run(experiment: str, plot: bool = False, telemetry: Optional[str] = Non
                     _console.out(chart)
             _console.out()
 
-    if telemetry:
-        with tele.use(tele.TelemetrySession(label=f"run:{experiment}")) as session:
+    writer = None
+    t_start = time.perf_counter()
+    if journal:
+        writer = jrnl.JournalWriter(Path(journal), label=f"run:{experiment}")
+        writer.emit(
+            "run.start",
+            label=f"run:{experiment}",
+            jobs=len(ids),
+            workers=1,
+            retries_allowed=0,
+            keep_going=False,
+            cache_enabled=False,
+        )
+        jrnl.attach(writer)
+    status = "aborted"
+    try:
+        if telemetry:
+            with tele.use(tele.TelemetrySession(label=f"run:{experiment}")) as session:
+                execute()
+            _write_telemetry(session, telemetry)
+        else:
             execute()
-        _write_telemetry(session, telemetry)
-    else:
-        execute()
+        status = "ok"
+    finally:
+        if writer is not None:
+            jrnl.detach()
+            writer.finalize(
+                status=status,
+                jobs_failed=0,
+                total_wall_s=time.perf_counter() - t_start,
+            )
+            _console.status(f"journal written to {writer.path}")
     return 0
 
 
@@ -554,6 +720,176 @@ def _cmd_trace(
             suite_attribution(result, job_id=f"{system}@{n}", cluster=cluster.name)
         )
     )
+    return 0
+
+
+#: Per-type fields worth showing in the human `tgi tail` rendering.
+_TAIL_DETAIL_FIELDS = {
+    "run.start": ("label", "jobs", "workers"),
+    "run.stop": ("status", "jobs_failed", "total_wall_s"),
+    "job.scheduled": ("job", "index"),
+    "job.cache_hit": ("job", "attempt"),
+    "job.started": ("job", "attempt"),
+    "job.attempt_failed": ("job", "attempt", "error_type"),
+    "job.retried": ("job", "attempt", "delay_s"),
+    "job.completed": ("job", "attempts", "wall_s"),
+    "job.failed": ("job", "attempts", "error_type"),
+    "worker.heartbeat": ("jobs_done", "max_rss_bytes"),
+    "fault.injected": ("kind", "scope", "attempt"),
+}
+
+
+def _format_journal_event(event: Dict) -> str:
+    """One human-scannable line per journal event."""
+    kind = event.get("event", "?")
+    parts = []
+    for key in _TAIL_DETAIL_FIELDS.get(kind, ()):
+        if key not in event:
+            continue
+        value = event[key]
+        if isinstance(value, float):
+            value = f"{value:.3f}"
+        parts.append(f"{key}={value}")
+    return (
+        f"{event.get('t_utc', '?'):<27} {event.get('process', '?'):<14} "
+        f"{kind:<19} " + " ".join(parts)
+    ).rstrip()
+
+
+def _cmd_watch(args) -> int:
+    """Follow a journal and render live progress until the run stops."""
+    path = Path(args.journal)
+    if args.once and not path.exists():
+        _console.error(f"no journal at {path}")
+        return 1
+    follower = jrnl.JournalFollower(path)
+    state = jrnl.RunState()
+    deadline = time.monotonic() + args.timeout if args.timeout > 0 else None
+    first = True
+    while True:
+        for event in follower.poll():
+            jrnl.apply_event(state, event)
+        now = None if state.complete else jrnl.now_mono()
+        progress = jrnl.progress_from_state(state, now_mono=now)
+        if not first:
+            _console.out()
+        _console.out(jrnl.render_progress(progress))
+        first = False
+        if args.once or state.complete:
+            break
+        if deadline is not None and time.monotonic() >= deadline:
+            _console.status(
+                f"watch: gave up after {args.timeout:.0f}s; run still in flight"
+            )
+            break
+        time.sleep(args.interval)
+    if state.complete and state.stop_status != "ok":
+        return 3
+    return 0
+
+
+def _cmd_tail(args) -> int:
+    """Print journal events, optionally following the file."""
+    path = Path(args.journal)
+    if not args.follow and not path.exists():
+        _console.error(f"no journal at {path}")
+        return 1
+    follower = jrnl.JournalFollower(path)
+    deadline = time.monotonic() + args.timeout if args.timeout > 0 else None
+    stopped = False
+    while True:
+        for event in follower.poll():
+            if args.raw:
+                _console.out(json.dumps(event, separators=(",", ":"), sort_keys=True))
+            else:
+                _console.out(_format_journal_event(event))
+            if event.get("event") == "run.stop":
+                stopped = True
+        if not args.follow or stopped:
+            break
+        if deadline is not None and time.monotonic() >= deadline:
+            _console.status(f"tail: gave up after {args.timeout:.0f}s")
+            break
+        time.sleep(args.interval)
+    return 0
+
+
+def _cmd_journal(args) -> int:
+    """`tgi journal report|validate|summary` — post-hoc journal inspection."""
+    path = Path(args.journal)
+    if not path.exists():
+        _console.error(f"no journal at {path}")
+        return 1
+    if args.journal_command == "validate":
+        scan = jrnl.scan_journal(path)
+        problems = jrnl.validate_events(scan.events)
+        _console.status(
+            f"{path}: {len(scan.events)} events"
+            + (", torn tail dropped" if scan.torn_tail else "")
+            + (f", {scan.malformed} malformed line(s)" if scan.malformed else "")
+        )
+        if scan.malformed:
+            problems.append(f"{scan.malformed} unparseable line(s)")
+        if problems:
+            for problem in problems:
+                _console.out(problem)
+            _console.error(f"journal validation failed: {len(problems)} problem(s)")
+            return 1
+        _console.out(f"journal ok: {len(scan.events)} valid events")
+        return 0
+    state = jrnl.replay_journal(path)
+    if args.journal_command == "summary":
+        _console.out(jrnl.render_progress(jrnl.progress_from_state(state)))
+        return 0
+    if args.journal_command == "report":
+        report = jrnl.analyze_state(
+            state,
+            straggler_z=args.straggler_z,
+            storm_fraction=args.storm_fraction,
+            collapse_drop=args.collapse_drop,
+        )
+        if args.as_json:
+            _console.out(
+                json.dumps(jrnl.report_to_dict(report), indent=2, sort_keys=True)
+            )
+        else:
+            _console.out(jrnl.render_report(report))
+        if not report.clean and args.fail_on_anomaly:
+            return 1
+        return 0
+    raise AssertionError(f"unhandled journal command {args.journal_command!r}")
+
+
+def _cmd_trace_export(args) -> int:
+    """Convert a journal and/or telemetry export into a Chrome trace."""
+    if not args.journal and not args.telemetry:
+        _console.error("trace export needs --journal and/or --telemetry")
+        return 1
+    journal_events = None
+    if args.journal:
+        journal_events = jrnl.read_events(args.journal)
+    telemetry_export = None
+    if args.telemetry:
+        telemetry_export = json.loads(Path(args.telemetry).read_text())
+    trace = jrnl.chrome_trace(
+        journal_events=journal_events, telemetry_export=telemetry_export
+    )
+    problems = jrnl.validate_trace(trace)
+    if problems:
+        for problem in problems:
+            _console.error(f"trace export: {problem}")
+        return 1
+    text = json.dumps(trace, indent=2, sort_keys=True) + "\n"
+    if args.output:
+        from .serialization import atomic_write_text
+
+        atomic_write_text(Path(args.output), text)
+        _console.status(
+            f"trace written to {args.output} "
+            f"({len(trace['traceEvents'])} events; open in ui.perfetto.dev)"
+        )
+    else:
+        _console.out(text)
     return 0
 
 
@@ -907,6 +1243,7 @@ def _cmd_campaign(
     keep_going: bool = False,
     inject=(),
     fault_seed: int = 0,
+    journal: Optional[str] = None,
 ) -> int:
     import dataclasses
 
@@ -942,7 +1279,12 @@ def _cmd_campaign(
         keep_going=keep_going,
         backoff_s=retry_backoff,
         backoff_seed=fault_seed,
+        journal=journal,
     )
+    if journal:
+        _console.status(
+            f"flight recorder armed: {journal} (follow with `tgi watch {journal}`)"
+        )
 
     session = None
     if telemetry:
@@ -997,6 +1339,12 @@ def _cmd_campaign(
             f"{cstats['invalidations']} invalidations, {cstats['puts']} writes"
         )
     _console.out(f"manifest fingerprint: {manifest['fingerprint'][:16]}")
+    journal_block = manifest.get("journal")
+    if journal_block:
+        _console.status(
+            f"journal: {journal_block['path']} ({journal_block['events']} events, "
+            f"sha256 {str(journal_block['sha256'])[:12]})"
+        )
     if manifest_path:
         result.write_manifest(manifest_path)
         _console.status(f"manifest written to {manifest_path}")
@@ -1081,6 +1429,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     Exit codes: 0 success; 1 a library error (:class:`ReproError` — one
     line on stderr, no traceback); 2 argparse usage errors; 3 a campaign
     that completed under ``--keep-going`` but lost jobs; 130 interrupted.
+    A downstream pipe closing early (``tgi tail run.jsonl | head``) exits
+    0, not with a traceback.
     """
     args = build_parser().parse_args(argv)
     _console.quiet = args.quiet
@@ -1089,6 +1439,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     except KeyboardInterrupt:
         _console.error("interrupted")
         return 130
+    except BrokenPipeError:
+        # The reader went away mid-stream; stop quietly. Point stdout at
+        # devnull so interpreter shutdown doesn't re-raise on flush.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
     except ReproError as exc:
         _console.error(f"error: {exc}")
         return 1
@@ -1099,7 +1455,12 @@ def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "list":
         return _cmd_list()
     if args.command == "run":
-        return _cmd_run(args.experiment, plot=args.plot, telemetry=args.telemetry)
+        return _cmd_run(
+            args.experiment,
+            plot=args.plot,
+            telemetry=args.telemetry,
+            journal=args.journal,
+        )
     if args.command == "rank":
         return _cmd_rank(args.cores, args.profile)
     if args.command == "specs":
@@ -1124,9 +1485,18 @@ def _dispatch(args: argparse.Namespace) -> int:
             keep_going=args.keep_going,
             inject=args.inject,
             fault_seed=args.fault_seed,
+            journal=args.journal,
         )
     if args.command == "trace":
+        if getattr(args, "trace_command", None) == "export":
+            return _cmd_trace_export(args)
         return _cmd_trace(args.input, args.system, args.cores, args.top, args.engine)
+    if args.command == "watch":
+        return _cmd_watch(args)
+    if args.command == "tail":
+        return _cmd_tail(args)
+    if args.command == "journal":
+        return _cmd_journal(args)
     if args.command == "bench":
         return _cmd_bench(args)
     raise AssertionError(f"unhandled command {args.command!r}")

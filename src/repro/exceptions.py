@@ -20,6 +20,7 @@ __all__ = [
     "ReferenceMismatchError",
     "ExperimentError",
     "PerfWatchError",
+    "JournalError",
     "CampaignExecutionError",
     "FaultInjectionError",
     "InjectedFault",
@@ -74,6 +75,10 @@ class ExperimentError(ReproError):
 
 class PerfWatchError(ReproError):
     """A perf-watch scenario, record, or history store is invalid."""
+
+
+class JournalError(ReproError):
+    """A run journal event, file, or writer is invalid or unusable."""
 
 
 class CampaignExecutionError(ReproError):

@@ -40,7 +40,10 @@ campaign layer holds under injection too.
 
 Every injection increments the ``tgi_faults_injected_total`` counter
 (labelled by ``kind``) when a telemetry session is active; pool workers
-ship the counts back with their payloads like every other metric.
+ship the counts back with their payloads like every other metric.  When a
+run journal is attached (:mod:`repro.journal`) each injection also lands
+as a typed ``fault.injected`` event, so post-mortems can line faults up
+against the retries they caused.
 """
 
 from __future__ import annotations
@@ -49,6 +52,7 @@ import dataclasses
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from . import journal as jrnl
 from . import telemetry as tele
 from .exceptions import FaultInjectionError, InjectedFault, NodeCrashFault, TransientFault
 from .power.meter import MeterSpec
@@ -216,10 +220,12 @@ class FaultInjector:
             f"during {label!r} (job {self.scope!r}, attempt {self.attempt})"
         )
 
-    @staticmethod
-    def _count(kind: str) -> None:
+    def _count(self, kind: str) -> None:
+        """Record one injection: the telemetry counter plus a typed
+        ``fault.injected`` journal event (each a no-op when inactive)."""
         if tele.active():
             tele.count("tgi_faults_injected_total", kind=kind)
+        jrnl.emit("fault.injected", kind=kind, scope=self.scope, attempt=self.attempt)
 
     def __repr__(self) -> str:
         return (

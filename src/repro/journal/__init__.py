@@ -1,0 +1,117 @@
+"""The campaign flight recorder: an append-only, crash-safe run journal.
+
+Every journaled campaign run appends schema-versioned JSONL events —
+run/job lifecycle, retries, cache hits, worker heartbeats, per-job
+resource accounting, injected faults — to one file that the parent and
+all pool workers share via atomic ``O_APPEND`` line writes.  Consumers:
+
+:mod:`~repro.journal.writer`
+    :class:`JournalWriter` plus the ambient :func:`emit` API (zero-cost
+    when no writer is attached, mirroring :mod:`repro.telemetry`).
+:mod:`~repro.journal.reader`
+    Torn-tail-tolerant parsing, the :class:`JournalFollower` used by
+    ``tgi watch`` to tail in-flight runs, and :func:`replay` — exact
+    per-job attempt-state reconstruction, the substrate for crash-resume.
+:mod:`~repro.journal.progress`
+    Live progress snapshots (done/running/failed/cached, throughput,
+    ETA, slowest-running watchlist).
+:mod:`~repro.journal.trace_export`
+    Chrome trace-event / Perfetto export of journals and telemetry span
+    dumps on one aligned timeline.
+:mod:`~repro.journal.report`
+    Post-run anomaly flagging: stragglers, retry storms, cache-hit-rate
+    collapse.
+
+See ``docs/observability.md`` for the event taxonomy and CLI verbs.
+"""
+
+from .events import (
+    EVENT_TYPES,
+    JOURNAL_VERSION,
+    RUN_STATUSES,
+    check_event,
+    validate_event,
+)
+from .progress import RunProgress, now_mono, progress_from_state, render_progress
+from .reader import (
+    JobState,
+    JournalFollower,
+    RunState,
+    ScanResult,
+    apply_event,
+    attempt_table,
+    journal_digest,
+    read_events,
+    replay,
+    replay_journal,
+    scan_journal,
+    validate_events,
+)
+from .report import (
+    Anomaly,
+    JournalReport,
+    analyze_state,
+    render_report,
+    report_to_dict,
+)
+from .trace_export import (
+    TRACE_FORMATS,
+    chrome_trace,
+    journal_trace_events,
+    telemetry_trace_events,
+    validate_trace,
+)
+from .writer import (
+    JournalWriter,
+    ambient,
+    attach,
+    detach,
+    emit,
+    journaling,
+    new_run_id,
+    rusage_fields,
+    use_writer,
+)
+
+__all__ = [
+    "JOURNAL_VERSION",
+    "EVENT_TYPES",
+    "RUN_STATUSES",
+    "validate_event",
+    "check_event",
+    "JournalWriter",
+    "new_run_id",
+    "rusage_fields",
+    "attach",
+    "detach",
+    "ambient",
+    "journaling",
+    "emit",
+    "use_writer",
+    "ScanResult",
+    "scan_journal",
+    "read_events",
+    "validate_events",
+    "journal_digest",
+    "JournalFollower",
+    "JobState",
+    "RunState",
+    "apply_event",
+    "replay",
+    "replay_journal",
+    "attempt_table",
+    "RunProgress",
+    "progress_from_state",
+    "render_progress",
+    "now_mono",
+    "Anomaly",
+    "JournalReport",
+    "analyze_state",
+    "render_report",
+    "report_to_dict",
+    "TRACE_FORMATS",
+    "chrome_trace",
+    "journal_trace_events",
+    "telemetry_trace_events",
+    "validate_trace",
+]

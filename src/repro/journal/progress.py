@@ -1,0 +1,167 @@
+"""The live progress plane: run snapshots for ``tgi watch``.
+
+A :class:`RunProgress` is a pure function of a replayed
+:class:`~repro.journal.reader.RunState` plus "now" on the monotonic
+clock — jobs done/running/failed/cached, retry pressure, throughput over
+the elapsed window, a naive-but-honest ETA, and the slowest jobs still
+executing (the straggler watchlist).  ``tgi watch`` recomputes it each
+poll; tests compute it directly from fixture journals.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from .reader import RunState
+
+__all__ = ["RunProgress", "progress_from_state", "render_progress", "now_mono"]
+
+
+@dataclass
+class RunProgress:
+    """One snapshot of an (possibly in-flight) campaign run."""
+
+    run_id: str
+    label: str
+    total: int
+    done: int
+    cached: int
+    failed: int
+    running: int
+    retrying: int
+    scheduled: int
+    retries: int
+    faults: int
+    elapsed_s: float
+    throughput_jobs_per_s: float
+    eta_s: Optional[float]
+    complete: bool
+    status: Optional[str]
+    slowest_running: List[Tuple[str, float]] = field(default_factory=list)
+
+    @property
+    def finished_jobs(self) -> int:
+        """Jobs in a terminal state (done + cached + failed)."""
+        return self.done + self.cached + self.failed
+
+    @property
+    def remaining(self) -> int:
+        return max(0, self.total - self.finished_jobs)
+
+
+def progress_from_state(
+    state: RunState, *, now_mono: Optional[float] = None, slowest: int = 3
+) -> RunProgress:
+    """Snapshot ``state`` as of ``now_mono`` (defaults to the live clock).
+
+    For a finished run pass ``now_mono=None``: elapsed falls back to the
+    journal's own last timestamp, so snapshots of historical journals are
+    reproducible instead of growing with wall-clock time.
+    """
+    done = len(state.by_status("completed"))
+    cached = len(state.by_status("cached"))
+    failed = len(state.by_status("failed"))
+    running_jobs = state.by_status("running")
+    retrying = len(state.by_status("retrying"))
+    scheduled = len(state.by_status("scheduled"))
+    total = state.jobs_expected or len(state.jobs)
+    retries = sum(max(0, j.attempts - 1) for j in state.jobs.values())
+
+    if state.complete or now_mono is None:
+        now = state.stop_t_mono or state.last_t_mono or 0.0
+    else:
+        now = now_mono
+    start = state.start_t_mono if state.start_t_mono is not None else now
+    elapsed = max(0.0, now - start)
+
+    executed = done + failed  # cache hits are free; they don't set the pace
+    throughput = executed / elapsed if elapsed > 0 else 0.0
+    remaining = max(0, total - (done + cached + failed))
+    eta: Optional[float] = None
+    if state.complete:
+        eta = 0.0
+    elif throughput > 0 and remaining:
+        eta = remaining / throughput
+
+    watchlist = sorted(
+        ((j.job_id, j.running_for(now)) for j in running_jobs),
+        key=lambda item: item[1],
+        reverse=True,
+    )[:slowest]
+
+    return RunProgress(
+        run_id=state.run_id,
+        label=state.label,
+        total=total,
+        done=done,
+        cached=cached,
+        failed=failed,
+        running=len(running_jobs),
+        retrying=retrying,
+        scheduled=scheduled,
+        retries=retries,
+        faults=len(state.faults),
+        elapsed_s=elapsed,
+        throughput_jobs_per_s=throughput,
+        eta_s=eta,
+        complete=state.complete,
+        status=state.stop_status,
+        slowest_running=watchlist,
+    )
+
+
+def _bar(fraction: float, width: int = 28) -> str:
+    filled = int(round(max(0.0, min(1.0, fraction)) * width))
+    return "#" * filled + "-" * (width - filled)
+
+
+def _fmt_eta(eta_s: Optional[float]) -> str:
+    if eta_s is None:
+        return "eta --"
+    if eta_s >= 3600:
+        return f"eta {eta_s / 3600:.1f}h"
+    if eta_s >= 60:
+        return f"eta {eta_s / 60:.1f}m"
+    return f"eta {eta_s:.0f}s"
+
+
+def render_progress(progress: RunProgress) -> str:
+    """Multi-line terminal rendering of one snapshot."""
+    total = max(1, progress.total)
+    fraction = progress.finished_jobs / total
+    headline = (
+        f"[{_bar(fraction)}] {progress.finished_jobs}/{progress.total} jobs "
+        f"({100 * fraction:.0f}%)  {_fmt_eta(progress.eta_s)}"
+    )
+    counts = (
+        f"done {progress.done}  cached {progress.cached}  "
+        f"failed {progress.failed}  running {progress.running}  "
+        f"retrying {progress.retrying}  pending {progress.scheduled}"
+    )
+    pace = (
+        f"elapsed {progress.elapsed_s:.1f}s  "
+        f"throughput {progress.throughput_jobs_per_s:.2f} jobs/s  "
+        f"retries {progress.retries}  faults {progress.faults}"
+    )
+    lines = [
+        f"run {progress.run_id or '?'} ({progress.label or 'campaign'})",
+        headline,
+        counts,
+        pace,
+    ]
+    if progress.slowest_running:
+        slowest = "  ".join(
+            f"{job_id} {running_for:.1f}s"
+            for job_id, running_for in progress.slowest_running
+        )
+        lines.append(f"slowest running: {slowest}")
+    if progress.complete:
+        lines.append(f"run finished: status={progress.status}")
+    return "\n".join(lines)
+
+
+def now_mono() -> float:
+    """The live monotonic clock (mockable seam for tests)."""
+    return time.perf_counter()

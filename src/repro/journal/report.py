@@ -1,0 +1,245 @@
+"""Post-run anomaly analysis: ``tgi journal report``.
+
+Three failure smells the Top500-scale campaigns of the ROADMAP need
+surfaced automatically rather than eyeballed out of thousands of rows:
+
+**Stragglers**
+    Completed jobs whose duration is a robust outlier against the run's
+    duration distribution (modified z-score over the median/MAD — the
+    estimator that survives the stragglers it is hunting).  A cutoff on
+    the *ratio* to the median is applied too, so microsecond-scale noise
+    on uniformly fast runs never flags.
+**Retry storms**
+    Individual jobs burning through their retry budget, and run-level
+    storms where the retried fraction of executed jobs crosses a
+    threshold — the signature of an infrastructure fault, not a job bug.
+**Cache-hit-rate collapse**
+    The run is split into halves by schedule order; a warm run whose
+    trailing half's hit rate drops far below the leading half's points at
+    cache invalidation mid-campaign (code-version churn, eviction).
+
+Thresholds are keyword-tunable and recorded in the report, so a flagged
+run documents the ruler it was measured with.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .reader import RunState
+
+__all__ = ["Anomaly", "JournalReport", "analyze_state", "render_report", "report_to_dict"]
+
+#: Anomaly kinds a report may contain.
+ANOMALY_KINDS = ("straggler", "retry-storm", "cache-collapse")
+
+
+@dataclass(frozen=True)
+class Anomaly:
+    """One flagged observation."""
+
+    kind: str  # one of ANOMALY_KINDS
+    subject: str  # job id or "run"
+    detail: str
+    severity: float  # comparable within one kind (z-score, fraction, drop)
+
+
+@dataclass
+class JournalReport:
+    """The full anomaly report for one run."""
+
+    run_id: str
+    label: str
+    jobs: int
+    completed: int
+    failed: int
+    cached: int
+    retries: int
+    faults: int
+    anomalies: List[Anomaly] = field(default_factory=list)
+    thresholds: Dict[str, float] = field(default_factory=dict)
+    duration_median_s: Optional[float] = None
+    duration_mad_s: Optional[float] = None
+
+    @property
+    def clean(self) -> bool:
+        return not self.anomalies
+
+    def by_kind(self, kind: str) -> List[Anomaly]:
+        return [a for a in self.anomalies if a.kind == kind]
+
+
+def _robust_z(value: float, median: float, mad: float) -> float:
+    if mad <= 0.0:
+        return 0.0
+    return 0.6745 * (value - median) / mad
+
+
+def analyze_state(
+    state: RunState,
+    *,
+    straggler_z: float = 3.5,
+    straggler_ratio: float = 1.5,
+    storm_fraction: float = 0.25,
+    collapse_drop: float = 0.5,
+) -> JournalReport:
+    """Analyze a replayed run for stragglers, storms, and cache collapse."""
+    jobs = list(state.jobs.values())
+    completed = [j for j in jobs if j.status == "completed"]
+    failed = [j for j in jobs if j.status == "failed"]
+    cached = [j for j in jobs if j.status == "cached"]
+    retries = sum(max(0, j.attempts - 1) for j in jobs)
+    report = JournalReport(
+        run_id=state.run_id,
+        label=state.label,
+        jobs=len(jobs),
+        completed=len(completed),
+        failed=len(failed),
+        cached=len(cached),
+        retries=retries,
+        faults=len(state.faults),
+        thresholds={
+            "straggler_z": straggler_z,
+            "straggler_ratio": straggler_ratio,
+            "storm_fraction": storm_fraction,
+            "collapse_drop": collapse_drop,
+        },
+    )
+
+    # -- stragglers ----------------------------------------------------
+    durations = [j.wall_s for j in completed if j.wall_s > 0.0]
+    if len(durations) >= 4:
+        median = statistics.median(durations)
+        mad = statistics.median(abs(d - median) for d in durations)
+        report.duration_median_s = median
+        report.duration_mad_s = mad
+        for job in completed:
+            if job.wall_s <= 0.0 or median <= 0.0:
+                continue
+            z = _robust_z(job.wall_s, median, mad)
+            ratio = job.wall_s / median
+            if z > straggler_z and ratio > straggler_ratio:
+                report.anomalies.append(
+                    Anomaly(
+                        kind="straggler",
+                        subject=job.job_id,
+                        detail=(
+                            f"wall {job.wall_s:.3f}s is {ratio:.1f}x the run "
+                            f"median {median:.3f}s (robust z={z:.1f})"
+                        ),
+                        severity=z,
+                    )
+                )
+
+    # -- retry storms --------------------------------------------------
+    executed = [j for j in jobs if j.attempts > 0]
+    retried = [j for j in executed if j.attempts > 1]
+    budget = max(1, state.retries_allowed)
+    for job in retried:
+        extra = job.attempts - 1
+        if state.retries_allowed and extra >= state.retries_allowed:
+            report.anomalies.append(
+                Anomaly(
+                    kind="retry-storm",
+                    subject=job.job_id,
+                    detail=(
+                        f"used {extra}/{state.retries_allowed} allowed retries "
+                        f"(final status: {job.status})"
+                    ),
+                    severity=extra / budget,
+                )
+            )
+    if executed:
+        fraction = len(retried) / len(executed)
+        if fraction >= storm_fraction and len(retried) >= 2:
+            report.anomalies.append(
+                Anomaly(
+                    kind="retry-storm",
+                    subject="run",
+                    detail=(
+                        f"{len(retried)}/{len(executed)} executed jobs retried "
+                        f"({100 * fraction:.0f}% >= {100 * storm_fraction:.0f}% threshold)"
+                    ),
+                    severity=fraction,
+                )
+            )
+
+    # -- cache-hit-rate collapse ---------------------------------------
+    if state.cache_enabled:
+        ordered = sorted(
+            (j for j in jobs if j.index >= 0 and j.status in ("cached", "completed", "failed")),
+            key=lambda j: j.index,
+        )
+        if len(ordered) >= 4:
+            half = len(ordered) // 2
+            head, tail = ordered[:half], ordered[half:]
+            head_rate = sum(1 for j in head if j.status == "cached") / len(head)
+            tail_rate = sum(1 for j in tail if j.status == "cached") / len(tail)
+            if head_rate >= 0.5 and tail_rate < head_rate * collapse_drop:
+                report.anomalies.append(
+                    Anomaly(
+                        kind="cache-collapse",
+                        subject="run",
+                        detail=(
+                            f"hit rate fell from {100 * head_rate:.0f}% (first half) "
+                            f"to {100 * tail_rate:.0f}% (second half)"
+                        ),
+                        severity=head_rate - tail_rate,
+                    )
+                )
+
+    report.anomalies.sort(key=lambda a: (a.kind, -a.severity, a.subject))
+    return report
+
+
+def report_to_dict(report: JournalReport) -> Dict:
+    """JSON-compatible form of a report (``tgi journal report --json``)."""
+    return {
+        "run_id": report.run_id,
+        "label": report.label,
+        "jobs": report.jobs,
+        "completed": report.completed,
+        "failed": report.failed,
+        "cached": report.cached,
+        "retries": report.retries,
+        "faults": report.faults,
+        "duration_median_s": report.duration_median_s,
+        "duration_mad_s": report.duration_mad_s,
+        "thresholds": dict(report.thresholds),
+        "clean": report.clean,
+        "anomalies": [
+            {
+                "kind": a.kind,
+                "subject": a.subject,
+                "detail": a.detail,
+                "severity": a.severity,
+            }
+            for a in report.anomalies
+        ],
+    }
+
+
+def render_report(report: JournalReport) -> str:
+    """Human rendering of a report."""
+    lines = [
+        f"journal report: run {report.run_id or '?'} ({report.label or 'campaign'})",
+        (
+            f"jobs {report.jobs}: {report.completed} completed, "
+            f"{report.cached} cached, {report.failed} failed  |  "
+            f"retries {report.retries}, faults {report.faults}"
+        ),
+    ]
+    if report.duration_median_s is not None:
+        lines.append(
+            f"durations: median {report.duration_median_s:.3f}s, "
+            f"MAD {report.duration_mad_s:.3f}s"
+        )
+    if report.clean:
+        lines.append("no anomalies flagged")
+        return "\n".join(lines)
+    lines.append(f"{len(report.anomalies)} anomalies:")
+    for anomaly in report.anomalies:
+        lines.append(f"  [{anomaly.kind}] {anomaly.subject}: {anomaly.detail}")
+    return "\n".join(lines)

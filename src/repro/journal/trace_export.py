@@ -1,0 +1,265 @@
+"""Chrome trace-event / Perfetto export of journals and span dumps.
+
+``tgi trace export --format chrome`` converts a campaign journal (and,
+optionally, a ``--telemetry`` JSON export) into the Chrome trace-event
+format — the JSON object form with a ``traceEvents`` array — which
+``ui.perfetto.dev`` and ``chrome://tracing`` both open directly.
+
+Clock alignment: journal events carry ``t_unix`` (UTC wall clock) and
+telemetry spans carry per-session relative times plus the session's
+``epoch_unix``; both are projected onto one microsecond timeline and
+shifted so the earliest event sits at ts=0 (the absolute origin is kept
+in ``otherData.origin_unix``).  Attempts become complete ("X") slices per
+job, faults and cache hits become instants ("i"), and every emitting
+process gets a metadata ("M") name row.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..exceptions import JournalError
+
+__all__ = [
+    "TRACE_FORMATS",
+    "chrome_trace",
+    "journal_trace_events",
+    "telemetry_trace_events",
+    "validate_trace",
+]
+
+#: Export formats ``tgi trace export`` understands.
+TRACE_FORMATS = ("chrome",)
+
+#: Phases of the trace-event spec this exporter emits.
+_PHASES = ("X", "i", "M")
+
+
+def _us(t_unix: float) -> float:
+    return t_unix * 1e6
+
+
+def journal_trace_events(events: Sequence[Dict]) -> List[Dict]:
+    """Trace events (absolute-µs timestamps) for one journal's events.
+
+    Per-attempt slices are built by pairing each ``job.started`` with the
+    first later terminal record for that attempt (``job.attempt_failed``
+    or ``job.completed``); an attempt still open when the journal ends
+    (crash, live run) becomes a zero-duration slice flagged
+    ``args.open=true`` rather than being dropped — visibility over
+    tidiness for a flight recorder.
+    """
+    out: List[Dict] = []
+    processes: Dict[int, str] = {}
+    open_attempts: Dict[tuple, Dict] = {}
+
+    def _slice(start_event: Dict, *, dur_us: float, done: bool, **args: object) -> Dict:
+        attempt = start_event.get("attempt", 0)
+        pid = start_event.get("pid", 0)
+        record = {
+            "name": f"{start_event.get('job', '?')} (attempt {attempt})",
+            "cat": "job",
+            "ph": "X",
+            "ts": _us(start_event.get("t_unix", 0.0)),
+            "dur": max(0.0, dur_us),
+            "pid": pid,
+            "tid": pid,
+            "args": {"job": start_event.get("job"), "attempt": attempt, **args},
+        }
+        if not done:
+            record["args"]["open"] = True
+        return record
+
+    for event in events:
+        kind = event.get("event")
+        pid = event.get("pid", 0)
+        processes.setdefault(pid, event.get("process", f"pid-{pid}"))
+        if kind == "job.started":
+            open_attempts[(event.get("job"), event.get("attempt", 0))] = event
+        elif kind in ("job.attempt_failed", "job.completed"):
+            if kind == "job.completed":
+                attempt = int(event.get("attempts", 1)) - 1
+            else:
+                attempt = event.get("attempt", 0)
+            start = open_attempts.pop((event.get("job"), attempt), None)
+            if start is not None:
+                dur = _us(event.get("t_unix", 0.0)) - _us(start.get("t_unix", 0.0))
+                extra = (
+                    {"error": event.get("error_type")}
+                    if kind == "job.attempt_failed"
+                    else {"wall_s": event.get("wall_s")}
+                )
+                out.append(_slice(start, dur_us=dur, done=True, **extra))
+        elif kind in ("job.cache_hit", "fault.injected", "job.retried"):
+            out.append(
+                {
+                    "name": kind,
+                    "cat": "journal",
+                    "ph": "i",
+                    "s": "g",
+                    "ts": _us(event.get("t_unix", 0.0)),
+                    "pid": pid,
+                    "tid": pid,
+                    "args": {
+                        k: event[k]
+                        for k in ("job", "key", "kind", "scope", "attempt", "delay_s")
+                        if k in event
+                    },
+                }
+            )
+        elif kind in ("run.start", "run.stop"):
+            out.append(
+                {
+                    "name": kind,
+                    "cat": "run",
+                    "ph": "i",
+                    "s": "g",
+                    "ts": _us(event.get("t_unix", 0.0)),
+                    "pid": pid,
+                    "tid": pid,
+                    "args": {
+                        k: event[k]
+                        for k in ("label", "jobs", "workers", "status", "jobs_failed")
+                        if k in event
+                    },
+                }
+            )
+    # Attempts never closed: emit them as open slices at their start time.
+    for start in open_attempts.values():
+        out.append(_slice(start, dur_us=0.0, done=False))
+    for pid, process in sorted(processes.items()):
+        out.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "ts": 0,
+                "pid": pid,
+                "tid": pid,
+                "args": {"name": process},
+            }
+        )
+    return out
+
+
+def telemetry_trace_events(export: Dict) -> List[Dict]:
+    """Trace events for a telemetry JSON export (``--telemetry`` files).
+
+    Spans are relative to the session's monotonic epoch; ``epoch_unix``
+    places them on the same absolute timeline the journal uses.
+    """
+    epoch_unix = float(export.get("epoch_unix", 0.0))
+    out: List[Dict] = []
+    processes = set()
+    for span in export.get("spans", []):
+        t_end = span.get("t_end")
+        if t_end is None:  # still open when the session exported
+            continue
+        process = span.get("process", "main")
+        processes.add(process)
+        attrs = {
+            k: v for k, v in dict(span.get("attrs", {})).items() if not isinstance(v, (list, dict))
+        }
+        out.append(
+            {
+                "name": span.get("name", "span"),
+                "cat": "telemetry",
+                "ph": "X",
+                "ts": _us(epoch_unix + float(span.get("t_start", 0.0))),
+                "dur": max(0.0, (float(t_end) - float(span.get("t_start", 0.0))) * 1e6),
+                # Span dumps tag processes by name, not pid; hash the tag
+                # into a stable synthetic pid so rows group per process.
+                "pid": _process_pid(process),
+                "tid": _process_pid(process),
+                "args": attrs,
+            }
+        )
+    for process in sorted(processes):
+        out.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "ts": 0,
+                "pid": _process_pid(process),
+                "tid": _process_pid(process),
+                "args": {"name": f"telemetry:{process}"},
+            }
+        )
+    return out
+
+
+def _process_pid(process: str) -> int:
+    """Stable synthetic pid for a telemetry process tag."""
+    if process.startswith("worker-"):
+        suffix = process.rsplit("-", 1)[-1]
+        if suffix.isdigit():
+            return int(suffix)
+    # Deterministic small hash (not Python's salted hash()).
+    acc = 0
+    for ch in process:
+        acc = (acc * 31 + ord(ch)) % 1_000_000
+    return 1_000_000 + acc
+
+
+def chrome_trace(
+    journal_events: Optional[Sequence[Dict]] = None,
+    telemetry_export: Optional[Dict] = None,
+) -> Dict:
+    """Build a complete Chrome trace-event JSON object.
+
+    Either source may be omitted; providing both overlays campaign
+    lifecycle slices and telemetry spans on one timeline.
+    """
+    if journal_events is None and telemetry_export is None:
+        raise JournalError("trace export needs a journal, a telemetry export, or both")
+    trace_events: List[Dict] = []
+    if journal_events is not None:
+        trace_events.extend(journal_trace_events(journal_events))
+    if telemetry_export is not None:
+        trace_events.extend(telemetry_trace_events(telemetry_export))
+    timed = [e for e in trace_events if e["ph"] != "M" and e["ts"] > 0]
+    origin = min((e["ts"] for e in timed), default=0.0)
+    for event in trace_events:
+        if event["ph"] != "M":
+            event["ts"] = max(0.0, event["ts"] - origin)
+    trace_events.sort(key=lambda e: (e["ph"] == "M", e["ts"]))
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "exporter": "repro.journal.trace_export",
+            "origin_unix": origin / 1e6,
+        },
+    }
+
+
+def validate_trace(trace: Dict) -> List[str]:
+    """Check a trace object against the trace-event schema we rely on."""
+    problems: List[str] = []
+    if not isinstance(trace, dict):
+        return ["trace must be a JSON object"]
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents must be a list"]
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        ph = event.get("ph")
+        if ph not in _PHASES:
+            problems.append(f"{where}: ph must be one of {_PHASES}, got {ph!r}")
+            continue
+        for key in ("name", "pid", "tid"):
+            if key not in event:
+                problems.append(f"{where}: missing {key!r}")
+        if ph != "M":
+            ts = event.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                problems.append(f"{where}: ts must be a non-negative number")
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: X event needs non-negative dur")
+        if ph == "i" and event.get("s") not in ("g", "p", "t"):
+            problems.append(f"{where}: instant scope s must be g/p/t")
+    return problems

@@ -196,7 +196,7 @@ class TestManifest:
         assert manifest["manifest_version"] == 1
         assert manifest["cache_enabled"] is False
         assert manifest["cache"] is None
-        assert {"jobs", "hits", "misses", "invalidations", "hit_rate"} == set(
+        assert {"jobs", "attempts", "hits", "misses", "invalidations", "hit_rate"} == set(
             manifest["cache_run"]
         )
         assert manifest["telemetry"] is None  # no session active in tests

@@ -31,6 +31,7 @@ class TestDocFilesExist:
             "docs/campaign_runner.md",
             "docs/telemetry.md",
             "docs/fault_tolerance.md",
+            "docs/observability.md",
         ],
     )
     def test_exists_and_nonempty(self, relpath):

@@ -471,6 +471,7 @@ class TestCampaignIntegration:
         warm = CampaignRunner(cache=cache).run(jobs, label="warm")
         assert warm.cache_stats == {
             "jobs": 2,
+            "attempts": 2,
             "hits": 2,
             "misses": 0,
             "invalidations": 0,
