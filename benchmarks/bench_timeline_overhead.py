@@ -1,0 +1,178 @@
+"""Timeline overhead bench: watt-level capture must not slow the watts.
+
+Two claims pinned here, mirroring the journal and telemetry benches:
+
+1. With no sink attached, the one ``tline.capturing()`` check the
+   executor performs per run is nanoseconds — the same disarmed-ambient
+   contract as journal emits and telemetry spans.
+2. With the sink armed, capture is reference-stashing plus an O(1)
+   ``build_run_timeline`` — all heavy analysis (component grids, audits,
+   binning) is deferred to artifact/dashboard time.  The armed cost stays
+   **< 3%** of a full 4096-rank execute.
+
+The armed overhead is measured as the median of interleaved paired
+diffs (armed minus bare execute, alternating) rather than a diff of two
+separately-timed bests: at ~50 ms per execute, scheduler noise between
+two measurement blocks easily exceeds the budget itself, while paired
+diffs cancel the drift.  The absolute build cost is also measured
+directly via the ``sim.timeline.capture`` telemetry span, which brackets
+exactly the post-integration build + record work.
+"""
+
+import time
+
+import numpy as np
+
+from repro import telemetry as tele
+from repro import timeline as tline
+from repro.cluster import presets
+from repro.perfwatch import MetricSpec, scenario
+from repro.sim import ClusterExecutor
+from repro.sim.placement import breadth_first_placement
+from repro.sim.workload import RankProgram, barrier, compute_phase
+
+NUM_NODES = 256  # 4096 ranks on the Fire preset
+PAIRS = 15
+
+
+def _execute_state():
+    """Executor + placement + staggered programs for a 4096-rank run."""
+    cluster = presets.fire(NUM_NODES)
+    num_ranks = NUM_NODES * cluster.node.cores
+    executor = ClusterExecutor(cluster, rng=7)
+    placement = breadth_first_placement(cluster, num_ranks)
+    programs = [
+        RankProgram(
+            rank=r,
+            phases=[
+                compute_phase(10.0 + r * 0.001),
+                barrier(),
+                compute_phase(5.0 + (r % 32) * 0.01),
+            ],
+        )
+        for r in range(num_ranks)
+    ]
+    executor.execute(placement, programs)  # warm caches and allocators
+    return executor, placement, programs
+
+
+def _paired_overhead_fraction(executor, placement, programs, pairs=PAIRS):
+    """Median of interleaved (armed - bare) diffs over the bare median."""
+    bare, armed = [], []
+    for _ in range(pairs):
+        t0 = time.perf_counter()
+        executor.execute(placement, programs)
+        bare.append(time.perf_counter() - t0)
+        with tline.collecting():
+            t0 = time.perf_counter()
+            executor.execute(placement, programs)
+            armed.append(time.perf_counter() - t0)
+    diffs = np.array(armed) - np.array(bare)
+    return max(0.0, float(np.median(diffs) / np.median(bare)))
+
+
+def _capture_span_fraction(executor, placement, programs):
+    """Direct build cost: the sim.timeline.capture span over execute wall."""
+    with tele.use(tele.TelemetrySession(label="timeline-bench")) as session:
+        with tline.collecting():
+            t0 = time.perf_counter()
+            executor.execute(placement, programs)
+            wall = time.perf_counter() - t0
+    build = sum(
+        s.duration_s for s in session.spans if s.name == "sim.timeline.capture"
+    )
+    return build / wall
+
+
+def _disarmed_check_ns(samples=500_000):
+    """Per-call cost of the disarmed tline.capturing() check."""
+    assert not tline.capturing()
+    t0 = time.perf_counter()
+    for _ in range(samples):
+        tline.capturing()
+    return (time.perf_counter() - t0) / samples * 1e9
+
+
+@scenario(
+    "sim.timeline_overhead",
+    description="power-timeline capture cost on a 4096-rank execute, armed and disarmed",
+    tier="quick",
+    repeats=2,
+    setup=_execute_state,
+    metrics=(
+        MetricSpec(
+            "armed_overhead_fraction",
+            direction="lower",
+            help="median interleaved (armed - bare) execute diff / bare median; budget 0.03",
+        ),
+        MetricSpec(
+            "capture_build_fraction",
+            direction="lower",
+            help="sim.timeline.capture span (build + record) over armed execute wall",
+        ),
+        MetricSpec(
+            "disarmed_check_ns",
+            unit="ns",
+            direction="lower",
+            help="per-call cost of tline.capturing() with no sink attached",
+        ),
+    ),
+)
+def timeline_overhead_scenario(state):
+    executor, placement, programs = state
+    return {
+        "armed_overhead_fraction": _paired_overhead_fraction(
+            executor, placement, programs
+        ),
+        "capture_build_fraction": _capture_span_fraction(
+            executor, placement, programs
+        ),
+        "disarmed_check_ns": _disarmed_check_ns(samples=200_000),
+    }
+
+
+def test_armed_capture_under_3_percent_at_4096_ranks():
+    executor, placement, programs = _execute_state()
+    overhead = _paired_overhead_fraction(executor, placement, programs)
+    build = _capture_span_fraction(executor, placement, programs)
+    print(
+        f"\n4096-rank execute: paired-median overhead {100 * overhead:.3f}%, "
+        f"direct build span {100 * build:.3f}%"
+    )
+    assert overhead < 0.03, (
+        f"armed timeline capture {100 * overhead:.2f}% exceeds the 3% budget"
+    )
+    assert build < 0.03, (
+        f"timeline build span {100 * build:.2f}% exceeds the 3% budget"
+    )
+
+
+def test_disarmed_capture_is_a_single_none_check():
+    """Disarmed product: one check per execute against the execute wall."""
+    executor, placement, programs = _execute_state()
+    t0 = time.perf_counter()
+    executor.execute(placement, programs)
+    wall = time.perf_counter() - t0
+    per_check_s = _disarmed_check_ns(samples=200_000) / 1e9
+    fraction = per_check_s / wall
+    print(f"\ndisarmed check: {per_check_s * 1e9:.0f} ns -> {100 * fraction:.6f}%")
+    assert fraction < 0.005
+
+
+def test_timeline_capture_does_not_change_results():
+    """The invariance half: armed and bare runs are bit-identical.
+
+    Fresh executors for each run — the meter's noise stream advances per
+    execute, so comparing two runs of one executor would differ anyway.
+    """
+    _, placement, programs = _execute_state()
+    bare = ClusterExecutor(placement.cluster, rng=7).execute(placement, programs)
+    with tline.collecting() as captured:
+        armed = ClusterExecutor(placement.cluster, rng=7).execute(
+            placement, programs
+        )
+    assert len(captured) == 1
+    assert armed.true_energy_j == bare.true_energy_j
+    assert armed.measured_energy_j == bare.measured_energy_j
+    assert armed.makespan_s == bare.makespan_s
+    np.testing.assert_array_equal(armed.trace.watts, bare.trace.watts)

@@ -46,6 +46,10 @@ VOLATILE_CAMPAIGN_FIELDS = (
     # Flight-recorder block: journal path/digest/event count describe one
     # specific execution; journaled and bare runs must fingerprint alike.
     "journal",
+    # Power-timeline block: artifact directory and count describe where
+    # observability output landed; captured and bare runs must
+    # fingerprint alike.
+    "timeline",
     # Failure accounting: a warm cache skips executions, so retry counts
     # differ between cold and warm runs of the same campaign.
     "failures",

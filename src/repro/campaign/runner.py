@@ -66,6 +66,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from .. import journal as jrnl
 from .. import telemetry as tele
+from .. import timeline as tline
 from ..benchmarks.runner import SweepResult
 from ..benchmarks.suite import SuiteResult
 from ..exceptions import CampaignExecutionError, ReproError
@@ -147,6 +148,7 @@ def _attempt_job(
     backoff_s: float = 0.0,
     backoff_seed: int = 0,
     journal: Optional[jrnl.JournalWriter] = None,
+    timeline_dir: Optional[Path] = None,
 ) -> Tuple[Optional[Dict], Optional[Dict], int, float]:
     """Run one job with containment and retries.
 
@@ -161,6 +163,13 @@ def _attempt_job(
     journal — start, contained failure, retry decision (with the chosen
     backoff), and the terminal completed/failed event carrying the
     ``getrusage`` CPU/RSS accounting of the executing process.
+
+    With ``timeline_dir`` set, each attempt arms the ambient power-
+    timeline sink (:mod:`repro.timeline`) around the execution; the
+    *successful* attempt's captured run timelines are summarized into
+    ``<timeline_dir>/<job_id>.timeline.json`` (atomic write), and a
+    ``timeline.captured`` pointer event lands in the journal.  Failed
+    attempts discard their partial captures.
     """
     error: Optional[Dict] = None
     wall = 0.0
@@ -179,8 +188,27 @@ def _attempt_job(
         t0 = time.perf_counter()
         try:
             with tele.span("job.execute", job=job.job_id, attempt=attempt):
-                payload = execute_job(job, attempt=attempt)
+                if timeline_dir is not None:
+                    with tline.collecting() as captured:
+                        payload = execute_job(job, attempt=attempt)
+                else:
+                    captured = []
+                    payload = execute_job(job, attempt=attempt)
             wall += time.perf_counter() - t0
+            if timeline_dir is not None and captured:
+                artifact = tline.write_job_artifact(
+                    timeline_dir, job_id=job.job_id, timelines=captured
+                )
+                if journal is not None:
+                    journal.emit(
+                        "timeline.captured",
+                        job=job.job_id,
+                        path=str(artifact),
+                        runs=len(captured),
+                        energy_j=float(
+                            sum(tl.true_energy_j for tl in captured)
+                        ),
+                    )
             if journal is not None:
                 journal.emit(
                     "job.completed",
@@ -383,8 +411,8 @@ def _execute_keyed(args):
     """Pool-side shim: one keyed job in, one contained result out.
 
     Takes ``(index, job, with_telemetry, retries, backoff_s, backoff_seed,
-    journal_path, run_id)`` and returns ``(index, payload, error, attempts,
-    wall_s, spans, metrics)``.  The worker measures its own wall time (the
+    journal_path, run_id, timeline_dir)`` and returns ``(index, payload,
+    error, attempts, wall_s, spans, metrics)``.  The worker measures its own wall time (the
     parent cannot observe per-job durations through ``pool.map``) and
     contains job exceptions so one bad job never tears down the pool.
     With telemetry requested, the worker collects into its own session and
@@ -407,7 +435,9 @@ def _execute_keyed(args):
         backoff_seed,
         journal_path,
         run_id,
+        timeline_dir,
     ) = args
+    timeline_path = Path(timeline_dir) if timeline_dir is not None else None
     journal = None
     if journal_path is not None:
         # A fork-started worker inherits the parent's ambient writer (and
@@ -429,6 +459,7 @@ def _execute_keyed(args):
                 backoff_s=backoff_s,
                 backoff_seed=backoff_seed,
                 journal=journal,
+                timeline_dir=timeline_path,
             )
             return index, payload, error, attempts, wall, None, None
         # Under the fork start method the worker inherits a *copy* of the
@@ -445,6 +476,7 @@ def _execute_keyed(args):
                 backoff_s=backoff_s,
                 backoff_seed=backoff_seed,
                 journal=journal,
+                timeline_dir=timeline_path,
             )
         return (
             index,
@@ -491,6 +523,12 @@ class CampaignRunner:
         and digests the journal) or an existing
         :class:`~repro.journal.JournalWriter` (the caller keeps ownership
         and finalization).  ``None`` (default) records nothing.
+    timeline:
+        Directory for per-job power-timeline artifacts
+        (:mod:`repro.timeline`).  When set, every executed job arms the
+        ambient timeline sink and its captured run timelines land as
+        ``<dir>/<job_id>.timeline.json`` — the input of ``tgi dashboard``.
+        ``None`` (default) captures nothing; cached jobs never re-capture.
     """
 
     def __init__(
@@ -503,6 +541,7 @@ class CampaignRunner:
         backoff_s: float = 0.0,
         backoff_seed: int = 0,
         journal: Optional[Union[str, Path, jrnl.JournalWriter]] = None,
+        timeline: Optional[Union[str, Path]] = None,
     ):
         if workers < 1:
             raise ReproError(f"workers must be >= 1, got {workers}")
@@ -517,6 +556,7 @@ class CampaignRunner:
         self.backoff_s = backoff_s
         self.backoff_seed = backoff_seed
         self.journal = journal
+        self.timeline = Path(timeline) if timeline is not None else None
 
     # ------------------------------------------------------------------
     def _journal_writer(
@@ -547,6 +587,9 @@ class CampaignRunner:
         if len(set(ids)) != len(ids):
             dupes = sorted({i for i in ids if ids.count(i) > 1})
             raise ReproError(f"duplicate job ids in campaign: {dupes}")
+
+        if self.timeline is not None:
+            self.timeline.mkdir(parents=True, exist_ok=True)
 
         writer, owns_writer = self._journal_writer(label)
         attached_ambient = False
@@ -695,8 +738,22 @@ class CampaignRunner:
                 )
                 journal_info["events"] = summary["events"]
                 journal_info["sha256"] = summary["sha256"]
+        timeline_info = None
+        if self.timeline is not None:
+            artifacts = sorted(self.timeline.glob("*.timeline.json"))
+            timeline_info = {
+                "dir": str(self.timeline),
+                "artifacts": len(artifacts),
+                "version": tline.TIMELINE_SCHEMA_VERSION,
+            }
         manifest = self._build_manifest(
-            label, outcomes, total_wall, workers_used, invalidations, journal_info
+            label,
+            outcomes,
+            total_wall,
+            workers_used,
+            invalidations,
+            journal_info,
+            timeline_info,
         )
         return CampaignResult(outcomes, manifest)
 
@@ -727,6 +784,7 @@ class CampaignRunner:
         session = tele.current()
         journal_path = str(journal.path) if journal is not None else None
         journal_run_id = journal.run_id if journal is not None else None
+        timeline_dir = str(self.timeline) if self.timeline is not None else None
         pool_failed_mid_stream = False
         if self.workers > 1 and len(pending) > 1:
             try:
@@ -756,6 +814,7 @@ class CampaignRunner:
                                     self.backoff_seed,
                                     journal_path,
                                     journal_run_id,
+                                    timeline_dir,
                                 )
                                 for i in pending
                             ],
@@ -796,6 +855,7 @@ class CampaignRunner:
                 backoff_s=self.backoff_s,
                 backoff_seed=self.backoff_seed,
                 journal=journal,
+                timeline_dir=self.timeline,
             )
             walls[index] = wall
             attempts[index] = job_attempts
@@ -816,6 +876,7 @@ class CampaignRunner:
         workers_used: int,
         invalidations: int,
         journal_info: Optional[Dict] = None,
+        timeline_info: Optional[Dict] = None,
     ) -> Dict:
         from .. import __version__
 
@@ -851,6 +912,10 @@ class CampaignRunner:
             # from the fingerprint — journaled and bare runs of the same
             # jobs are fingerprint-identical.
             "journal": journal_info,
+            # Volatile power-timeline block: where per-job artifacts
+            # landed and how many.  Excluded from the fingerprint — runs
+            # with and without timeline capture are fingerprint-identical.
+            "timeline": timeline_info,
             # Volatile observability summary; the full export is written by
             # the CLI beside the manifest.  Excluded from the fingerprint.
             "telemetry": None

@@ -9,10 +9,13 @@
     tgi specs                    # print the preset system spec sheets
     tgi campaign --workers 4     # parallel, cached measurement campaign
     tgi campaign --journal r.jl  # ... with the flight recorder armed
+    tgi campaign --timeline tl/  # ... with per-job power timelines captured
     tgi watch r.jl               # live progress of an in-flight journaled run
     tgi tail r.jl -f             # stream journal events as they arrive
     tgi journal report r.jl      # post-run anomaly report (stragglers, storms)
     tgi journal validate r.jl    # schema-check every journal event
+    tgi journal summary r.jl --json   # final progress snapshot, machine-readable
+    tgi dashboard --timeline tl/ -o fleet.html  # self-contained fleet dashboard
     tgi trace                    # span tree + hot spots of an instrumented run
     tgi trace export --journal r.jl -o t.json   # Perfetto / chrome://tracing
     tgi bench run --quick        # perf-watch: run + record the quick tier
@@ -86,6 +89,17 @@ class Console:
 
 #: The process-wide console; ``main`` configures quietness from the flags.
 _console = Console()
+
+
+def _json_out(payload) -> None:
+    """Print a ``--json`` payload: pure JSON on stdout, nothing else.
+
+    Every machine-readable mode (``journal report --json``, ``journal
+    summary --json``, ``bench report --json``) goes through here so the
+    contract stays uniform: stdout parses as one JSON document; status and
+    warnings ride stderr only.
+    """
+    _console.out(json.dumps(payload, indent=2, sort_keys=True))
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -257,6 +271,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="arm the flight recorder: append run/job/fault events to this "
         "JSONL file (follow live with `tgi watch PATH`)",
     )
+    campaign.add_argument(
+        "--timeline",
+        default=None,
+        metavar="DIR",
+        help="capture per-job power timelines into DIR as "
+        "<job>.timeline.json artifacts (render with `tgi dashboard`)",
+    )
+
+    dashboard = sub.add_parser(
+        "dashboard",
+        help="render captured power timelines into one self-contained HTML file",
+    )
+    dashboard.add_argument(
+        "--timeline",
+        required=True,
+        metavar="DIR",
+        help="timeline artifact directory written by `tgi campaign --timeline`",
+    )
+    dashboard.add_argument(
+        "--manifest",
+        default=None,
+        metavar="PATH",
+        help="campaign manifest JSON to summarize in the header",
+    )
+    dashboard.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="run journal to summarize (final progress snapshot)",
+    )
+    dashboard.add_argument(
+        "--perfwatch-dir",
+        default=None,
+        metavar="DIR",
+        help="directory of BENCH_<scenario>.json trajectories to chart",
+    )
+    dashboard.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="write the HTML here (default: stdout)",
+    )
+    dashboard.add_argument(
+        "--title", default="TGI fleet dashboard", help="dashboard page title"
+    )
 
     watch = sub.add_parser(
         "watch",
@@ -329,6 +389,10 @@ def build_parser() -> argparse.ArgumentParser:
         "summary", help="final progress snapshot of a recorded run"
     )
     j_summary.add_argument("journal", help="journal path to summarize")
+    j_summary.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="machine-readable snapshot on stdout",
+    )
 
     bench = sub.add_parser(
         "bench",
@@ -736,6 +800,7 @@ _TAIL_DETAIL_FIELDS = {
     "job.failed": ("job", "attempts", "error_type"),
     "worker.heartbeat": ("jobs_done", "max_rss_bytes"),
     "fault.injected": ("kind", "scope", "attempt"),
+    "timeline.captured": ("job", "runs", "energy_j"),
 }
 
 
@@ -839,7 +904,11 @@ def _cmd_journal(args) -> int:
         return 0
     state = jrnl.replay_journal(path)
     if args.journal_command == "summary":
-        _console.out(jrnl.render_progress(jrnl.progress_from_state(state)))
+        progress = jrnl.progress_from_state(state)
+        if args.as_json:
+            _json_out(jrnl.progress_to_dict(progress))
+        else:
+            _console.out(jrnl.render_progress(progress))
         return 0
     if args.journal_command == "report":
         report = jrnl.analyze_state(
@@ -849,9 +918,7 @@ def _cmd_journal(args) -> int:
             collapse_drop=args.collapse_drop,
         )
         if args.as_json:
-            _console.out(
-                json.dumps(jrnl.report_to_dict(report), indent=2, sort_keys=True)
-            )
+            _json_out(jrnl.report_to_dict(report))
         else:
             _console.out(jrnl.render_report(report))
         if not report.clean and args.fail_on_anomaly:
@@ -1019,7 +1086,7 @@ def _cmd_bench_report(args) -> int:
     if not ids:
         _console.status(f"perf-watch: no history under {store.root}")
         if args.as_json:
-            _console.out(json.dumps(pw.report_to_dict([]), indent=2, sort_keys=True))
+            _json_out(pw.report_to_dict([]))
         else:
             _console.out(pw.render_report([]))
         return 0
@@ -1030,7 +1097,7 @@ def _cmd_bench_report(args) -> int:
         min_effect=args.min_effect,
     )
     if args.as_json:
-        _console.out(json.dumps(pw.report_to_dict(reports), indent=2, sort_keys=True))
+        _json_out(pw.report_to_dict(reports))
     else:
         _console.out(pw.render_report(reports))
     regressed = [
@@ -1244,6 +1311,7 @@ def _cmd_campaign(
     inject=(),
     fault_seed: int = 0,
     journal: Optional[str] = None,
+    timeline: Optional[str] = None,
 ) -> int:
     import dataclasses
 
@@ -1280,10 +1348,16 @@ def _cmd_campaign(
         backoff_s=retry_backoff,
         backoff_seed=fault_seed,
         journal=journal,
+        timeline=timeline,
     )
     if journal:
         _console.status(
             f"flight recorder armed: {journal} (follow with `tgi watch {journal}`)"
+        )
+    if timeline:
+        _console.status(
+            f"timeline capture armed: {timeline} "
+            f"(render with `tgi dashboard --timeline {timeline}`)"
         )
 
     session = None
@@ -1345,6 +1419,12 @@ def _cmd_campaign(
             f"journal: {journal_block['path']} ({journal_block['events']} events, "
             f"sha256 {str(journal_block['sha256'])[:12]})"
         )
+    timeline_block = manifest.get("timeline")
+    if timeline_block:
+        _console.status(
+            f"timelines: {timeline_block['artifacts']} artifact(s) in "
+            f"{timeline_block['dir']}"
+        )
     if manifest_path:
         result.write_manifest(manifest_path)
         _console.status(f"manifest written to {manifest_path}")
@@ -1362,6 +1442,67 @@ def _cmd_campaign(
             + ", ".join(o.job.job_id for o in result.failed)
         )
         return 3
+    return 0
+
+
+def _cmd_dashboard(args) -> int:
+    """`tgi dashboard` — render timeline artifacts into one HTML file.
+
+    The output is fully self-contained (inline CSS, inline SVG, no
+    scripts, no network fetches): open it from disk, attach it to a CI
+    run, or mail it around.  Inputs beyond ``--timeline`` are optional
+    overlays — a campaign manifest, a run journal, perf-watch
+    trajectories — each summarized into its own section when given.
+    """
+    from . import timeline as tline
+
+    artifacts = tline.load_artifacts(args.timeline)
+    _console.status(
+        f"dashboard: {len(artifacts)} artifact(s) from {args.timeline}"
+    )
+    manifest = None
+    if args.manifest:
+        from .campaign import load_manifest
+
+        manifest = load_manifest(args.manifest)
+    journal_text = None
+    if args.journal:
+        journal_path = Path(args.journal)
+        if not journal_path.exists():
+            _console.error(f"no journal at {journal_path}")
+            return 1
+        state = jrnl.replay_journal(journal_path)
+        journal_text = jrnl.render_progress(jrnl.progress_from_state(state))
+    perfwatch = None
+    if args.perfwatch_dir:
+        perfwatch = []
+        for path in sorted(Path(args.perfwatch_dir).glob("BENCH_*.json")):
+            try:
+                perfwatch.append(json.loads(path.read_text()))
+            except (OSError, ValueError) as exc:
+                _console.error(f"dashboard: skipping {path.name}: {exc}")
+    html_text = tline.render_dashboard(
+        artifacts,
+        title=args.title,
+        manifest=manifest,
+        journal_text=journal_text,
+        perfwatch=perfwatch,
+    )
+    audits_failed = sum(
+        1 for doc in artifacts for run in doc["runs"] if not run["audit"]["ok"]
+    )
+    if audits_failed:
+        _console.error(
+            f"warning: {audits_failed} run timeline(s) failed the "
+            "energy-conservation audit"
+        )
+    if args.output:
+        from .serialization import atomic_write_text
+
+        atomic_write_text(Path(args.output), html_text)
+        _console.status(f"dashboard written to {args.output}")
+    else:
+        _console.out(html_text)
     return 0
 
 
@@ -1486,7 +1627,10 @@ def _dispatch(args: argparse.Namespace) -> int:
             inject=args.inject,
             fault_seed=args.fault_seed,
             journal=args.journal,
+            timeline=args.timeline,
         )
+    if args.command == "dashboard":
+        return _cmd_dashboard(args)
     if args.command == "trace":
         if getattr(args, "trace_command", None) == "export":
             return _cmd_trace_export(args)

@@ -21,6 +21,7 @@ __all__ = [
     "ExperimentError",
     "PerfWatchError",
     "JournalError",
+    "TimelineError",
     "CampaignExecutionError",
     "FaultInjectionError",
     "InjectedFault",
@@ -79,6 +80,10 @@ class PerfWatchError(ReproError):
 
 class JournalError(ReproError):
     """A run journal event, file, or writer is invalid or unusable."""
+
+
+class TimelineError(ReproError):
+    """A power-timeline capture, artifact, or dashboard input is invalid."""
 
 
 class CampaignExecutionError(ReproError):

@@ -32,7 +32,13 @@ from .events import (
     check_event,
     validate_event,
 )
-from .progress import RunProgress, now_mono, progress_from_state, render_progress
+from .progress import (
+    RunProgress,
+    now_mono,
+    progress_from_state,
+    progress_to_dict,
+    render_progress,
+)
 from .reader import (
     JobState,
     JournalFollower,
@@ -102,6 +108,7 @@ __all__ = [
     "attempt_table",
     "RunProgress",
     "progress_from_state",
+    "progress_to_dict",
     "render_progress",
     "now_mono",
     "Anomaly",

@@ -51,6 +51,12 @@ Event types
     cumulative resource usage of that worker process.
 ``fault.injected``
     A deterministic fault from :mod:`repro.faults` fired, typed by kind.
+``timeline.captured``
+    A job's power-timeline artifact landed on disk
+    (:mod:`repro.timeline`): the artifact path, how many run timelines it
+    summarizes, and their total true energy.  A pointer, not a payload —
+    replay ignores it, so journals stay replayable whether or not the
+    timeline layer was armed.
 """
 
 from __future__ import annotations
@@ -152,6 +158,12 @@ EVENT_FIELDS: Dict[str, Tuple[Tuple[str, tuple, bool], ...]] = {
         ("kind", (str,), True),
         ("scope", (str,), True),
         ("attempt", (int,), True),
+    ),
+    "timeline.captured": (
+        ("job", (str,), True),
+        ("path", (str,), True),
+        ("runs", (int,), True),
+        ("energy_j", (float, int), True),
     ),
 }
 

@@ -16,7 +16,13 @@ from typing import List, Optional, Tuple
 
 from .reader import RunState
 
-__all__ = ["RunProgress", "progress_from_state", "render_progress", "now_mono"]
+__all__ = [
+    "RunProgress",
+    "progress_from_state",
+    "progress_to_dict",
+    "render_progress",
+    "now_mono",
+]
 
 
 @dataclass
@@ -49,6 +55,39 @@ class RunProgress:
     @property
     def remaining(self) -> int:
         return max(0, self.total - self.finished_jobs)
+
+
+def progress_to_dict(progress: RunProgress) -> dict:
+    """JSON-friendly form of a progress snapshot.
+
+    The payload behind ``tgi journal summary --json`` — every dataclass
+    field plus the derived ``finished_jobs``/``remaining`` counts, with
+    ``slowest_running`` as ``{"job", "elapsed_s"}`` objects.
+    """
+    return {
+        "run_id": progress.run_id,
+        "label": progress.label,
+        "total": progress.total,
+        "done": progress.done,
+        "cached": progress.cached,
+        "failed": progress.failed,
+        "running": progress.running,
+        "retrying": progress.retrying,
+        "scheduled": progress.scheduled,
+        "retries": progress.retries,
+        "faults": progress.faults,
+        "elapsed_s": progress.elapsed_s,
+        "throughput_jobs_per_s": progress.throughput_jobs_per_s,
+        "eta_s": progress.eta_s,
+        "complete": progress.complete,
+        "status": progress.status,
+        "finished_jobs": progress.finished_jobs,
+        "remaining": progress.remaining,
+        "slowest_running": [
+            {"job": job, "elapsed_s": elapsed}
+            for job, elapsed in progress.slowest_running
+        ],
+    }
 
 
 def progress_from_state(

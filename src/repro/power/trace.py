@@ -59,6 +59,27 @@ class PiecewisePower:
         return float(self._starts[0])
 
     @property
+    def starts_array(self) -> np.ndarray:
+        """Segment start times (read-only view)."""
+        view = self._starts.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def ends_array(self) -> np.ndarray:
+        """Segment end times (read-only view)."""
+        view = self._ends.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def watts_array(self) -> np.ndarray:
+        """Segment watts (read-only view)."""
+        view = self._watts.view()
+        view.flags.writeable = False
+        return view
+
+    @property
     def duration(self) -> float:
         """Length of the covered interval in seconds."""
         return float(self._ends[-1] - self._starts[0])
@@ -100,6 +121,43 @@ class PiecewisePower:
     def max_power(self) -> float:
         """Peak watts."""
         return float(self._watts.max())
+
+    def resample(self, times: Sequence[float]) -> np.ndarray:
+        """Wall watts at each of ``times`` (array-native; right-continuous).
+
+        Exactly :meth:`power_at_many` under a name that pairs with
+        :meth:`downsample` — the timeline layer samples truth curves onto
+        render grids through this.
+        """
+        return self.power_at_many(times)
+
+    def downsample(self, max_segments: int) -> "PiecewisePower":
+        """An energy-preserving coarsening to at most ``max_segments``.
+
+        Rebins the curve onto a uniform grid whose per-bin watts are the
+        bin's *exact* mean power (bin energy / bin width, computed from
+        the cumulative-energy function), so the result's
+        :meth:`energy` telescopes to the original's up to float rounding.
+        Peaks narrower than a bin are averaged away — use the timeline
+        layer's min-max binning when extrema must survive rendering.
+        """
+        if max_segments < 1:
+            raise PowerModelError(f"max_segments must be >= 1, got {max_segments}")
+        n = self._watts.size
+        if n <= max_segments:
+            return PiecewisePower.from_arrays(
+                self._starts.copy(), self._ends.copy(), self._watts.copy()
+            )
+        edges = np.linspace(self._starts[0], self._ends[-1], max_segments + 1)
+        cum = np.concatenate(
+            [[0.0], np.cumsum((self._ends - self._starts) * self._watts)]
+        )
+        idx = np.minimum(np.searchsorted(self._ends, edges, side="left"), n - 1)
+        energy_at = cum[idx] + (edges - self._starts[idx]) * self._watts[idx]
+        w_mean = np.diff(energy_at) / np.diff(edges)
+        return PiecewisePower.from_arrays(
+            edges[:-1], edges[1:].copy(), np.maximum(w_mean, 0.0)
+        )
 
     @classmethod
     def constant(cls, watts: float, duration: float) -> "PiecewisePower":
@@ -148,7 +206,15 @@ class PiecewisePower:
 
 
 class PowerTrace:
-    """Sampled (timestamp, watts) series — what a wall-plug meter logs."""
+    """Sampled (timestamp, watts) series — what a wall-plug meter logs.
+
+    Samples may arrive unsorted (merged meter logs) — they are sorted on
+    construction.  Duplicate timestamps are deduplicated when they agree
+    on the watts; duplicates that *disagree* raise
+    :class:`~repro.exceptions.PowerModelError`, because trapezoidal
+    integration over a zero-width step silently mis-prices the
+    neighbouring intervals.
+    """
 
     def __init__(self, times: Sequence[float], watts: Sequence[float]):
         times_arr = np.asarray(times, dtype=float)
@@ -161,8 +227,26 @@ class PowerTrace:
             )
         if times_arr.size < 1:
             raise PowerModelError("a PowerTrace needs at least one sample")
-        if np.any(np.diff(times_arr) <= 0):
-            raise PowerModelError("timestamps must be strictly increasing")
+        if np.any(np.diff(times_arr) < 0):
+            # stable, so equal-timestamp samples keep their input order and
+            # the conflict check below sees them adjacent
+            order = np.argsort(times_arr, kind="stable")
+            times_arr = times_arr[order]
+            watts_arr = watts_arr[order]
+        duplicate = np.zeros(times_arr.size, dtype=bool)
+        if times_arr.size > 1:
+            np.equal(times_arr[1:], times_arr[:-1], out=duplicate[1:])
+        if duplicate.any():
+            conflict = duplicate.copy()
+            conflict[1:] &= watts_arr[1:] != watts_arr[:-1]
+            if conflict.any():
+                t_bad = times_arr[conflict][0]
+                raise PowerModelError(
+                    f"conflicting duplicate samples at t={t_bad}: a timestamp "
+                    "may repeat only with identical watts"
+                )
+            times_arr = times_arr[~duplicate]
+            watts_arr = watts_arr[~duplicate]
         if np.any(watts_arr < 0):
             raise PowerModelError("power samples must be non-negative")
         self._times = times_arr
@@ -218,6 +302,37 @@ class PowerTrace:
         if not mask.any():
             raise PowerModelError(f"no samples in [{t0}, {t1}]")
         return PowerTrace(self._times[mask], self._watts[mask])
+
+    def resample(self, times: Sequence[float]) -> "PowerTrace":
+        """Linear interpolation onto ``times`` (all within the sampled span)."""
+        times_arr = np.asarray(times, dtype=float)
+        if times_arr.size == 0:
+            raise PowerModelError("resample needs at least one target time")
+        if (
+            times_arr.min() < self._times[0] - 1e-12
+            or times_arr.max() > self._times[-1] + 1e-12
+        ):
+            raise PowerModelError(
+                f"resample times outside sampled span "
+                f"[{self._times[0]}, {self._times[-1]}]"
+            )
+        return PowerTrace(times_arr, np.interp(times_arr, self._times, self._watts))
+
+    def downsample(self, max_samples: int) -> "PowerTrace":
+        """Largest-Triangle-Three-Buckets selection of ``max_samples`` samples.
+
+        Deterministic: ties inside a bucket resolve to the earliest sample.
+        Keeps the first and last samples, so the span is preserved; a trace
+        already at or under ``max_samples`` is returned unchanged (a copy).
+        """
+        if max_samples < 3:
+            raise PowerModelError(f"max_samples must be >= 3, got {max_samples}")
+        if len(self) <= max_samples:
+            return PowerTrace(self._times.copy(), self._watts.copy())
+        from ..timeline.downsample import lttb_indices
+
+        idx = lttb_indices(self._times, self._watts, max_samples)
+        return PowerTrace(self._times[idx], self._watts[idx])
 
     def concat(self, other: "PowerTrace") -> "PowerTrace":
         """This trace followed by ``other`` (timestamps must keep increasing)."""

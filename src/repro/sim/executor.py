@@ -52,6 +52,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from .. import telemetry as tele
+from .. import timeline as tline
 from ..cluster.cluster import ClusterSpec
 from ..exceptions import SimulationError
 from ..faults import FaultInjector
@@ -272,11 +273,44 @@ class ClusterExecutor:
             self.faults.maybe_crash(
                 label=label, makespan=makespan, num_nodes=self.cluster.num_nodes
             )
+        # Disarmed timeline capture is this one None-backed check — the
+        # same single-global contract as journal emits and telemetry spans.
+        capture = tline.TimelineCapture() if tline.capturing() else None
         with tele.span("sim.power.integrate", label=label) as integrate_span:
-            truth, breakdown, stats = self.integrate_power(placement, intervals, makespan)
+            truth, breakdown, stats = self.integrate_power(
+                placement, intervals, makespan, capture=capture
+            )
             integrate_span.set(**stats)
         with tele.span("sim.power.meter", label=label):
             trace = self.meter.measure(truth)
+        if capture is not None:
+            with tele.span("sim.timeline.capture", label=label) as capture_span:
+                run_timeline = tline.build_run_timeline(
+                    capture,
+                    truth=truth,
+                    trace=trace,
+                    breakdown=breakdown,
+                    label=label,
+                    cluster_name=self.cluster.name,
+                    num_ranks=placement.num_ranks,
+                    num_nodes=self.cluster.num_nodes,
+                    engine=self.engine,
+                    integration=self.integration,
+                    metering=self.metering,
+                    idle_wall_w=self.node_power.idle_wall_power(),
+                    max_node_wall_w=self.node_power.max_wall_power(),
+                    idle_component_w=self.node_power.component_breakdown(
+                        NodeUtilization.idle()
+                    ),
+                )
+                tline.record(run_timeline)
+                capture_span.set(
+                    segments=run_timeline.segments,
+                    slices=int(run_timeline.slice_wall_w.size),
+                    components=len(run_timeline.components),
+                )
+            if tele.active():
+                tele.count("tgi_timeline_runs_total")
         return RunRecord(
             label=label,
             cluster=self.cluster,
@@ -293,6 +327,8 @@ class ClusterExecutor:
         placement: Placement,
         intervals: Intervals,
         makespan: float,
+        *,
+        capture: Optional[tline.TimelineCapture] = None,
     ) -> Tuple[PiecewisePower, Dict[str, float], Dict[str, object]]:
         """Fold rank intervals into the cluster wall-power curve.
 
@@ -308,12 +344,22 @@ class ClusterExecutor:
         (``integration``, ``segments_in``, ``segments_out``,
         ``compaction_ratio``).
 
+        With ``capture`` set, the integrator also stashes its columnar
+        slice table (start/end/node/wall watts plus per-component DC
+        watts) into the :class:`~repro.timeline.TimelineCapture` — on the
+        vectorized path these are references to arrays already computed,
+        so armed capture adds no meaningful work here.
+
         Public so perf-watch scenarios can time the integration phase in
         isolation (the engine run happens in their setup).
         """
         if self.integration == "reference":
-            return self._integrate_reference(placement, intervals, makespan)
-        return self._integrate_vectorized(placement, intervals, makespan)
+            return self._integrate_reference(
+                placement, intervals, makespan, capture=capture
+            )
+        return self._integrate_vectorized(
+            placement, intervals, makespan, capture=capture
+        )
 
     # -- shared pieces -------------------------------------------------
     def _idle_node_count(self, used: int) -> int:
@@ -336,6 +382,7 @@ class ClusterExecutor:
         placement: Placement,
         intervals: Intervals,
         makespan: float,
+        capture: Optional[tline.TimelineCapture] = None,
     ) -> Tuple[PiecewisePower, Dict[str, float], Dict[str, object]]:
         """Sweep-line integration over flat per-node regions.
 
@@ -456,10 +503,28 @@ class ClusterExecutor:
         )
         watts = self.node_power.wall_power_many(util)
         breakdown: Dict[str, float] = {}
-        for component, dc_watts in self.node_power.component_breakdown_many(util).items():
+        components = self.node_power.component_breakdown_many(util)
+        for component, dc_watts in components.items():
             breakdown[component] = float(np.dot(dc_watts, widths))
         idle_nodes = self._idle_node_count(m)
         self._add_idle_breakdown(breakdown, idle_nodes, makespan)
+        if capture is not None:
+            # Armed capture stashes references to arrays this pipeline
+            # already computed.  Slice ends are the next cut of the same
+            # region (exact floats; each region's final cut is makespan
+            # and owns no slice, so its garbage end never survives).
+            ends_all = np.empty_like(cut_time)
+            ends_all[:-1] = cut_time[1:]
+            capture.makespan = makespan
+            capture.nodes_used = tuple(nodes_used)
+            capture.idle_nodes = idle_nodes
+            capture.set_slices(
+                start=slice_start,
+                end=ends_all[~last_of_region],
+                node_row=slice_node,
+                wall_w=watts,
+                components=components,
+            )
 
         # 6. Per-node compaction (drop breakpoints where the wall watts do
         # not change), then the cross-node merge: every compacted node
@@ -507,6 +572,7 @@ class ClusterExecutor:
         placement: Placement,
         intervals: Intervals,
         makespan: float,
+        capture: Optional[tline.TimelineCapture] = None,
     ) -> Tuple[PiecewisePower, Dict[str, float], Dict[str, object]]:
         """The original midpoint-scan integration, kept as the oracle."""
         if isinstance(intervals, IntervalArrays):
@@ -516,9 +582,15 @@ class ClusterExecutor:
         # accumulating component DC joules along the way.
         breakdown: Dict[str, float] = {}
         node_curves: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
-        for node in placement.nodes_used:
+        for node_row, node in enumerate(placement.nodes_used):
             node_curves[node] = self._node_power_curve(
-                placement, node, intervals, makespan, breakdown
+                placement,
+                node,
+                intervals,
+                makespan,
+                breakdown,
+                capture=capture,
+                node_row=node_row,
             )
         # Global breakpoints (snapped, so no sliver is silently dropped).
         cut_arrays = [np.array([0.0, makespan])]
@@ -527,6 +599,11 @@ class ClusterExecutor:
         cut_list = _snap_cuts(np.concatenate(cut_arrays), makespan).tolist()
         idle_nodes = self._idle_node_count(len(node_curves))
         self._add_idle_breakdown(breakdown, idle_nodes, makespan)
+        if capture is not None:
+            capture.makespan = makespan
+            capture.nodes_used = tuple(placement.nodes_used)
+            capture.idle_nodes = idle_nodes
+            capture.finalize_reference()
         seg_starts: List[float] = []
         seg_watts: List[float] = []
         for t0, t1 in zip(cut_list, cut_list[1:]):
@@ -559,10 +636,14 @@ class ClusterExecutor:
         intervals: List[List[RankInterval]],
         makespan: float,
         breakdown: Dict[str, float],
+        capture: Optional[tline.TimelineCapture] = None,
+        node_row: int = 0,
     ) -> Tuple[np.ndarray, np.ndarray]:
         """(slice starts, wall watts per slice) for one node over [0, makespan].
 
-        Side effect: adds the node's per-component DC joules to ``breakdown``.
+        Side effect: adds the node's per-component DC joules to ``breakdown``
+        (and, with ``capture`` set, appends every slice to the timeline
+        capture under dense row ``node_row``).
         """
         node_intervals: List[RankInterval] = []
         for rank in placement.ranks_on_node(node):
@@ -580,8 +661,11 @@ class ClusterExecutor:
             util = self._slice_utilization(node_intervals, mid, cores)
             starts.append(t0)
             watts.append(self.node_power.wall_power(util))
-            for component, dc_watts in self.node_power.component_breakdown(util).items():
+            parts = self.node_power.component_breakdown(util)
+            for component, dc_watts in parts.items():
                 breakdown[component] = breakdown.get(component, 0.0) + dc_watts * (t1 - t0)
+            if capture is not None:
+                capture.add_slice(t0, t1, node_row, watts[-1], parts)
         return np.array(starts), np.array(watts)
 
     @staticmethod

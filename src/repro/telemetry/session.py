@@ -58,6 +58,7 @@ STANDARD_INSTRUMENTS = (
     ("counter", "tgi_cache_puts_total", "Result-cache entry writes."),
     ("counter", "tgi_campaign_jobs_total", "Campaign jobs finished, by cache status."),
     ("counter", "tgi_benchmark_runs_total", "Benchmark executions, by benchmark."),
+    ("counter", "tgi_timeline_runs_total", "Run timelines captured by the armed power-timeline sink."),
     ("gauge", "tgi_benchmark_time_seconds", "Simulated wall-clock seconds of the last run per benchmark/scale/cluster (the t_i of Eq. 10)."),
     ("gauge", "tgi_benchmark_energy_joules", "Simulated metered joules of the last run per benchmark/scale/cluster (the e_i of Eq. 11)."),
     ("gauge", "tgi_benchmark_power_watts", "Simulated mean wall watts of the last run per benchmark/scale/cluster (the p_i of Eq. 12)."),

@@ -1,0 +1,91 @@
+"""Watt-level power timelines: capture, audit, lenses, and the dashboard.
+
+The observability layer over the sweep-line power integrator.  With a
+sink armed (see :func:`collecting`), every
+:meth:`~repro.sim.executor.ClusterExecutor.execute` call captures the
+run's power timelines as struct-of-arrays — the cluster total, per-node
+curves, and per-component DC attribution — at O(1) reference-stash cost;
+disarmed, the executor pays a single ``None`` check.
+
+Layers, lowest first:
+
+* :mod:`~repro.timeline.capture` — the ambient arm/disarm sink and the
+  raw columnar :class:`TimelineCapture` the integrators fill;
+* :mod:`~repro.timeline.model` — :class:`RunTimeline`, the lazy
+  struct-of-arrays view (component grids, node curves, energies);
+* :mod:`~repro.timeline.downsample` — deterministic min-max binning and
+  LTTB reduction;
+* :mod:`~repro.timeline.audit` — the energy-conservation audit pinning
+  timeline integrals to the executor's reported joules within 1e-9;
+* :mod:`~repro.timeline.lenses` — anomaly screens (idle dwell, PSU
+  saturation, spikes, meter drift);
+* :mod:`~repro.timeline.aggregate` — per-job artifacts and streaming
+  fleet aggregation;
+* :mod:`~repro.timeline.dashboard` — the self-contained single-file HTML
+  fleet report behind ``tgi dashboard``.
+
+Quick tour::
+
+    from repro import timeline as tline
+    with tline.collecting() as timelines:
+        executor.execute(placement, programs, label="probe")
+    tl = timelines[0]
+    report = tline.audit_run_timeline(tl)
+    assert report.ok
+    flags = [a for a in tline.scan_run(tl) if a["flagged"]]
+"""
+
+from .aggregate import (
+    TIMELINE_SCHEMA_VERSION,
+    FleetAggregator,
+    artifact_path,
+    discover_artifacts,
+    load_artifacts,
+    read_job_artifact,
+    run_summary,
+    write_job_artifact,
+)
+from .audit import DEFAULT_TOLERANCE, AuditReport, audit_run_timeline
+from .capture import (
+    MemorySink,
+    TimelineCapture,
+    ambient_sink,
+    attach_sink,
+    capturing,
+    collecting,
+    detach_sink,
+    record,
+)
+from .dashboard import render_dashboard
+from .downsample import lttb_indices, minmax_bins
+from .lenses import DEFAULT_THRESHOLDS, scan_run
+from .model import RunTimeline, build_run_timeline
+
+__all__ = [
+    "TIMELINE_SCHEMA_VERSION",
+    "DEFAULT_TOLERANCE",
+    "DEFAULT_THRESHOLDS",
+    "AuditReport",
+    "FleetAggregator",
+    "MemorySink",
+    "RunTimeline",
+    "TimelineCapture",
+    "ambient_sink",
+    "artifact_path",
+    "attach_sink",
+    "audit_run_timeline",
+    "build_run_timeline",
+    "capturing",
+    "collecting",
+    "detach_sink",
+    "discover_artifacts",
+    "lttb_indices",
+    "load_artifacts",
+    "minmax_bins",
+    "read_job_artifact",
+    "record",
+    "render_dashboard",
+    "run_summary",
+    "scan_run",
+    "write_job_artifact",
+]

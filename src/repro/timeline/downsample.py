@@ -1,0 +1,129 @@
+"""Deterministic downsampling for power timelines.
+
+Two reducers, both pure functions of their inputs (no RNG, no clock):
+
+* :func:`minmax_bins` — uniform binning of a piecewise-constant curve.
+  Each bin carries three numbers: the exact min and max watts the curve
+  takes anywhere in the bin (so no spike or trough is lost in rendering)
+  and the *energy-preserving* mean (bin energy / bin width, computed from
+  the curve's cumulative-energy function, so the binned means integrate
+  back to the original energy up to float rounding).  O(segments + bins).
+* :func:`lttb_indices` — Largest-Triangle-Three-Buckets selection over an
+  irregular sample series (the meter-trace reducer).  Ties resolve to the
+  earliest sample, so the selection is reproducible bit-for-bit.
+
+Error bound, documented once and tested in ``tests/test_timeline.py``:
+``w_mean`` preserves energy exactly (the per-bin energies telescope to the
+total); ``[w_min, w_max]`` brackets the true curve over every bin.  What
+binning *loses* is only the position of features inside a bin — never
+joules, never extrema.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..exceptions import TimelineError
+
+__all__ = ["minmax_bins", "lttb_indices"]
+
+
+def minmax_bins(
+    starts: np.ndarray,
+    ends: np.ndarray,
+    watts: np.ndarray,
+    bins: int,
+) -> Dict[str, np.ndarray]:
+    """Bin a piecewise-constant curve onto a uniform grid.
+
+    ``starts``/``ends``/``watts`` must describe tiling segments (the
+    :class:`~repro.power.trace.PiecewisePower` invariant).  Returns a dict
+    with ``edges`` (``bins + 1`` bin boundaries), ``w_min``, ``w_max``,
+    and ``w_mean`` (each ``bins`` long).
+    """
+    starts = np.asarray(starts, dtype=float)
+    ends = np.asarray(ends, dtype=float)
+    watts = np.asarray(watts, dtype=float)
+    if bins < 1:
+        raise TimelineError(f"bins must be >= 1, got {bins}")
+    if starts.size == 0:
+        raise TimelineError("cannot bin an empty curve")
+    t0 = float(starts[0])
+    t1 = float(ends[-1])
+    if t1 <= t0:
+        raise TimelineError(f"curve spans no time: [{t0}, {t1}]")
+    n = watts.size
+    edges = np.linspace(t0, t1, bins + 1)
+
+    # Energy-preserving means from the cumulative-energy function E(t):
+    # the per-bin means are diff(E at edges) / bin width, so their
+    # integral telescopes to E(t1) - E(t0) exactly.
+    cum = np.concatenate([[0.0], np.cumsum((ends - starts) * watts)])
+    idx = np.minimum(np.searchsorted(ends, edges, side="left"), n - 1)
+    energy_at = cum[idx] + (edges - starts[idx]) * watts[idx]
+    w_mean = np.diff(energy_at) / np.diff(edges)
+
+    # Exact min/max: every segment overlapping a bin either *starts* in it
+    # (assigned by its start) or covers the bin's left edge (assigned by
+    # the edge sample), so the union of the two assignments sees every
+    # overlapping segment.
+    seg_bin = np.clip(
+        ((starts - t0) / (t1 - t0) * bins).astype(np.intp), 0, bins - 1
+    )
+    w_min = np.full(bins, np.inf)
+    w_max = np.full(bins, -np.inf)
+    np.minimum.at(w_min, seg_bin, watts)
+    np.maximum.at(w_max, seg_bin, watts)
+    edge_idx = np.minimum(
+        np.searchsorted(ends, edges[:-1], side="right"), n - 1
+    )
+    np.minimum(w_min, watts[edge_idx], out=w_min)
+    np.maximum(w_max, watts[edge_idx], out=w_max)
+    return {"edges": edges, "w_min": w_min, "w_max": w_max, "w_mean": w_mean}
+
+
+def lttb_indices(times: np.ndarray, values: np.ndarray, n_out: int) -> np.ndarray:
+    """Largest-Triangle-Three-Buckets sample selection.
+
+    Returns the indices of the ``n_out`` samples to keep (first and last
+    always survive).  For ``n_out >= len(times)`` returns every index.
+    Deterministic: within a bucket, the first sample attaining the maximum
+    triangle area wins (``np.argmax`` tie-breaking).
+    """
+    times = np.asarray(times, dtype=float)
+    values = np.asarray(values, dtype=float)
+    n = times.size
+    if n_out >= n:
+        return np.arange(n, dtype=np.intp)
+    if n_out < 3:
+        raise TimelineError(f"LTTB needs n_out >= 3, got {n_out}")
+    every = (n - 2) / (n_out - 2)
+    out = np.empty(n_out, dtype=np.intp)
+    out[0] = 0
+    out[-1] = n - 1
+    anchor = 0
+    for i in range(n_out - 2):
+        lo = int(np.floor(i * every)) + 1
+        hi = min(int(np.floor((i + 1) * every)) + 1, n - 1)
+        if hi <= lo:
+            hi = lo + 1
+        # the next bucket's centroid (or the final point) closes the triangle
+        nlo = hi
+        nhi = min(int(np.floor((i + 2) * every)) + 1, n) if i < n_out - 3 else n
+        if nhi > nlo:
+            avg_t = float(times[nlo:nhi].mean())
+            avg_v = float(values[nlo:nhi].mean())
+        else:
+            avg_t = float(times[-1])
+            avg_v = float(values[-1])
+        t_a = times[anchor]
+        v_a = values[anchor]
+        area = np.abs(
+            (t_a - avg_t) * (values[lo:hi] - v_a)
+            - (t_a - times[lo:hi]) * (avg_v - v_a)
+        )
+        anchor = lo + int(np.argmax(area))
+        out[i + 1] = anchor
+    return out

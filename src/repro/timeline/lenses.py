@@ -1,0 +1,161 @@
+"""Anomaly lenses: deterministic screens over one run's power timeline.
+
+Each lens reduces the timeline to one number, compares it against a
+threshold, and returns a JSON-friendly dict (``lens``, ``value``,
+``threshold``, ``flagged``, ``detail``).  :func:`scan_run` runs all four:
+
+* ``idle_dwell`` — fraction of the makespan the *active* nodes spend
+  within a small margin of their idle floor (watts bought, work not
+  happening).  The margin is relative to the active nodes' dynamic range
+  so a mostly-idle cluster under system metering does not drown the
+  signal in its idle-node floor.
+* ``psu_saturation`` — fraction of the makespan the active nodes draw
+  near their combined wall-power ceiling (thermal/provisioning risk, and
+  the region where PSU efficiency curves bite hardest).
+* ``power_spike`` — segments where the total exceeds a centered rolling
+  median of the uniformly-resampled curve by a large factor; catches
+  step anomalies a mean would smear.
+* ``meter_drift`` — |measured − true| / true energy: the sampling +
+  gain error the 1 Hz wall-plug methodology inherits.  Large drift means
+  the reported TGI inputs are suspect.
+
+Everything is a pure function of the timeline — no RNG, no clock — so
+the flags are reproducible across runs and machines.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .model import RunTimeline
+
+__all__ = ["scan_run", "DEFAULT_THRESHOLDS"]
+
+#: Flagging thresholds, overridable per call.
+DEFAULT_THRESHOLDS: Dict[str, float] = {
+    "idle_dwell": 0.25,        # >25% of the run near the idle floor
+    "idle_margin": 0.02,       # "near" = within 2% of the dynamic range
+    "psu_saturation": 0.10,    # >10% of the run near the ceiling
+    "saturation_level": 0.95,  # "near" = >=95% of max wall power
+    "spike_ratio": 1.5,        # >1.5x the rolling median
+    "meter_drift": 0.05,       # >5% measured-vs-true energy error
+}
+
+
+def _active_power(timeline: RunTimeline) -> np.ndarray:
+    """Total wall watts minus the constant idle-node floor, per segment."""
+    return timeline.total_watts - timeline.idle_nodes * timeline.idle_wall_w
+
+
+def _time_fraction(timeline: RunTimeline, mask: np.ndarray) -> float:
+    widths = timeline.total_ends - timeline.total_starts
+    return float(widths[mask].sum() / timeline.makespan_s)
+
+
+def _idle_dwell(timeline: RunTimeline, thresholds: Dict[str, float]) -> Dict:
+    active = _active_power(timeline)
+    floor = timeline.nodes_active * timeline.idle_wall_w
+    dynamic = timeline.nodes_active * (
+        timeline.max_node_wall_w - timeline.idle_wall_w
+    )
+    margin = thresholds["idle_margin"] * dynamic
+    value = _time_fraction(timeline, active <= floor + margin)
+    return {
+        "lens": "idle_dwell",
+        "value": value,
+        "threshold": thresholds["idle_dwell"],
+        "flagged": value > thresholds["idle_dwell"],
+        "detail": (
+            f"{100 * value:.1f}% of {timeline.makespan_s:.1f}s within "
+            f"{100 * thresholds['idle_margin']:.0f}% of the idle floor"
+        ),
+    }
+
+
+def _psu_saturation(timeline: RunTimeline, thresholds: Dict[str, float]) -> Dict:
+    active = _active_power(timeline)
+    ceiling = timeline.nodes_active * timeline.max_node_wall_w
+    level = thresholds["saturation_level"]
+    value = _time_fraction(timeline, active >= level * ceiling)
+    return {
+        "lens": "psu_saturation",
+        "value": value,
+        "threshold": thresholds["psu_saturation"],
+        "flagged": value > thresholds["psu_saturation"],
+        "detail": (
+            f"{100 * value:.1f}% of the run at >={100 * level:.0f}% of the "
+            f"{ceiling:.0f}W active-node ceiling"
+        ),
+    }
+
+
+def _rolling_median(values: np.ndarray, window: int) -> np.ndarray:
+    """Centered rolling median with edge padding (odd ``window``)."""
+    half = window // 2
+    padded = np.concatenate(
+        [np.full(half, values[0]), values, np.full(half, values[-1])]
+    )
+    windows = np.lib.stride_tricks.sliding_window_view(padded, window)
+    return np.median(windows, axis=1)
+
+
+def _power_spike(timeline: RunTimeline, thresholds: Dict[str, float]) -> Dict:
+    # Uniform resampling makes the median window a *time* window rather
+    # than a segment-count window (segments have wildly varying widths).
+    n = int(min(1024, max(64, 4 * timeline.segments)))
+    grid = np.linspace(0.0, timeline.makespan_s, n, endpoint=False)
+    idx = np.maximum(
+        np.searchsorted(timeline.total_starts, grid, side="right") - 1, 0
+    )
+    values = timeline.total_watts[idx]
+    window = max(5, n // 32) | 1
+    median = np.maximum(_rolling_median(values, window), 1e-12)
+    ratios = values / median
+    spike_ratio = thresholds["spike_ratio"]
+    spikes = int(np.count_nonzero(ratios > spike_ratio))
+    value = float(ratios.max())
+    return {
+        "lens": "power_spike",
+        "value": value,
+        "threshold": spike_ratio,
+        "flagged": spikes > 0,
+        "detail": (
+            f"{spikes} of {n} samples exceed {spike_ratio:.2f}x the rolling "
+            f"median (peak ratio {value:.2f}x)"
+        ),
+    }
+
+
+def _meter_drift(timeline: RunTimeline, thresholds: Dict[str, float]) -> Dict:
+    true = timeline.true_energy_j
+    drift = (
+        abs(timeline.measured_energy_j - true) / true if true > 0 else 0.0
+    )
+    return {
+        "lens": "meter_drift",
+        "value": drift,
+        "threshold": thresholds["meter_drift"],
+        "flagged": drift > thresholds["meter_drift"],
+        "detail": (
+            f"meter log integrates to {timeline.measured_energy_j:.1f} J vs "
+            f"{true:.1f} J true ({100 * drift:.2f}% drift)"
+        ),
+    }
+
+
+def scan_run(
+    timeline: RunTimeline,
+    thresholds: Optional[Dict[str, float]] = None,
+) -> List[Dict]:
+    """All four lenses over one run, in a fixed order."""
+    merged = dict(DEFAULT_THRESHOLDS)
+    if thresholds:
+        merged.update(thresholds)
+    return [
+        _idle_dwell(timeline, merged),
+        _psu_saturation(timeline, merged),
+        _power_spike(timeline, merged),
+        _meter_drift(timeline, merged),
+    ]

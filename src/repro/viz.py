@@ -8,15 +8,49 @@ renders multi-series ASCII charts with no plotting dependency:
 >>> print(ascii_chart({"EE": [1, 4, 9, 16]}, x=[1, 2, 3, 4]))   # doctest: +SKIP
 
 Used by ``tgi run <fig> --plot`` and the examples.
+
+If matplotlib happens to be installed, :func:`ensure_headless_backend`
+(invoked at import) forces the non-interactive ``Agg`` backend when no
+display is available, so batch/CI environments never die trying to open
+a GUI toolkit.  Nothing here imports matplotlib — it is purely optional.
 """
 
 from __future__ import annotations
 
+import importlib.util
+import os
 from typing import Dict, List, Optional, Sequence
 
 from .exceptions import ReproError
 
-__all__ = ["ascii_chart", "ascii_sparkline"]
+__all__ = ["ascii_chart", "ascii_sparkline", "ensure_headless_backend"]
+
+
+def _matplotlib_available() -> bool:
+    """Whether matplotlib is importable (without importing it)."""
+    return importlib.util.find_spec("matplotlib") is not None
+
+
+def ensure_headless_backend(environ=os.environ) -> bool:
+    """Pin matplotlib to a non-interactive backend on display-less hosts.
+
+    When no ``DISPLAY``/``WAYLAND_DISPLAY`` is set and matplotlib is
+    installed, sets ``MPLBACKEND=Agg`` (unless the user already chose a
+    backend) so any later ``import matplotlib`` cannot attempt a GUI
+    toolkit.  Returns whether the variable was set by this call.  A no-op
+    on machines with a display or without matplotlib.
+    """
+    if environ.get("DISPLAY") or environ.get("WAYLAND_DISPLAY"):
+        return False
+    if "MPLBACKEND" in environ:
+        return False
+    if not _matplotlib_available():
+        return False
+    environ["MPLBACKEND"] = "Agg"
+    return True
+
+
+ensure_headless_backend()
 
 _MARKERS = "*o+x#@"
 _SPARK_LEVELS = " .:-=+*#%@"
