@@ -1,0 +1,181 @@
+"""Sharded-scheduler bench: coordination must stay a rounding error.
+
+Three claims pinned here:
+
+1. The scheduler's bookkeeping (keying, shard planning, the stealing
+   loop, journal events) adds **< 10%** over the plain runner for the
+   same inline serial campaign.  The two sides are measured
+   *interleaved* (runner, scheduler, runner, scheduler, ...) and
+   best-of-REPEATS so machine drift hits both denominators equally — on
+   deliberately tiny jobs an un-paired wall-clock ratio swings by more
+   than the budget.
+2. A warm resume — every job recovered from the shared cache, nothing
+   re-executed — costs a bounded fraction of the cold campaign: replaying
+   the journal plus N cache probes, not N executions.
+3. The crash-resume round trip (cold run killed mid-flight, then resumed
+   to completion) re-executes only what the crash actually lost, so its
+   total work stays close to one uninterrupted run.  Reported as a ratio
+   of the uninterrupted wall time; the budget leaves room for one
+   re-executed job (the in-flight casualty) plus replay.
+"""
+
+import dataclasses
+import tempfile
+import time
+from pathlib import Path
+
+from repro import journal as jrnl
+from repro.campaign import CampaignRunner, ResultCache, ShardedCampaignScheduler
+from repro.campaign.jobs import CampaignJob, ClusterRef
+from repro.experiments import PAPER_CONFIG
+from repro.perfwatch import MetricSpec, scenario
+
+JOB_COUNT = 30
+REPEATS = 3
+
+QUICK_CONFIG = dataclasses.replace(
+    PAPER_CONFIG,
+    hpl_problem_size=2240,
+    hpl_rounds=1,
+    stream_target_seconds=2,
+    iozone_target_seconds=2,
+)
+
+
+def _jobs():
+    return [
+        CampaignJob(
+            job_id=f"shard-{i:02d}",
+            cluster=ClusterRef(kind="preset", name="fire", num_nodes=1),
+            core_counts=(8,),
+            seed=i,
+            config=QUICK_CONFIG,
+        )
+        for i in range(JOB_COUNT)
+    ]
+
+
+def _paired_seconds(repeats: int = 5) -> tuple:
+    """Interleaved best-of wall times: (plain runner, sharded scheduler)."""
+    best_runner = best_scheduler = float("inf")
+    for _ in range(repeats):
+        jobs = _jobs()
+        t0 = time.perf_counter()
+        CampaignRunner(workers=1).run(jobs, label="sharded-bench")
+        best_runner = min(best_runner, time.perf_counter() - t0)
+        jobs = _jobs()
+        t0 = time.perf_counter()
+        ShardedCampaignScheduler(workers=1, shards=4).run(jobs, label="sharded-bench")
+        best_scheduler = min(best_scheduler, time.perf_counter() - t0)
+    return best_runner, best_scheduler
+
+
+def _cold_and_warm_resume_seconds() -> tuple:
+    """(cold journaled run, warm resume of it) — warm recovers everything."""
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = ResultCache(Path(tmp) / "cache")
+        path = Path(tmp) / "run.jsonl"
+        jobs = _jobs()
+        t0 = time.perf_counter()
+        ShardedCampaignScheduler(workers=1, cache=cache, journal=path).run(
+            jobs, label="sharded-bench"
+        )
+        cold = time.perf_counter() - t0
+        best_warm = float("inf")
+        for _ in range(REPEATS):
+            t0 = time.perf_counter()
+            result = ShardedCampaignScheduler(
+                workers=1, cache=cache, journal=path
+            ).run(jobs, label="sharded-bench", resume=True)
+            best_warm = min(best_warm, time.perf_counter() - t0)
+        assert result.manifest["sharding"]["jobs_recovered"] == JOB_COUNT
+    return cold, best_warm
+
+
+def _crash_resume_roundtrip_seconds() -> float:
+    """Kill the cold run mid-campaign, resume it; total wall of both legs."""
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = ResultCache(Path(tmp) / "cache")
+        path = Path(tmp) / "run.jsonl"
+        jobs = _jobs()
+        # Crash roughly halfway through the event stream: run.start +
+        # JOB_COUNT scheduled + 1 shard.planned, then ~half the per-job
+        # started/completed/stored triplets.
+        crash_after = 2 + JOB_COUNT + 3 * (JOB_COUNT // 2)
+        crasher = jrnl.CrashingJournalWriter(
+            path, crash_after=crash_after, label="sharded-bench"
+        )
+        t0 = time.perf_counter()
+        try:
+            ShardedCampaignScheduler(workers=1, cache=cache, journal=crasher).run(
+                jobs, label="sharded-bench"
+            )
+            raise AssertionError("drill writer never crashed")
+        except jrnl.SimulatedCrash:
+            pass
+        result = ShardedCampaignScheduler(workers=1, cache=cache, journal=path).run(
+            jobs, label="sharded-bench", resume=True
+        )
+        elapsed = time.perf_counter() - t0
+        assert result.manifest["sharding"]["resumed"] is True
+    return elapsed
+
+
+@scenario(
+    "campaign.sharded_resume",
+    description="sharded-scheduler coordination cost and crash-resume economics",
+    tier="quick",
+    repeats=2,
+    metrics=(
+        MetricSpec(
+            "scheduler_overhead_fraction",
+            direction="lower",
+            help="(sharded inline wall / plain runner wall) - 1; budget is 0.10",
+        ),
+        MetricSpec(
+            "warm_resume_fraction",
+            direction="lower",
+            help="warm resume (all jobs recovered) wall / cold campaign wall",
+        ),
+        MetricSpec(
+            "crash_roundtrip_ratio",
+            direction="lower",
+            help="wall of crash-at-half + resume, relative to one uninterrupted run",
+        ),
+    ),
+)
+def sharded_resume_scenario():
+    runner_s, scheduler_s = _paired_seconds()
+    cold_s, warm_s = _cold_and_warm_resume_seconds()
+    roundtrip_s = _crash_resume_roundtrip_seconds()
+    return {
+        "scheduler_overhead_fraction": scheduler_s / runner_s - 1.0,
+        "warm_resume_fraction": warm_s / cold_s,
+        "crash_roundtrip_ratio": roundtrip_s / cold_s,
+    }
+
+
+def test_scheduler_overhead_under_10_percent():
+    runner_s, scheduler_s = _paired_seconds()
+    overhead = scheduler_s / runner_s - 1.0
+    print(
+        f"\n{JOB_COUNT}-config campaign: runner {runner_s:.3f} s, "
+        f"sharded scheduler {scheduler_s:.3f} s -> {100 * overhead:.2f}% overhead"
+    )
+    assert overhead < 0.10, (
+        f"scheduler overhead {100 * overhead:.2f}% exceeds the 10% budget"
+    )
+
+
+def test_warm_resume_is_cheaper_than_rerunning():
+    cold_s, warm_s = _cold_and_warm_resume_seconds()
+    fraction = warm_s / cold_s
+    print(
+        f"\ncold campaign {cold_s:.3f} s, warm resume {warm_s:.3f} s "
+        f"-> {100 * fraction:.1f}% of cold"
+    )
+    # Replay + N probes must beat N executions by a wide margin.
+    assert fraction < 0.5, (
+        f"warm resume costs {100 * fraction:.0f}% of a cold run — "
+        "recovery is not recovering"
+    )

@@ -88,7 +88,7 @@ from .sim import ClusterExecutor
 from .exceptions import CampaignExecutionError, InjectedFault, ReproError
 from .faults import FaultInjector, FaultPlan
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 from .campaign import (  # noqa: E402 - needs __version__ for cache stamps
     CampaignJob,

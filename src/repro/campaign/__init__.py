@@ -17,6 +17,10 @@ This package is the substrate that runs them at scale:
     :class:`CampaignResult`.
 :mod:`~repro.campaign.manifest`
     Machine-readable run manifests and their reproducibility fingerprint.
+:mod:`~repro.campaign.scheduler`
+    :class:`ShardedCampaignScheduler` — deterministic sharding, work
+    stealing, and journal-replay crash resume over a transport-shaped
+    worker API (see ``docs/distributed_campaigns.md``).
 
 Quick tour:
 
@@ -44,7 +48,26 @@ from .manifest import (
     manifest_fingerprint,
     write_manifest,
 )
-from .runner import CampaignResult, CampaignRunner, JobOutcome, run_cache_stats
+from .runner import (
+    CampaignResult,
+    CampaignRunner,
+    JobOutcome,
+    build_manifest,
+    check_jobs,
+    run_cache_stats,
+)
+from .scheduler import (
+    InlineTransport,
+    ProcessPoolTransport,
+    ShardedCampaignScheduler,
+    ShardPlan,
+    WorkerTransport,
+    WorkItem,
+    WorkResult,
+    execute_work_item,
+    plan_shards,
+    shard_of,
+)
 
 __all__ = [
     "CacheStats",
@@ -68,4 +91,16 @@ __all__ = [
     "CampaignRunner",
     "JobOutcome",
     "run_cache_stats",
+    "check_jobs",
+    "build_manifest",
+    "shard_of",
+    "ShardPlan",
+    "plan_shards",
+    "WorkItem",
+    "WorkResult",
+    "execute_work_item",
+    "WorkerTransport",
+    "InlineTransport",
+    "ProcessPoolTransport",
+    "ShardedCampaignScheduler",
 ]

@@ -12,6 +12,12 @@ accounting instead of silently shadowing fresh results.
 The cache never deserializes payloads into live objects — it deals in the
 same JSON-compatible dicts :mod:`repro.serialization` produces — so a hit
 is a file read plus a version check, nothing more.
+
+One cache directory may be shared by many processes (pool workers of one
+campaign, or several campaigns/hosts on a shared filesystem): writers
+stage entries under unique per-writer temp names and publish with an
+atomic rename, so readers never observe half a file and concurrent
+writers of the same key never clobber each other's staging file.
 """
 
 from __future__ import annotations
@@ -19,6 +25,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import os
 from pathlib import Path
 from typing import Dict, Optional, Union
 
@@ -116,17 +123,20 @@ class ResultCache:
         """Where an entry for ``key`` lives (whether or not it exists)."""
         return self.directory / key[:2] / f"{key}.json"
 
-    def get(self, key: str) -> Optional[Dict]:
-        """The cached payload for ``key``, or ``None`` (miss/invalidated)."""
+    def _read_entry(self, key: str) -> Optional[Dict]:
+        """The on-disk entry for ``key`` if present *and* valid, else ``None``.
+
+        Pure read: no stats mutation, no deletion.  This is the single
+        validation predicate — ``get`` layers accounting and stale-entry
+        cleanup on top of it, and ``__contains__``/``__len__`` use it
+        directly so membership always agrees with what ``get`` would
+        actually serve.
+        """
         path = self.path_for(key)
-        if not path.exists():
-            self.stats.misses += 1
-            tele.count("tgi_cache_lookups_total", result="miss")
-            return None
         try:
             entry = json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError):
-            entry = None
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return None
         if (
             not isinstance(entry, dict)
             or entry.get("entry_version") != CACHE_ENTRY_VERSION
@@ -134,6 +144,18 @@ class ResultCache:
             or entry.get("key") != key
             or "payload" not in entry
         ):
+            return None
+        return entry
+
+    def get(self, key: str) -> Optional[Dict]:
+        """The cached payload for ``key``, or ``None`` (miss/invalidated)."""
+        path = self.path_for(key)
+        if not path.exists():
+            self.stats.misses += 1
+            tele.count("tgi_cache_lookups_total", result="miss")
+            return None
+        entry = self._read_entry(key)
+        if entry is None:
             # Stale or corrupt: drop it so the rerun's put() replaces it.
             self.stats.invalidations += 1
             tele.count("tgi_cache_lookups_total", result="invalidated")
@@ -153,9 +175,17 @@ class ResultCache:
             "code_version": self.code_version,
             "payload": payload,
         }
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(entry, sort_keys=True))
-        tmp.replace(path)  # atomic publish: concurrent readers never see half a file
+        # Unique per-writer staging name: a shared name (the old
+        # ``path.with_suffix(".tmp")``) let one writer's replace() yank the
+        # file out from under another writer of the same key mid-write.
+        # The ``.tmp`` suffix keeps stragglers out of the ``*/*.json`` scan.
+        tmp = path.parent / f"{path.name}.{os.getpid()}.{os.urandom(4).hex()}.tmp"
+        try:
+            tmp.write_text(json.dumps(entry, sort_keys=True))
+            tmp.replace(path)  # atomic publish: readers never see half a file
+        except BaseException:
+            tmp.unlink(missing_ok=True)
+            raise
         self.stats.puts += 1
         tele.count("tgi_cache_puts_total")
         return path
@@ -166,9 +196,15 @@ class ResultCache:
         return self.stats.as_dict()
 
     def __contains__(self, key: str) -> bool:
-        return self.path_for(key).exists()
+        """Whether ``get(key)`` would hit (validated, stats untouched)."""
+        return self._read_entry(key) is not None
 
     def __len__(self) -> int:
+        """Number of entries ``get`` would serve (stale/corrupt excluded)."""
         if not self.directory.exists():
             return 0
-        return sum(1 for _ in self.directory.glob("*/*.json"))
+        return sum(
+            1
+            for path in self.directory.glob("*/*.json")
+            if self._read_entry(path.stem) is not None
+        )

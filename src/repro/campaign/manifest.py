@@ -53,6 +53,10 @@ VOLATILE_CAMPAIGN_FIELDS = (
     # Failure accounting: a warm cache skips executions, so retry counts
     # differ between cold and warm runs of the same campaign.
     "failures",
+    # Sharded-scheduler block: shard plan, transport, steal/recovery
+    # counts describe one execution; sharded, resumed, and plain-runner
+    # runs of the same jobs must fingerprint alike.
+    "sharding",
     # Not volatile, but derived from the core — excluded so that
     # recomputing manifest_fingerprint(manifest) reproduces the stored one.
     "fingerprint",

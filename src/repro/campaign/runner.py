@@ -80,6 +80,8 @@ __all__ = [
     "CampaignResult",
     "CampaignRunner",
     "run_cache_stats",
+    "check_jobs",
+    "build_manifest",
     "TRACEBACK_LIMIT_CHARS",
 ]
 
@@ -124,21 +126,21 @@ def _retry_delay(base_s: float, attempt: int, seed: int, scope: str) -> float:
 _JOURNAL_MESSAGE_LIMIT = 500
 
 
-def _rusage_delta(start: Optional[Dict]) -> Dict:
-    """CPU seconds spent since ``start`` plus the absolute peak RSS.
+def check_jobs(jobs: Sequence[CampaignJob]) -> List[CampaignJob]:
+    """Validate a campaign's job list (non-empty, unique ids); returns it.
 
-    Peak RSS is monotonic per process, so it is reported as-is (the peak
-    so far), while CPU time is differenced to charge each job only its
-    own attempts.
+    Shared by :class:`CampaignRunner` and the sharded scheduler
+    (:mod:`repro.campaign.scheduler`) so both reject malformed campaigns
+    with identical errors.
     """
-    end = jrnl.rusage_fields()
-    if start is None or end["cpu_user_s"] is None or start["cpu_user_s"] is None:
-        return end
-    return {
-        "cpu_user_s": end["cpu_user_s"] - start["cpu_user_s"],
-        "cpu_system_s": end["cpu_system_s"] - start["cpu_system_s"],
-        "max_rss_bytes": end["max_rss_bytes"],
-    }
+    jobs = list(jobs)
+    if not jobs:
+        raise ReproError("campaign needs at least one job")
+    ids = [job.job_id for job in jobs]
+    if len(set(ids)) != len(ids):
+        dupes = sorted({i for i in ids if ids.count(i) > 1})
+        raise ReproError(f"duplicate job ids in campaign: {dupes}")
+    return jobs
 
 
 def _attempt_job(
@@ -215,7 +217,7 @@ def _attempt_job(
                     job=job.job_id,
                     attempts=attempt + 1,
                     wall_s=wall,
-                    **_rusage_delta(ru_start),
+                    **jrnl.rusage_delta(ru_start),
                 )
             return payload, None, attempt + 1, wall
         except Exception as exc:  # containment boundary — one job, not the run
@@ -580,13 +582,7 @@ class CampaignRunner:
         runner-owned journal (``run.stop`` with ``status="aborted"``) —
         the flight recorder's whole point is surviving the crash.
         """
-        jobs = list(jobs)
-        if not jobs:
-            raise ReproError("campaign needs at least one job")
-        ids = [job.job_id for job in jobs]
-        if len(set(ids)) != len(ids):
-            dupes = sorted({i for i in ids if ids.count(i) > 1})
-            raise ReproError(f"duplicate job ids in campaign: {dupes}")
+        jobs = check_jobs(jobs)
 
         if self.timeline is not None:
             self.timeline.mkdir(parents=True, exist_ok=True)
@@ -611,7 +607,7 @@ class CampaignRunner:
                 attached_ambient = True
 
         t_start = time.perf_counter()
-        invalidations_before = self.cache.stats.invalidations if self.cache else 0
+        invalidations_before = self.cache.stats.invalidations if self.cache is not None else 0
         try:
             with tele.span("campaign.run", label=label, jobs=len(jobs)):
                 keys: List[str] = []
@@ -719,7 +715,7 @@ class CampaignRunner:
             for i in range(len(jobs))
         ]
         invalidations = (
-            self.cache.stats.invalidations - invalidations_before if self.cache else 0
+            self.cache.stats.invalidations - invalidations_before if self.cache is not None else 0
         )
         journal_info = None
         if writer is not None:
@@ -746,14 +742,18 @@ class CampaignRunner:
                 "artifacts": len(artifacts),
                 "version": tline.TIMELINE_SCHEMA_VERSION,
             }
-        manifest = self._build_manifest(
-            label,
-            outcomes,
-            total_wall,
-            workers_used,
-            invalidations,
-            journal_info,
-            timeline_info,
+        manifest = build_manifest(
+            label=label,
+            outcomes=outcomes,
+            total_wall=total_wall,
+            workers_requested=self.workers,
+            workers_used=workers_used,
+            cache=self.cache,
+            retries_allowed=self.retries,
+            keep_going=self.keep_going,
+            invalidations=invalidations,
+            journal_info=journal_info,
+            timeline_info=timeline_info,
         )
         return CampaignResult(outcomes, manifest)
 
@@ -867,81 +867,104 @@ class CampaignRunner:
                 payloads[index] = payload
         return 1
 
-    # ------------------------------------------------------------------
-    def _build_manifest(
-        self,
-        label: str,
-        outcomes: Sequence[JobOutcome],
-        total_wall: float,
-        workers_used: int,
-        invalidations: int,
-        journal_info: Optional[Dict] = None,
-        timeline_info: Optional[Dict] = None,
-    ) -> Dict:
-        from .. import __version__
+def build_manifest(
+    *,
+    label: str,
+    outcomes: Sequence[JobOutcome],
+    total_wall: float,
+    workers_requested: int,
+    workers_used: int,
+    cache: Optional[ResultCache],
+    retries_allowed: int,
+    keep_going: bool,
+    invalidations: int,
+    journal_info: Optional[Dict] = None,
+    timeline_info: Optional[Dict] = None,
+    extra: Optional[Dict] = None,
+) -> Dict:
+    """Assemble (and fingerprint) the run manifest from job outcomes.
 
-        session = tele.current()
-        jobs_failed = sum(1 for o in outcomes if not o.ok)
-        retries_total = sum(o.retries for o in outcomes)
-        manifest = {
-            "manifest_version": MANIFEST_VERSION,
-            "label": label,
-            "code_version": self.cache.code_version if self.cache else __version__,
-            "created_unix": time.time(),
-            "total_wall_s": total_wall,
-            "workers_requested": self.workers,
-            "workers_used": workers_used,
-            "cache_enabled": self.cache is not None,
-            "cache": self.cache.cache_stats if self.cache is not None else None,
-            "cache_run": run_cache_stats(
-                [o.cache_status for o in outcomes],
-                executions=[o.attempts for o in outcomes],
-                invalidations=invalidations,
-            ),
-            # Failure accounting; volatile because a warm cache changes how
-            # many executions (and hence retries) actually happened.
-            "failures": {
-                "jobs_failed": jobs_failed,
-                "jobs_retried": sum(1 for o in outcomes if o.retries),
-                "retries_total": retries_total,
-                "retries_allowed": self.retries,
-                "keep_going": self.keep_going,
-            },
-            # Volatile flight-recorder block: where the journal landed,
-            # how many events it holds, and its content digest.  Excluded
-            # from the fingerprint — journaled and bare runs of the same
-            # jobs are fingerprint-identical.
-            "journal": journal_info,
-            # Volatile power-timeline block: where per-job artifacts
-            # landed and how many.  Excluded from the fingerprint — runs
-            # with and without timeline capture are fingerprint-identical.
-            "timeline": timeline_info,
-            # Volatile observability summary; the full export is written by
-            # the CLI beside the manifest.  Excluded from the fingerprint.
-            "telemetry": None
-            if session is None
-            else {
-                "session": session.label,
-                "span_count": len(session.tracer.spans),
-                "span_names": sorted({s.name for s in session.tracer.spans}),
-                "metric_names": sorted(session.metrics.as_dict()),
-            },
-            "jobs": [
-                {
-                    "job_id": o.job.job_id,
-                    "key": o.key,
-                    "status": o.status,
-                    "payload_sha256": cache_key(o.payload) if o.ok else None,
-                    "cluster_name": o.payload["cluster_name"] if o.ok else None,
-                    "core_counts": list(o.job.core_counts),
-                    "spec": job_to_dict(o.job),
-                    "cache_status": o.cache_status,
-                    "wall_s": o.wall_s,
-                    "attempts": o.attempts,
-                    "error": o.error,
-                }
-                for o in outcomes
-            ],
-        }
-        manifest["fingerprint"] = manifest_fingerprint(manifest)
-        return manifest
+    The single manifest builder shared by :class:`CampaignRunner` and the
+    sharded scheduler: both executors describe a run in exactly the same
+    rows, so their fingerprints are directly comparable.  ``extra`` merges
+    additional top-level blocks (e.g. the scheduler's ``sharding`` block);
+    every extra key must be listed in
+    :data:`repro.campaign.manifest.VOLATILE_CAMPAIGN_FIELDS`, keeping
+    fingerprints invariant across executors.
+    """
+    from .. import __version__
+    from .manifest import VOLATILE_CAMPAIGN_FIELDS
+
+    session = tele.current()
+    jobs_failed = sum(1 for o in outcomes if not o.ok)
+    retries_total = sum(o.retries for o in outcomes)
+    manifest = {
+        "manifest_version": MANIFEST_VERSION,
+        "label": label,
+        "code_version": cache.code_version if cache is not None else __version__,
+        "created_unix": time.time(),
+        "total_wall_s": total_wall,
+        "workers_requested": workers_requested,
+        "workers_used": workers_used,
+        "cache_enabled": cache is not None,
+        "cache": cache.cache_stats if cache is not None else None,
+        "cache_run": run_cache_stats(
+            [o.cache_status for o in outcomes],
+            executions=[o.attempts for o in outcomes],
+            invalidations=invalidations,
+        ),
+        # Failure accounting; volatile because a warm cache changes how
+        # many executions (and hence retries) actually happened.
+        "failures": {
+            "jobs_failed": jobs_failed,
+            "jobs_retried": sum(1 for o in outcomes if o.retries),
+            "retries_total": retries_total,
+            "retries_allowed": retries_allowed,
+            "keep_going": keep_going,
+        },
+        # Volatile flight-recorder block: where the journal landed,
+        # how many events it holds, and its content digest.  Excluded
+        # from the fingerprint — journaled and bare runs of the same
+        # jobs are fingerprint-identical.
+        "journal": journal_info,
+        # Volatile power-timeline block: where per-job artifacts
+        # landed and how many.  Excluded from the fingerprint — runs
+        # with and without timeline capture are fingerprint-identical.
+        "timeline": timeline_info,
+        # Volatile observability summary; the full export is written by
+        # the CLI beside the manifest.  Excluded from the fingerprint.
+        "telemetry": None
+        if session is None
+        else {
+            "session": session.label,
+            "span_count": len(session.tracer.spans),
+            "span_names": sorted({s.name for s in session.tracer.spans}),
+            "metric_names": sorted(session.metrics.as_dict()),
+        },
+        "jobs": [
+            {
+                "job_id": o.job.job_id,
+                "key": o.key,
+                "status": o.status,
+                "payload_sha256": cache_key(o.payload) if o.ok else None,
+                "cluster_name": o.payload["cluster_name"] if o.ok else None,
+                "core_counts": list(o.job.core_counts),
+                "spec": job_to_dict(o.job),
+                "cache_status": o.cache_status,
+                "wall_s": o.wall_s,
+                "attempts": o.attempts,
+                "error": o.error,
+            }
+            for o in outcomes
+        ],
+    }
+    if extra:
+        rogue = sorted(set(extra) - set(VOLATILE_CAMPAIGN_FIELDS))
+        if rogue:
+            raise ReproError(
+                f"extra manifest block(s) {rogue} are not fingerprint-volatile; "
+                "add them to VOLATILE_CAMPAIGN_FIELDS or drop them"
+            )
+        manifest.update(extra)
+    manifest["fingerprint"] = manifest_fingerprint(manifest)
+    return manifest

@@ -10,6 +10,8 @@
     tgi campaign --workers 4     # parallel, cached measurement campaign
     tgi campaign --journal r.jl  # ... with the flight recorder armed
     tgi campaign --timeline tl/  # ... with per-job power timelines captured
+    tgi campaign --shards 8 --cache-dir c/ --journal r.jl   # sharded scheduler
+    tgi campaign --resume r.jl --cache-dir c/   # crash-resume a journaled run
     tgi watch r.jl               # live progress of an in-flight journaled run
     tgi tail r.jl -f             # stream journal events as they arrive
     tgi journal report r.jl      # post-run anomaly report (stragglers, storms)
@@ -277,6 +279,23 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="capture per-job power timelines into DIR as "
         "<job>.timeline.json artifacts (render with `tgi dashboard`)",
+    )
+    campaign.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        metavar="N",
+        help="run on the sharded work-stealing scheduler with N deterministic "
+        "shards (0 = plain runner unless --resume; resume defaults to one "
+        "shard per worker)",
+    )
+    campaign.add_argument(
+        "--resume",
+        default=None,
+        metavar="JOURNAL",
+        help="resume a crashed campaign from its journal: replay it, skip "
+        "jobs already completed and recoverable from --cache-dir, re-schedule "
+        "the remainder, and extend the same journal (requires --cache-dir)",
     )
 
     dashboard = sub.add_parser(
@@ -789,14 +808,18 @@ def _cmd_trace(
 
 #: Per-type fields worth showing in the human `tgi tail` rendering.
 _TAIL_DETAIL_FIELDS = {
-    "run.start": ("label", "jobs", "workers"),
+    "run.start": ("label", "jobs", "workers", "shards"),
+    "run.resumed": ("jobs_recovered", "jobs_pending", "shards"),
     "run.stop": ("status", "jobs_failed", "total_wall_s"),
+    "shard.planned": ("shard", "jobs"),
     "job.scheduled": ("job", "index"),
     "job.cache_hit": ("job", "attempt"),
     "job.started": ("job", "attempt"),
     "job.attempt_failed": ("job", "attempt", "error_type"),
     "job.retried": ("job", "attempt", "delay_s"),
     "job.completed": ("job", "attempts", "wall_s"),
+    "job.stored": ("job",),
+    "job.stolen": ("job", "from_shard", "by_shard"),
     "job.failed": ("job", "attempts", "error_type"),
     "worker.heartbeat": ("jobs_done", "max_rss_bytes"),
     "fault.injected": ("kind", "scope", "attempt"),
@@ -1312,10 +1335,18 @@ def _cmd_campaign(
     fault_seed: int = 0,
     journal: Optional[str] = None,
     timeline: Optional[str] = None,
+    shards: int = 0,
+    resume: Optional[str] = None,
 ) -> int:
     import dataclasses
 
-    from .campaign import CampaignRunner, ResultCache, fleet_jobs, paper_jobs
+    from .campaign import (
+        CampaignRunner,
+        ResultCache,
+        ShardedCampaignScheduler,
+        fleet_jobs,
+        paper_jobs,
+    )
     from .telemetry import attribution_to_dicts, campaign_attribution, render_attribution
 
     jobs = paper_jobs(PAPER_CONFIG)
@@ -1339,17 +1370,46 @@ def _cmd_campaign(
             "fault injection armed: "
             + ", ".join(f"{jid} <- {plans[jid]}" for jid in sorted(plans))
         )
+    if resume is not None:
+        if not cache_dir:
+            raise ReproError(
+                "--resume requires --cache-dir: recovery skips jobs whose "
+                "results survive in the shared cache"
+            )
+        if journal is not None and journal != resume:
+            raise ReproError(
+                f"--journal {journal!r} conflicts with --resume {resume!r}; "
+                "a resumed run extends the journal it resumes from "
+                "(drop --journal or pass the same path)"
+            )
+        journal = resume
     cache = ResultCache(cache_dir) if cache_dir else None
-    runner = CampaignRunner(
-        workers=workers,
-        cache=cache,
-        retries=retries,
-        keep_going=keep_going,
-        backoff_s=retry_backoff,
-        backoff_seed=fault_seed,
-        journal=journal,
-        timeline=timeline,
-    )
+    sharded = bool(shards) or resume is not None
+    if sharded:
+        runner = ShardedCampaignScheduler(
+            workers=workers,
+            shards=shards,
+            cache=cache,
+            retries=retries,
+            keep_going=keep_going,
+            backoff_s=retry_backoff,
+            backoff_seed=fault_seed,
+            journal=journal,
+            timeline=timeline,
+        )
+    else:
+        runner = CampaignRunner(
+            workers=workers,
+            cache=cache,
+            retries=retries,
+            keep_going=keep_going,
+            backoff_s=retry_backoff,
+            backoff_seed=fault_seed,
+            journal=journal,
+            timeline=timeline,
+        )
+    if resume is not None:
+        _console.status(f"resuming campaign from journal: {resume}")
     if journal:
         _console.status(
             f"flight recorder armed: {journal} (follow with `tgi watch {journal}`)"
@@ -1360,12 +1420,15 @@ def _cmd_campaign(
             f"(render with `tgi dashboard --timeline {timeline}`)"
         )
 
+    run_kwargs = {"label": "cli-campaign"}
+    if sharded:
+        run_kwargs["resume"] = resume is not None
     session = None
     if telemetry:
         with tele.use(tele.TelemetrySession(label="cli-campaign")) as session:
-            result = runner.run(jobs, label="cli-campaign")
+            result = runner.run(jobs, **run_kwargs)
     else:
-        result = runner.run(jobs, label="cli-campaign")
+        result = runner.run(jobs, **run_kwargs)
 
     rows = []
     for outcome in result:
@@ -1424,6 +1487,18 @@ def _cmd_campaign(
         _console.status(
             f"timelines: {timeline_block['artifacts']} artifact(s) in "
             f"{timeline_block['dir']}"
+        )
+    sharding_block = manifest.get("sharding")
+    if sharding_block:
+        _console.status(
+            f"sharding: {sharding_block['shards']} shard(s) over "
+            f"{sharding_block['transport']} transport, "
+            f"{sharding_block['stolen']} job(s) stolen"
+            + (
+                f", {sharding_block['jobs_recovered']} recovered on resume"
+                if sharding_block.get("resumed")
+                else ""
+            )
         )
     if manifest_path:
         result.write_manifest(manifest_path)
@@ -1628,6 +1703,8 @@ def _dispatch(args: argparse.Namespace) -> int:
             fault_seed=args.fault_seed,
             journal=args.journal,
             timeline=args.timeline,
+            shards=args.shards,
+            resume=args.resume,
         )
     if args.command == "dashboard":
         return _cmd_dashboard(args)

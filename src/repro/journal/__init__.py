@@ -68,13 +68,16 @@ from .trace_export import (
     validate_trace,
 )
 from .writer import (
+    CrashingJournalWriter,
     JournalWriter,
+    SimulatedCrash,
     ambient,
     attach,
     detach,
     emit,
     journaling,
     new_run_id,
+    rusage_delta,
     rusage_fields,
     use_writer,
 )
@@ -86,8 +89,11 @@ __all__ = [
     "validate_event",
     "check_event",
     "JournalWriter",
+    "CrashingJournalWriter",
+    "SimulatedCrash",
     "new_run_id",
     "rusage_fields",
+    "rusage_delta",
     "attach",
     "detach",
     "ambient",

@@ -31,9 +31,27 @@ Event types
 ``run.start`` / ``run.stop``
     Campaign lifecycle.  ``run.stop`` carries the terminal ``status``
     (``ok``/``failed``/``aborted``) — its *absence* is how a reader
-    detects a crashed or in-flight run.
+    detects a crashed or in-flight run.  Sharded runs add the optional
+    ``shards`` count.
+``run.resumed``
+    A crash-resumed campaign picked the journal back up: how many jobs
+    were recovered (terminal in the replayed state *and* recoverable from
+    the shared result cache) versus re-scheduled.  The resumed run keeps
+    the original ``run_id`` and extends the same file, so one journal
+    tells the whole story.
+``shard.planned``
+    One per shard of a sharded campaign: the shard ordinal and how many
+    jobs the deterministic plan placed in it.
 ``job.scheduled``
     One per job, in submission order, with the content-addressed job key.
+``job.stolen``
+    Work-stealing: an idle worker slot (affinity ``by_shard``) took a job
+    planned into ``from_shard``.  Pure scheduling telemetry — replay does
+    not change job state on it.
+``job.stored``
+    The executing process published a job's payload into the shared
+    result cache (emitted *after* the atomic rename lands, so its
+    presence implies a durable entry).
 ``job.cache_hit``
     The job was served from the result cache (``attempt`` records on
     which attempt the hit landed — 0 for the usual pre-execution probe).
@@ -45,7 +63,12 @@ Event types
 ``job.completed`` / ``job.failed``
     Terminal job states.  ``job.completed`` carries the per-job resource
     accounting captured in the executing process via
-    ``resource.getrusage``: CPU seconds (user/system) and peak RSS.
+    ``resource.getrusage``: CPU seconds (user/system) *differenced*
+    against a snapshot taken when the attempt began (getrusage counters
+    are process-cumulative, so a reused pool worker would otherwise bill
+    every job for its predecessors), and peak RSS — which stays a
+    process-lifetime high-water mark, since a peak cannot be meaningfully
+    differenced.
 ``worker.heartbeat``
     Emitted by a pool worker as it picks up work — liveness plus
     cumulative resource usage of that worker process.
@@ -102,6 +125,16 @@ EVENT_FIELDS: Dict[str, Tuple[Tuple[str, tuple, bool], ...]] = {
         ("retries_allowed", (int,), True),
         ("keep_going", (bool,), True),
         ("cache_enabled", (bool,), True),
+        ("shards", (int,), False),
+    ),
+    "run.resumed": (
+        ("jobs_recovered", (int,), True),
+        ("jobs_pending", (int,), True),
+        ("shards", (int,), True),
+    ),
+    "shard.planned": (
+        ("shard", (int,), True),
+        ("jobs", (int,), True),
     ),
     "run.stop": (
         ("status", (str,), True),
@@ -121,6 +154,15 @@ EVENT_FIELDS: Dict[str, Tuple[Tuple[str, tuple, bool], ...]] = {
     "job.started": (
         ("job", (str,), True),
         ("attempt", (int,), True),
+    ),
+    "job.stolen": (
+        ("job", (str,), True),
+        ("from_shard", (int,), True),
+        ("by_shard", (int,), True),
+    ),
+    "job.stored": (
+        ("job", (str,), True),
+        ("key", (str,), True),
     ),
     "job.attempt_failed": (
         ("job", (str,), True),

@@ -15,8 +15,9 @@ The journal is append-only JSONL, so reading it back is mostly
 
 :func:`replay` is the load-bearing piece: it folds a stream of events
 into a :class:`RunState` whose per-job attempt/outcome records match what
-the campaign manifest says happened — the substrate the ROADMAP's
-crash-resume scheduler will replay before re-scheduling the remainder.
+the campaign manifest says happened — the substrate
+:class:`repro.campaign.scheduler.ShardedCampaignScheduler` replays on
+``--resume`` before re-scheduling the remainder.
 """
 
 from __future__ import annotations
@@ -200,6 +201,8 @@ class RunState:
     jobs: Dict[str, JobState] = field(default_factory=dict)
     faults: List[Dict] = field(default_factory=list)
     heartbeats: List[Dict] = field(default_factory=list)
+    resumes: int = 0
+    shards: List[Dict] = field(default_factory=list)
     last_t_mono: Optional[float] = None
     events_seen: int = 0
 
@@ -246,6 +249,14 @@ def _apply(state: RunState, event: Dict) -> None:
         state.stop_t_mono = event.get("t_mono")
         state.total_wall_s = event.get("total_wall_s")
         return
+    if kind == "run.resumed":
+        # A resumed run extends the same file under the same run_id; the
+        # counter lets replay distinguish "resumed N times" from "ran once".
+        state.resumes += 1
+        return
+    if kind == "shard.planned":
+        state.shards.append(event)
+        return
     if kind == "fault.injected":
         state.faults.append(event)
         return
@@ -282,6 +293,10 @@ def _apply(state: RunState, event: Dict) -> None:
     elif kind == "job.retried":
         if not job.terminal:
             job.status = "retrying"
+    elif kind == "job.stored":
+        # Cache-publication bookkeeping: records the key (useful when the
+        # scheduled event raced) without touching job status.
+        job.key = event.get("key", job.key)
     elif kind == "job.completed":
         job.status = "completed"
         job.attempts = max(job.attempts, int(event.get("attempts", job.attempts)))

@@ -39,8 +39,11 @@ from .events import JOURNAL_VERSION, check_event
 
 __all__ = [
     "JournalWriter",
+    "CrashingJournalWriter",
+    "SimulatedCrash",
     "new_run_id",
     "rusage_fields",
+    "rusage_delta",
     "attach",
     "detach",
     "ambient",
@@ -82,6 +85,36 @@ def rusage_fields() -> Dict[str, object]:
         "cpu_user_s": usage.ru_utime,
         "cpu_system_s": usage.ru_stime,
         "max_rss_bytes": int(usage.ru_maxrss) * scale,
+    }
+
+
+def rusage_delta(start: Optional[Dict[str, object]]) -> Dict[str, object]:
+    """Per-job resource accounting relative to a :func:`rusage_fields` snapshot.
+
+    ``getrusage(RUSAGE_SELF)`` counters are process-cumulative, so a reused
+    pool worker's Nth job would otherwise inherit the CPU seconds of the
+    N-1 jobs before it.  CPU user/system time is therefore differenced
+    against the ``start`` snapshot taken when the attempt began.
+    ``max_rss_bytes`` is a process-lifetime high-water mark — a peak cannot
+    be meaningfully differenced — and is reported as the absolute peak so
+    far (see the ``job.completed`` taxonomy entry).
+
+    Passing ``start=None`` (or a snapshot from a platform without the
+    ``resource`` module) degrades to the cumulative :func:`rusage_fields`.
+    """
+    end = rusage_fields()
+    if (
+        start is None
+        or end.get("cpu_user_s") is None
+        or start.get("cpu_user_s") is None
+    ):
+        return end
+    return {
+        "cpu_user_s": max(0.0, float(end["cpu_user_s"]) - float(start["cpu_user_s"])),
+        "cpu_system_s": max(
+            0.0, float(end["cpu_system_s"]) - float(start["cpu_system_s"])
+        ),
+        "max_rss_bytes": end["max_rss_bytes"],
     }
 
 
@@ -215,6 +248,39 @@ class JournalWriter:
     def __repr__(self) -> str:
         state = "closed" if self.closed else f"{self.events_written} events"
         return f"JournalWriter({str(self.path)!r}, run_id={self.run_id!r}, {state})"
+
+
+class SimulatedCrash(BaseException):
+    """Raised by :class:`CrashingJournalWriter` once its budget is spent.
+
+    Deliberately a ``BaseException``: it models the *process* dying
+    (kill -9, OOM, node loss), not a job failing, so the campaign
+    layer's per-job ``except Exception`` containment must not absorb it.
+    """
+
+
+class CrashingJournalWriter(JournalWriter):
+    """Drill writer that dies after the Nth event lands on disk.
+
+    The fatal event *is* written before :class:`SimulatedCrash` is raised
+    — exactly the guarantee a real ``O_APPEND`` write plus ``kill -9``
+    gives — so driving a campaign with ``crash_after=k`` for every ``k``
+    enumerates every possible journal prefix a crash could leave behind.
+    Used by the resume drills (tests and CI); not part of production flow.
+    """
+
+    def __init__(self, path, *, crash_after: int, **kwargs):
+        super().__init__(path, **kwargs)
+        self.crash_after = int(crash_after)
+
+    def emit(self, event: str, **fields: object) -> Dict:
+        record = super().emit(event, **fields)
+        if self.events_written >= self.crash_after:
+            self.close()
+            raise SimulatedCrash(
+                f"simulated crash after {self.events_written} events (last: {event})"
+            )
+        return record
 
 
 # Ambient writer --------------------------------------------------------

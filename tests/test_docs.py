@@ -32,6 +32,7 @@ class TestDocFilesExist:
             "docs/telemetry.md",
             "docs/fault_tolerance.md",
             "docs/observability.md",
+            "docs/distributed_campaigns.md",
         ],
     )
     def test_exists_and_nonempty(self, relpath):

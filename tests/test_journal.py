@@ -693,3 +693,48 @@ class TestReport:
         data = jrnl.report_to_dict(report)
         assert data["thresholds"]["straggler_z"] == 2.0
         assert json.loads(json.dumps(data)) == data
+
+
+# ---------------------------------------------------------------------------
+# Per-job resource accounting
+
+
+class TestRusageDeltas:
+    """``job.completed`` reports per-attempt CPU, not process-cumulative CPU."""
+
+    def test_serial_jobs_report_disjoint_cpu(self, tmp_path):
+        """Sum of per-job CPU must fit inside the process's cumulative CPU.
+
+        ``getrusage`` counters only ever grow, so if each job reported the
+        cumulative value (the old bug) the N-th job would inherit all its
+        predecessors' CPU and the sum across jobs would exceed the
+        process total by roughly a factor of N/2.
+        """
+        path = tmp_path / "rusage.jsonl"
+        runner = CampaignRunner(workers=1, journal=path)
+        runner.run(_jobs(4), label="rusage")
+        state = jrnl.replay(jrnl.read_events(path))
+        per_job = [
+            (job.cpu_user_s or 0.0) + (job.cpu_system_s or 0.0)
+            for job in state.jobs.values()
+        ]
+        total = jrnl.rusage_fields()
+        if total["cpu_user_s"] is None:
+            pytest.skip("no resource module on this platform")
+        cumulative = total["cpu_user_s"] + total["cpu_system_s"]
+        assert all(cpu >= 0.0 for cpu in per_job)
+        assert sum(per_job) <= cumulative + 0.05
+
+    def test_rusage_delta_clamps_and_degrades(self):
+        start = jrnl.rusage_fields()
+        delta = jrnl.rusage_delta(start)
+        if start["cpu_user_s"] is None:
+            assert delta["cpu_user_s"] is None
+            return
+        assert delta["cpu_user_s"] >= 0.0
+        assert delta["cpu_system_s"] >= 0.0
+        # peak RSS is a high-water mark: absolute, never differenced
+        assert delta["max_rss_bytes"] >= start["max_rss_bytes"]
+        # no snapshot -> cumulative fallback
+        cumulative = jrnl.rusage_delta(None)
+        assert cumulative["cpu_user_s"] >= start["cpu_user_s"]
