@@ -1,0 +1,133 @@
+"""Top500-scale fleet ranking: the batched engine vs the per-job campaign.
+
+Pins the perf claim behind ``repro.fleet``: ranking a Green500-sized list
+through the vectorized cross-system path must beat running one simulator
+campaign job per system by at least an order of magnitude, while producing
+the same list (equivalence itself is pinned by ``tests/test_fleet_*.py``;
+here we pin the *speed*).
+
+Two perfwatch scenarios feed the regression gate:
+
+- ``fleet.rank_1000`` — a full 1,000-system rank through both legs, with
+  the honest serial-campaign baseline timed alongside the batched path.
+- ``fleet.rank_5000`` — the batched leg alone at 5x list scale, tracking
+  raw throughput (systems ranked per second).
+"""
+
+import dataclasses
+import time
+
+from repro.campaign import CampaignRunner, fleet_jobs
+from repro.experiments import PAPER_CONFIG
+from repro.fleet import FleetRankingPipeline, generated_fleet_members
+from repro.perfwatch import MetricSpec, scenario
+
+#: Cheap per-benchmark settings so the campaign baseline stays bench-sized
+#: while every job still runs the full simulator + metering stack.
+QUICK = dataclasses.replace(
+    PAPER_CONFIG,
+    hpl_problem_size=2240,
+    hpl_rounds=1,
+    stream_target_seconds=2.0,
+    iozone_target_seconds=2.0,
+)
+
+_ERA = "2011"
+_FLEET_SEED = 20110615
+
+
+def _batched_rank(count):
+    members = generated_fleet_members(count, era=_ERA, fleet_seed=_FLEET_SEED)
+    pipeline = FleetRankingPipeline(config=QUICK)
+    t0 = time.perf_counter()
+    ranking = pipeline.rank(members)
+    wall = time.perf_counter() - t0
+    assert len(ranking) == count
+    assert ranking.stats["batched"] == count
+    return ranking, wall
+
+
+def _campaign_rank(count):
+    jobs = fleet_jobs(count, era=_ERA, fleet_seed=_FLEET_SEED, config=QUICK)
+    t0 = time.perf_counter()
+    result = CampaignRunner(workers=1).run(jobs)
+    wall = time.perf_counter() - t0
+    assert len(result) == count
+    return result, wall
+
+
+@scenario(
+    "fleet.rank_1000",
+    description="rank a 1,000-system fleet: batched engine vs serial campaign",
+    tier="full",
+    repeats=1,
+    metrics=(
+        MetricSpec(
+            "batched_wall_s",
+            unit="s",
+            direction="lower",
+            help="wall time to rank 1,000 systems through the batched path",
+        ),
+        MetricSpec(
+            "campaign_wall_s",
+            unit="s",
+            direction="lower",
+            help="wall time for the per-job serial campaign over the same fleet",
+        ),
+        MetricSpec(
+            "speedup",
+            unit="x",
+            direction="higher",
+            help="campaign wall over batched wall (the issue's >=10x claim)",
+        ),
+    ),
+)
+def fleet_rank_1000_scenario():
+    _, batched_wall = _batched_rank(1000)
+    _, campaign_wall = _campaign_rank(1000)
+    return {
+        "batched_wall_s": batched_wall,
+        "campaign_wall_s": campaign_wall,
+        "speedup": campaign_wall / batched_wall,
+    }
+
+
+@scenario(
+    "fleet.rank_5000",
+    description="batched-only rank of a 5,000-system fleet",
+    tier="full",
+    repeats=2,
+    metrics=(
+        MetricSpec(
+            "batched_wall_s",
+            unit="s",
+            direction="lower",
+            help="wall time to rank 5,000 systems through the batched path",
+        ),
+        MetricSpec(
+            "systems_per_s",
+            unit="sys/s",
+            direction="higher",
+            help="batched ranking throughput at 5x Top500 list scale",
+        ),
+    ),
+)
+def fleet_rank_5000_scenario():
+    _, wall = _batched_rank(5000)
+    return {"batched_wall_s": wall, "systems_per_s": 5000 / wall}
+
+
+def test_batched_rank_is_order_of_magnitude_faster():
+    """The acceptance floor, sized to stay test-suite friendly: 200 systems
+    through both legs, batched must win by >=10x (it wins by far more)."""
+    count = 200
+    ranking, batched_wall = _batched_rank(count)
+    _, campaign_wall = _campaign_rank(count)
+    assert ranking.rows[0].tgi_rank == 1
+    assert campaign_wall / batched_wall >= 10.0
+
+
+def test_batched_rank_throughput_scales(benchmark):
+    """Timing handle for the batched leg alone at list scale."""
+    ranking = benchmark(lambda: _batched_rank(500)[0])
+    assert len(ranking) == 500

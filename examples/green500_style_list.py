@@ -2,40 +2,46 @@
 """A simulated Green500-style list: FLOPS/W ranking vs TGI ranking.
 
 The paper's core criticism of the Green500 is that FLOPS/W sees only the
-CPU subsystem.  Here we generate a fleet of plausible 2011-era machines,
-measure the full suite on each, and build two lists:
+CPU subsystem.  Here we generate a fleet of plausible machines, score the
+full suite on each, and build two lists:
 
 * the classic list, ranked by HPL MFLOPS/W;
-* the TGI list, ranked against a common reference with equal weights.
+* the TGI list, ranked against a common reference with configurable
+  weights (equal by default).
 
 The two lists disagree — machines with strong compute but weak disks or
 starved memory channels fall when the whole system is scored — and the
 example reports exactly who moved and why.
 
-The fleet is measured through :class:`repro.campaign.CampaignRunner`: one
-job per machine plus the reference run, fanned out over a process pool.
-Set ``REPRO_WORKERS`` to change the pool width (default 4, 1 = serial)
-and ``REPRO_CAMPAIGN_CACHE`` to a directory to make reruns near-instant
-cache hits.
+The fleet is ranked through :class:`repro.fleet.FleetRankingPipeline`.  By
+default every system takes the batched analytic path (one vectorized pass
+over the whole fleet — thousands of systems rank in seconds); pass
+``--full-sim`` to push each machine through the campaign executors
+instead (one simulated, metered job per system — the pre-batched
+behaviour of this example, noise included).
+
+Knobs (flags override the environment):
+
+* ``--fleet-size`` / ``REPRO_FLEET_SIZE`` — number of machines (default 10)
+* ``--era`` / ``REPRO_FLEET_ERA`` — era template (default 2011)
+* ``--weights`` / ``REPRO_FLEET_WEIGHTS`` — e.g. ``HPL=2,STREAM=1,IOzone=1``
+* ``--full-sim``, ``REPRO_WORKERS``, ``REPRO_CAMPAIGN_CACHE`` — simulation
+  leg: force it, set its pool width, cache its job results
 
 Run:  python examples/green500_style_list.py
 """
 
+import argparse
 import dataclasses
 import os
 
-from repro import ReferenceSet, TGICalculator
-from repro.analysis import ParetoPoint, dominated_by, render_table, spearman
-from repro.campaign import (
-    CampaignJob,
-    CampaignRunner,
-    ClusterRef,
-    ResultCache,
-    fleet_jobs,
-)
+from repro.analysis import ParetoPoint, dominated_by, render_table
 from repro.experiments import PAPER_CONFIG
-
-FLEET_SIZE = 10
+from repro.fleet import (
+    FleetRankingPipeline,
+    generated_fleet_members,
+    parse_weight_spec,
+)
 
 #: The quick suite this example measures everywhere (small HPL, short runs).
 LIST_CONFIG = dataclasses.replace(
@@ -47,71 +53,80 @@ LIST_CONFIG = dataclasses.replace(
 )
 
 
-def build_jobs():
-    """One full-machine job per fleet member, plus the shared reference."""
-    jobs = fleet_jobs(FLEET_SIZE, era="2011", fleet_seed=20110615, config=LIST_CONFIG)
-    jobs.append(
-        CampaignJob(
-            job_id="reference",
-            cluster=ClusterRef(kind="preset", name="system_g", num_nodes=16),
-            seed=1,
-            config=LIST_CONFIG,
-        )
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--fleet-size",
+        type=int,
+        default=int(os.environ.get("REPRO_FLEET_SIZE", "10")),
+        help="number of generated machines (env REPRO_FLEET_SIZE)",
     )
-    return jobs
+    parser.add_argument(
+        "--era",
+        choices=("2008", "2011", "2015", "2021"),
+        default=os.environ.get("REPRO_FLEET_ERA", "2011"),
+        help="era template (env REPRO_FLEET_ERA)",
+    )
+    parser.add_argument(
+        "--weights",
+        default=os.environ.get("REPRO_FLEET_WEIGHTS"),
+        metavar="SPEC",
+        help='TGI weights, e.g. "HPL=2,STREAM=1,IOzone=1" '
+        "(normalized; env REPRO_FLEET_WEIGHTS; default equal)",
+    )
+    parser.add_argument(
+        "--fleet-seed", type=int, default=20110615, help="fleet generation seed"
+    )
+    parser.add_argument(
+        "--full-sim",
+        action="store_true",
+        help="score through the campaign executors (simulated meter) "
+        "instead of the batched analytic path",
+    )
+    return parser.parse_args()
 
 
 def main() -> None:
-    workers = int(os.environ.get("REPRO_WORKERS", "4"))
-    cache_dir = os.environ.get("REPRO_CAMPAIGN_CACHE")
-    cache = ResultCache(cache_dir) if cache_dir else None
-    runner = CampaignRunner(workers=workers, cache=cache)
-
-    jobs = build_jobs()
+    args = parse_args()
+    weights = parse_weight_spec(args.weights) if args.weights else None
+    pipeline = FleetRankingPipeline(
+        config=LIST_CONFIG,
+        weights=weights,
+        full_sim=args.full_sim,
+        workers=int(os.environ.get("REPRO_WORKERS", "4")),
+        cache_dir=os.environ.get("REPRO_CAMPAIGN_CACHE"),
+    )
+    members = generated_fleet_members(
+        args.fleet_size, era=args.era, fleet_seed=args.fleet_seed
+    )
+    mode = (
+        "the campaign executors" if args.full_sim else "the batched analytic path"
+    )
     print(
-        f"measuring a fleet of {FLEET_SIZE} machines (era 2011) "
-        f"through the campaign executor (workers={workers})..."
+        f"scoring a fleet of {args.fleet_size} machines (era {args.era}) "
+        f"through {mode}..."
     )
-    campaign = runner.run(jobs, label="green500-style-list")
-    stats = campaign.manifest["cache_run"]
+    ranking = pipeline.rank(members, label="green500-style-list")
+    stats = ranking.stats
     print(
-        f"campaign done in {campaign.manifest['total_wall_s']:.2f} s "
-        f"({stats['hits']}/{stats['jobs']} cache hits)"
+        f"ranking done in {stats['wall_s']:.2f} s "
+        f"({stats['batched']} batched, {stats['simulated']} simulated, "
+        f"{stats['cache_hits']} cache hits)"
     )
-
-    reference = ReferenceSet.from_suite_result(
-        campaign.suite("reference"), system_name="SystemG-16"
-    )
-    calculator = TGICalculator(reference)
-
-    measurements = [
-        (outcome.payload["cluster_name"], campaign.suite(outcome.job.job_id))
-        for outcome in campaign
-        if outcome.job.job_id != "reference"
-    ]
-    scored = []
-    for name, result in measurements:
-        flops_per_watt = result["HPL"].energy_efficiency
-        tgi = calculator.compute(result)
-        scored.append((name, flops_per_watt, tgi))
-
-    by_flops = sorted(scored, key=lambda s: s[1], reverse=True)
-    by_tgi = sorted(scored, key=lambda s: s[2].value, reverse=True)
-    flops_rank = {name: i + 1 for i, (name, _, _) in enumerate(by_flops)}
 
     rows = []
-    for i, (name, fpw, tgi) in enumerate(by_tgi):
-        move = flops_rank[name] - (i + 1)
+    for row in ranking:
+        move = row.moved
         arrow = f"{'+' if move > 0 else ''}{move}" if move else "="
         rows.append(
             [
-                i + 1,
-                name,
-                f"{tgi.value:.3f}",
-                f"{fpw / 1e6:.0f}",
-                flops_rank[name],
+                row.tgi_rank,
+                row.name,
+                f"{row.tgi:.3f}",
+                f"{row.flops_per_watt / 1e6:.0f}",
+                row.flops_rank,
                 arrow,
-                tgi.least_efficient_benchmark,
+                row.weakest,
             ]
         )
     print()
@@ -124,24 +139,24 @@ def main() -> None:
         )
     )
 
-    rho = spearman(
-        [flops_rank[name] for name, _, _ in by_tgi],
-        list(range(1, len(by_tgi) + 1)),
-    )
-    print(
-        f"\nSpearman rank agreement between the two lists: {rho:.2f} — "
-        "systems with unbalanced subsystems move several places when the "
-        "whole system is scored, which is precisely TGI's pitch."
-    )
+    rho = ranking.diagnostics.spearman_rho
+    if rho is not None:
+        print(
+            f"\nSpearman rank agreement between the two lists: {rho:.2f} — "
+            "systems with unbalanced subsystems move several places when the "
+            "whole system is scored, which is precisely TGI's pitch."
+        )
+    for note in ranking.diagnostics.notes:
+        print(f"note: {note}")
 
     # --- the two-objective view neither list shows ----------------------
     points = [
         ParetoPoint(
-            name=name,
-            performance=result["HPL"].performance,
-            power_w=result["HPL"].power_w,
+            name=row.name,
+            performance=row.performances["HPL"],
+            power_w=row.powers_w["HPL"],
         )
-        for name, result in measurements
+        for row in ranking
     ]
     dom = dominated_by(points)
     frontier = [name for name, dominators in dom.items() if not dominators]
@@ -149,9 +164,7 @@ def main() -> None:
         f"\nPareto frontier in raw (HPL performance, power) space: "
         f"{', '.join(sorted(frontier))}"
     )
-    off_frontier_leader = next(
-        (name for name, _, _ in by_tgi if dom[name]), None
-    )
+    off_frontier_leader = next((row.name for row in ranking if dom[row.name]), None)
     if off_frontier_leader:
         print(
             f"note: {off_frontier_leader} ranks highly on TGI while being "

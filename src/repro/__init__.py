@@ -88,7 +88,7 @@ from .sim import ClusterExecutor
 from .exceptions import CampaignExecutionError, InjectedFault, ReproError
 from .faults import FaultInjector, FaultPlan
 
-__version__ = "1.9.0"
+__version__ = "1.10.0"
 
 from .campaign import (  # noqa: E402 - needs __version__ for cache stamps
     CampaignJob,
@@ -98,6 +98,11 @@ from .campaign import (  # noqa: E402 - needs __version__ for cache stamps
     ResultCache,
 )
 from .telemetry import TelemetrySession  # noqa: E402 - instrumented layers above
+from .fleet import (  # noqa: E402 - rides the campaign subsystem
+    FleetRanking,
+    FleetRankingPipeline,
+    evaluate_fleet,
+)
 
 __all__ = [
     "presets",
@@ -133,6 +138,9 @@ __all__ = [
     "ClusterRef",
     "ResultCache",
     "TelemetrySession",
+    "FleetRanking",
+    "FleetRankingPipeline",
+    "evaluate_fleet",
     "ReproError",
     "CampaignExecutionError",
     "InjectedFault",

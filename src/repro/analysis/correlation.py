@@ -59,23 +59,38 @@ def pearson(x: Sequence[float], y: Sequence[float]) -> float:
 
 
 def _ranks(values: np.ndarray) -> np.ndarray:
-    """Average ranks (1-based), ties shared."""
+    """Average (midrank) ranks, 1-based, ties shared.
+
+    A run of equal values spanning sorted positions ``[i, j]`` all get rank
+    ``(i + j) / 2 + 1``.  Vectorized: memoized fleets hand this function
+    thousands-long vectors where most entries sit in tie runs (identical
+    systems score identically), and a Python-loop walk over them dominates
+    the diagnostics cost.
+    """
     order = np.argsort(values, kind="stable")
-    ranks = np.empty(values.size, dtype=float)
-    i = 0
-    while i < values.size:
-        j = i
-        while j + 1 < values.size and values[order[j + 1]] == values[order[i]]:
-            j += 1
-        avg = 0.5 * (i + j) + 1.0
-        for k in range(i, j + 1):
-            ranks[order[k]] = avg
-        i = j + 1
+    sorted_vals = values[order]
+    n = values.size
+    starts = np.empty(n, dtype=bool)
+    starts[0] = True
+    np.not_equal(sorted_vals[1:], sorted_vals[:-1], out=starts[1:])
+    group_of = np.cumsum(starts) - 1
+    first = np.flatnonzero(starts)  # each group's first sorted position
+    last = np.append(first[1:], n) - 1  # ... and its last, inclusive
+    midrank = 0.5 * (first + last) + 1.0
+    ranks = np.empty(n, dtype=float)
+    ranks[order] = midrank[group_of]
     return ranks
 
 
 def spearman(x: Sequence[float], y: Sequence[float]) -> float:
-    """Spearman rank correlation: Pearson on average ranks."""
+    """Spearman rank correlation: Pearson on average ranks.
+
+    Heavy ties are fine — midranks keep the statistic well-defined (never
+    NaN) as long as each series takes at least two distinct values.  A
+    fully-constant series (every system memoized to the same score) has no
+    rank ordering at all, so it raises
+    :class:`~repro.exceptions.MetricError` exactly like :func:`pearson`.
+    """
     x_arr, y_arr = _validate_pair(x, y)
     return pearson(_ranks(x_arr), _ranks(y_arr))
 

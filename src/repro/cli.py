@@ -298,6 +298,114 @@ def build_parser() -> argparse.ArgumentParser:
         "the remainder, and extend the same journal (requires --cache-dir)",
     )
 
+    fleet = sub.add_parser(
+        "fleet",
+        help="batched cross-system fleet evaluation and ranking",
+    )
+    fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)
+    f_rank = fleet_sub.add_parser(
+        "rank",
+        help="rank a generated fleet Green500-style: MFLOPS/W vs TGI",
+    )
+    f_rank.add_argument(
+        "--count", type=int, default=100, help="fleet size (generated systems)"
+    )
+    f_rank.add_argument(
+        "--era",
+        choices=("2008", "2011", "2015", "2021"),
+        default="2011",
+        help="era template for the generated fleet",
+    )
+    f_rank.add_argument(
+        "--fleet-seed", type=int, default=20110615, help="fleet generation seed"
+    )
+    f_rank.add_argument(
+        "--weights",
+        default=None,
+        metavar="SPEC",
+        help='benchmark weights, e.g. "HPL=0.5,STREAM=0.25,IOzone=0.25" '
+        "(normalized to sum to one; default equal weights)",
+    )
+    f_rank.add_argument(
+        "--reference",
+        default="system_g:16",
+        metavar="PRESET[:NODES]",
+        help="reference machine preset, optionally with a node-count "
+        "override (default system_g:16, the Green500-style example's)",
+    )
+    f_rank.add_argument(
+        "--reference-suite",
+        action="store_true",
+        help="size the reference's HPL from memory (the paper's "
+        "capability-run semantics) instead of the fleet's fixed N",
+    )
+    f_rank.add_argument(
+        "--top",
+        type=int,
+        default=20,
+        help="list rows to print (0 = the whole fleet)",
+    )
+    f_rank.add_argument(
+        "--path",
+        choices=("batched", "reference"),
+        default="batched",
+        help="analytic leg: vectorized (default) or the scalar oracle "
+        "(slow, for cross-checks)",
+    )
+    f_rank.add_argument(
+        "--chunk-size",
+        type=int,
+        default=1024,
+        metavar="N",
+        help="systems per vectorized evaluation chunk",
+    )
+    f_rank.add_argument(
+        "--full-sim",
+        action="store_true",
+        help="force every system through the campaign executors "
+        "(simulated meter included) instead of the analytic path",
+    )
+    f_rank.add_argument(
+        "--workers", type=int, default=1, help="campaign-leg process-pool width"
+    )
+    f_rank.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        metavar="N",
+        help="campaign leg on the sharded scheduler with N shards",
+    )
+    f_rank.add_argument(
+        "--cache-dir",
+        default=None,
+        help="campaign-leg result cache directory",
+    )
+    f_rank.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="flight recorder: campaign events plus one fleet.ranked "
+        "summary event land in this JSONL file",
+    )
+    f_rank.add_argument(
+        "--timeline",
+        default=None,
+        metavar="DIR",
+        help="campaign-leg power-timeline artifacts directory",
+    )
+    f_rank.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="PATH",
+        help="trace the ranking (pack/evaluate/rank spans) into this JSON "
+        "file, plus a .prom sibling",
+    )
+    f_rank.add_argument(
+        "--json",
+        action="store_true",
+        help="print the full ranking as JSON on stdout",
+    )
+
     dashboard = sub.add_parser(
         "dashboard",
         help="render captured power timelines into one self-contained HTML file",
@@ -1520,6 +1628,120 @@ def _cmd_campaign(
     return 0
 
 
+def _parse_reference_spec(spec: str):
+    """``PRESET[:NODES]`` -> a reference ClusterRef."""
+    from .campaign import ClusterRef
+
+    name, sep, nodes = spec.partition(":")
+    num_nodes = 0
+    if sep:
+        try:
+            num_nodes = int(nodes)
+        except ValueError:
+            raise ReproError(
+                f"--reference node count {nodes!r} is not an integer"
+            ) from None
+    return ClusterRef(kind="preset", name=name, num_nodes=num_nodes)
+
+
+def _cmd_fleet_rank(args) -> int:
+    from .fleet import FleetRankingPipeline, generated_fleet_members, parse_weight_spec
+
+    if args.count < 1:
+        raise ReproError(f"--count must be >= 1, got {args.count}")
+    weights = parse_weight_spec(args.weights) if args.weights else None
+    pipeline = FleetRankingPipeline(
+        reference=_parse_reference_spec(args.reference),
+        reference_suite=args.reference_suite,
+        weights=weights,
+        path=args.path,
+        full_sim=args.full_sim,
+        chunk_size=args.chunk_size,
+        workers=args.workers,
+        shards=args.shards,
+        cache_dir=args.cache_dir,
+        journal=args.journal,
+        timeline=args.timeline,
+    )
+    members = generated_fleet_members(
+        args.count, era=args.era, fleet_seed=args.fleet_seed
+    )
+    _console.status(
+        f"ranking a fleet of {args.count} {args.era}-era machines "
+        + ("through the campaign executors..." if args.full_sim else "on the batched analytic path...")
+    )
+    session = None
+    if args.telemetry:
+        with tele.use(tele.TelemetrySession(label="fleet-rank")) as session:
+            ranking = pipeline.rank(members, label="fleet-rank")
+    else:
+        ranking = pipeline.rank(members, label="fleet-rank")
+
+    if args.json:
+        _json_out(ranking.as_dict())
+    else:
+        shown = ranking.rows if args.top == 0 else ranking.rows[: args.top]
+        rows = []
+        for row in shown:
+            move = row.moved
+            arrow = f"{'+' if move > 0 else ''}{move}" if move else "="
+            rows.append(
+                [
+                    row.tgi_rank,
+                    row.name,
+                    f"{row.tgi:.3f}",
+                    f"{row.flops_per_watt / 1e6:.0f}",
+                    row.flops_rank,
+                    arrow,
+                    row.weakest,
+                ]
+            )
+        _console.out(
+            render_table(
+                ["TGI rank", "System", "TGI", "MFLOPS/W", "FLOPS/W rank", "moved", "weakest"],
+                rows,
+                title=f"Fleet of {len(ranking)} ranked by TGI vs {ranking.reference_name}",
+                align_right_from=2,
+            )
+        )
+        if len(shown) < len(ranking):
+            _console.status(f"... {len(ranking) - len(shown)} more rows (--top 0 shows all)")
+    stats = ranking.stats
+    memo = stats["memo_unique"]
+    shared = (
+        f", memoized to {max(memo.values())} unique evaluations"
+        if stats["batched"] and max(memo.values()) < stats["batched"]
+        else ""
+    )
+    _console.status(
+        f"\n{stats['systems']} systems in {stats['wall_s']:.2f} s "
+        f"({stats['batched']} batched, {stats['simulated']} simulated{shared})"
+        + (f", {stats['cache_hits']} cache hits" if stats["cache_hits"] else "")
+    )
+    diag = ranking.diagnostics
+    if diag.spearman_rho is not None:
+        line = f"rank agreement FLOPS/W vs TGI: Spearman {diag.spearman_rho:.3f}"
+        if diag.pearson_ci is not None:
+            line += (
+                f"; PCC {diag.pearson_ci.estimate:.3f} "
+                f"[{diag.pearson_ci.low:.3f}, {diag.pearson_ci.high:.3f}] "
+                f"@ {diag.pearson_ci.confidence:.0%}"
+            )
+        _console.status(line)
+    if diag.tgi_mean_ci is not None:
+        _console.status(
+            f"fleet TGI mean {diag.tgi_mean_ci.estimate:.3f} "
+            f"[{diag.tgi_mean_ci.low:.3f}, {diag.tgi_mean_ci.high:.3f}]"
+        )
+    for note in diag.notes:
+        _console.status(f"note: {note}")
+    if args.journal:
+        _console.status(f"journal: {args.journal}")
+    if session is not None:
+        _write_telemetry(session, args.telemetry)
+    return 0
+
+
 def _cmd_dashboard(args) -> int:
     """`tgi dashboard` — render timeline artifacts into one HTML file.
 
@@ -1706,6 +1928,8 @@ def _dispatch(args: argparse.Namespace) -> int:
             shards=args.shards,
             resume=args.resume,
         )
+    if args.command == "fleet":
+        return _cmd_fleet_rank(args)
     if args.command == "dashboard":
         return _cmd_dashboard(args)
     if args.command == "trace":

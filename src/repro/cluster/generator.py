@@ -18,6 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
+import numpy as np
+
 from ..exceptions import SpecError
 from ..rng import RandomState, ensure_rng
 from ..units import GIB, gbps, mbps
@@ -28,7 +30,14 @@ from .nic import InterconnectSpec
 from .node import NodeSpec
 from .storage import StorageKind, StorageSpec
 
-__all__ = ["EraTemplate", "ERAS", "generate_cluster", "generate_fleet", "fleet_seeds"]
+__all__ = [
+    "EraTemplate",
+    "ERAS",
+    "generate_cluster",
+    "generate_fleet",
+    "fleet_seeds",
+    "fleet_member_seed",
+]
 
 
 @dataclass(frozen=True)
@@ -211,6 +220,32 @@ def generate_cluster(seed: RandomState, *, era: str = "2011", name: str = "") ->
     return ClusterSpec(name=cluster_name, node=node, num_nodes=num_nodes)
 
 
+def _fleet_base(seed: RandomState) -> int:
+    """One stable base integer for a fleet's whole seed family."""
+    return int(ensure_rng(seed).integers(0, 2**63 - 1))
+
+
+def _member_seed(base: int, index: int) -> int:
+    # Same derivation idiom as rng.child_rng: a fresh generator keyed by
+    # (base, index) makes every member's stream independent of its
+    # neighbours', so fleets of different sizes share a common prefix.
+    return int(np.random.default_rng([base, index]).integers(0, 2**62))
+
+
+def fleet_member_seed(index: int, seed: RandomState = None) -> int:
+    """The sub-seed of fleet member ``index``, in O(1).
+
+    ``fleet_member_seed(i, s) == fleet_seeds(n, s)[i]`` for any ``n > i``
+    (with an int or ``None`` seed) — member seeds are a pure function of
+    ``(seed, index)`` rather than positions in a shared sequential stream,
+    so one member can be derived without materializing those before it.
+    Passing a live ``Generator`` consumes one draw per call.
+    """
+    if index < 0:
+        raise SpecError(f"index must be >= 0, got {index}")
+    return _member_seed(_fleet_base(seed), index)
+
+
 def fleet_seeds(count: int, seed: RandomState = None) -> List[int]:
     """The per-machine sub-seeds a fleet of ``count`` machines draws.
 
@@ -218,11 +253,16 @@ def fleet_seeds(count: int, seed: RandomState = None) -> List[int]:
     by a campaign job running in another process) without materializing the
     whole fleet: ``generate_cluster(fleet_seeds(n, seed)[i], ...)`` equals
     ``generate_fleet(n, seed=seed)[i]`` spec-for-spec.
+
+    Seeds are derived per member from ``(seed, index)``, not drawn from one
+    sequential stream, so fleets of size ``n`` and ``n + 1`` built from the
+    same ``seed`` agree on their first ``n`` machines and any single member
+    is recoverable via :func:`fleet_member_seed`.
     """
     if count < 1:
         raise SpecError(f"count must be >= 1, got {count}")
-    rng = ensure_rng(seed)
-    return [int(rng.integers(0, 2**62)) for _ in range(count)]
+    base = _fleet_base(seed)
+    return [_member_seed(base, i) for i in range(count)]
 
 
 def generate_fleet(

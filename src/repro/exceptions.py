@@ -19,6 +19,7 @@ __all__ = [
     "WeightError",
     "ReferenceMismatchError",
     "ExperimentError",
+    "FleetError",
     "PerfWatchError",
     "JournalError",
     "TimelineError",
@@ -72,6 +73,10 @@ class ReferenceMismatchError(MetricError):
 
 class ExperimentError(ReproError):
     """An experiment driver was invoked with an unknown id or bad config."""
+
+
+class FleetError(ReproError):
+    """Raised by the batched fleet-evaluation layer (:mod:`repro.fleet`)."""
 
 
 class PerfWatchError(ReproError):

@@ -1,0 +1,604 @@
+"""Cross-system batched evaluation of the full-machine benchmark suite.
+
+Two paths produce identical numbers (within float associativity):
+
+* :func:`evaluate_system` — the scalar **oracle**: one system at a time,
+  through the very model objects the simulator compiles
+  (:class:`~repro.perfmodels.hpl.HPLModel`,
+  :class:`~repro.perfmodels.stream.StreamModel`,
+  :class:`~repro.perfmodels.iozone.IOzoneModel`,
+  :class:`~repro.power.node_power.NodePowerModel`);
+* :func:`evaluate_fleet` with ``path="batched"`` — the same formulas
+  vectorized over :class:`~repro.fleet.columns.FleetColumns`, one NumPy
+  pass per benchmark for the whole fleet.
+
+This mirrors the ``integration="reference"`` / ``engine="reference"``
+pattern of the sim layer: the slow scalar path is the semantic definition;
+the fast path is pinned to it by the hypothesis equivalence suite.
+
+Why an *analytic* path is exact here: a full-machine fleet job packs every
+node identically (ranks = total cores, breadth-first), runs rank-uniform
+programs, and hits no barrier waits — so each benchmark's node utilization
+is piecewise constant and the simulator's ground-truth energy integral
+collapses to ``sum(wall_watts(phase) * duration) / makespan`` per node.
+The batched path evaluates exactly that, skipping per-rank program
+objects, the event sweep, and the metering noise (it reports *true* model
+power; the campaign path reports *metered* power).
+
+Content-keyed memoization: per benchmark, only the columns that enter its
+score form the content key; systems sharing a key (grid sweeps, repeated
+presets, duplicated era draws) are computed once and scattered back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..benchmarks.hpl import (
+    _HPL_COMM_INTENSITY,
+    _HPL_COMPUTE_INTENSITY,
+    _HPL_MEMORY_PER_RANK,
+    _HPL_NIC_UTIL,
+)
+from ..benchmarks.iozone import _IOZONE_INTENSITY, _IOZONE_MEMORY
+from ..cluster.cluster import ClusterSpec
+from ..exceptions import FleetError
+from ..experiments.config import PAPER_CONFIG, ExperimentConfig
+from ..perfmodels.hpl import HPLModel
+from ..perfmodels.iozone import IOzoneModel
+from ..perfmodels.stream import StreamModel
+from ..power.components import NodeUtilization
+from ..power.node_power import NodePowerModel
+from ..power.psu import DEFAULT_EFFICIENCY_CURVE
+from .columns import FleetColumns, require_batchable
+
+__all__ = [
+    "FLEET_BENCHMARKS",
+    "FleetScores",
+    "FleetEvaluation",
+    "evaluate_system",
+    "evaluate_fleet",
+]
+
+#: Suite members the fleet path scores, in suite order.
+FLEET_BENCHMARKS: Tuple[str, ...] = ("HPL", "STREAM", "IOzone")
+
+#: Evaluation paths (mirrors the sim layer's engine/integration switches).
+_PATHS = ("batched", "reference")
+
+# Constants mirrored from the scalar stack (single source where importable).
+_CPU_AWAKE_FLOOR = 0.45  # NodePowerModel.cpu_awake_floor default
+_TRIAD_BYTES_PER_ELEMENT = 3 * 8
+_STREAM_ARRAY_ELEMENTS = 20_000_000
+_HPL_BYTES_PER_ELEMENT = 8
+_HPL_BLOCK_SIZE = 224  # HPLModel.block_size default
+_HPL_DGEMM_EFFICIENCY = 0.85  # HPLModel.dgemm_efficiency default
+_IOZONE_FS_EFFICIENCY = 0.92  # IOzoneModel.filesystem_efficiency default
+_IOZONE_CACHE_BW = 2.0e9  # IOzoneModel.cache_bandwidth default
+
+_PSU_LOADS = np.array([p[0] for p in DEFAULT_EFFICIENCY_CURVE], dtype=float)
+_PSU_EFFS = np.array([p[1] for p in DEFAULT_EFFICIENCY_CURVE], dtype=float)
+
+
+@dataclass(frozen=True, eq=False)
+class FleetScores:
+    """One benchmark's per-system results (arrays over the fleet)."""
+
+    performance: np.ndarray
+    time_s: np.ndarray
+    power_w: np.ndarray
+    energy_j: np.ndarray
+    efficiency: np.ndarray  # EE = performance / power (Eq. 2)
+
+
+@dataclass(frozen=True, eq=False)
+class FleetEvaluation:
+    """Full-suite scores for a fleet, plus memoization accounting.
+
+    ``memo_unique[b]`` is how many distinct content keys benchmark ``b``
+    actually computed; ``len(self) - memo_unique[b]`` results were shared.
+    """
+
+    names: Tuple[str, ...]
+    scores: Dict[str, FleetScores]
+    memo_unique: Dict[str, int]
+    path: str
+
+    def __len__(self) -> int:
+        return len(self.names)
+
+    @property
+    def benchmarks(self) -> Tuple[str, ...]:
+        return tuple(self.scores)
+
+    def efficiency_matrix(self) -> np.ndarray:
+        """``(systems, benchmarks)`` EE matrix in suite order."""
+        return np.column_stack([self.scores[b].efficiency for b in self.scores])
+
+    def system(self, i: int) -> Dict[str, Dict[str, float]]:
+        """All of system ``i``'s numbers as plain floats (reports, tests)."""
+        return {
+            b: {
+                "performance": float(s.performance[i]),
+                "time_s": float(s.time_s[i]),
+                "power_w": float(s.power_w[i]),
+                "energy_j": float(s.energy_j[i]),
+                "efficiency": float(s.efficiency[i]),
+            }
+            for b, s in self.scores.items()
+        }
+
+
+# ----------------------------------------------------------------------
+# Scalar oracle
+# ----------------------------------------------------------------------
+
+def _hpl_model(spec: ClusterSpec, config: ExperimentConfig, reference: bool) -> HPLModel:
+    if reference:
+        # build_suite(reference=True): capability sizing, default model knobs.
+        return HPLModel(cluster=spec)
+    return HPLModel(
+        cluster=spec,
+        comm_volume_factor=config.hpl_comm_volume_factor,
+        contention_threshold=config.hpl_contention_threshold,
+        contention_slope=config.hpl_contention_slope,
+    )
+
+
+def _pack_scores(performance: float, time_s: float, power_w: float) -> Dict[str, float]:
+    return {
+        "performance": performance,
+        "time_s": time_s,
+        "power_w": power_w,
+        "energy_j": power_w * time_s,
+        "efficiency": performance / power_w,
+    }
+
+
+def evaluate_system(
+    spec: ClusterSpec,
+    config: ExperimentConfig = PAPER_CONFIG,
+    *,
+    reference: bool = False,
+) -> Dict[str, Dict[str, float]]:
+    """Score one system's full-machine suite through the scalar models.
+
+    This is the equivalence oracle for the batched path; it is also
+    value-identical (to float associativity) to the *true* — unmetered —
+    numbers of a full simulation job on the same spec, because a
+    fully-packed uniform run has piecewise-constant utilization (see
+    module docstring).
+
+    ``reference=True`` selects the capability-sized HPL used for
+    reference-system runs (``build_suite(reference=True)`` semantics).
+    """
+    require_batchable(spec)
+    node = spec.node
+    power = NodePowerModel(node=node)
+    k = node.cores  # ranks per node at full pack
+    ranks = spec.total_cores
+
+    # --- HPL ----------------------------------------------------------
+    model = _hpl_model(spec, config, reference)
+    if reference:
+        n = model.problem_size_from_memory(
+            memory_fraction=config.hpl_reference_memory_fraction
+        )
+    else:
+        n = config.hpl_problem_size
+        if n < model.block_size:
+            raise FleetError(
+                f"hpl_problem_size {n} below block size {model.block_size}"
+            )
+    pred = model.predict(n, ranks, ranks_per_node=k)
+    w_compute = power.wall_power(
+        NodeUtilization(
+            cpu_active_fraction=1.0,
+            cpu_intensity=_HPL_COMPUTE_INTENSITY,
+            memory=min(1.0, k * _HPL_MEMORY_PER_RANK),
+        )
+    )
+    w_comm = 0.0
+    if pred.comm_time_s > 0:
+        w_comm = power.wall_power(
+            NodeUtilization(
+                cpu_active_fraction=1.0,
+                cpu_intensity=_HPL_COMM_INTENSITY,
+                nic=min(1.0, k * _HPL_NIC_UTIL),
+            )
+        )
+    node_mean = (
+        w_compute * pred.compute_time_s + w_comm * pred.comm_time_s
+    ) / pred.total_time_s
+    hpl = _pack_scores(
+        pred.performance_flops, pred.total_time_s, spec.num_nodes * node_mean
+    )
+
+    # --- STREAM -------------------------------------------------------
+    stream = StreamModel(cluster=spec)
+    iterations = stream.iterations_for_time(
+        config.stream_target_seconds, ranks, ranks_per_node=k
+    )
+    spred = stream.predict(ranks, iterations=iterations, ranks_per_node=k)
+    per_rank_fraction = min(
+        1.0, spred.per_rank_bandwidth / node.sustained_memory_bandwidth
+    )
+    w_stream = power.wall_power(
+        NodeUtilization(
+            cpu_active_fraction=1.0,
+            cpu_intensity=config.stream_intensity,
+            memory=min(1.0, k * per_rank_fraction),
+        )
+    )
+    stream_scores = _pack_scores(
+        spred.aggregate_bandwidth, spred.time_s, spec.num_nodes * w_stream
+    )
+
+    # --- IOzone (one writer per node, all nodes) ----------------------
+    iozone = IOzoneModel(cluster=spec)
+    file_bytes = iozone.file_size_for_time(config.iozone_target_seconds)
+    ipred = iozone.predict(spec.num_nodes, file_bytes=file_bytes)
+    w_iozone = power.wall_power(
+        NodeUtilization(
+            cpu_active_fraction=min(1.0, 1.0 / k),
+            cpu_intensity=_IOZONE_INTENSITY,
+            memory=_IOZONE_MEMORY,
+            storage=1.0,
+        )
+    )
+    iozone_scores = _pack_scores(
+        ipred.aggregate_bandwidth, ipred.time_s, spec.num_nodes * w_iozone
+    )
+
+    return {"HPL": hpl, "STREAM": stream_scores, "IOzone": iozone_scores}
+
+
+# ----------------------------------------------------------------------
+# Batched path
+# ----------------------------------------------------------------------
+
+def _wall_watts(
+    cols: FleetColumns,
+    idx: np.ndarray,
+    *,
+    active,
+    intensity,
+    memory,
+    storage,
+    nic,
+) -> np.ndarray:
+    """Vectorized NodePowerModel.wall_power over systems ``idx``.
+
+    Operation-for-operation the scalar component formulas, evaluated on
+    spec columns; utilization operands may be scalars or per-system arrays.
+    """
+    dynamic_range = cols.cpu_tdp_w[idx] - cols.cpu_idle_w[idx]
+    per_core_load = _CPU_AWAKE_FLOOR + (1.0 - _CPU_AWAKE_FLOOR) * intensity
+    cpu = cols.sockets[idx] * (
+        cols.cpu_idle_w[idx] + dynamic_range * active * per_core_load
+    )
+    mem = cols.sockets[idx] * (
+        cols.mem_idle_w[idx]
+        + (cols.mem_active_w[idx] - cols.mem_idle_w[idx]) * memory
+    )
+    sto = cols.storage_idle_w[idx] + (
+        cols.storage_active_w[idx] - cols.storage_idle_w[idx]
+    ) * storage
+    net = cols.nic_idle_w[idx] + (
+        cols.nic_active_w[idx] - cols.nic_idle_w[idx]
+    ) * nic
+    dc = cols.base_watts[idx] + cpu + mem + sto + net
+    load = np.minimum(dc / cols.psu_rated_w[idx], 1.0)
+    eff = np.interp(load, _PSU_LOADS, _PSU_EFFS)
+    return np.where(dc == 0.0, 0.0, dc / eff)
+
+
+def _memoized(
+    key_columns: Sequence[np.ndarray],
+    compute: Callable[[np.ndarray], Tuple[np.ndarray, np.ndarray, np.ndarray]],
+    n: int,
+    memoize: bool,
+) -> Tuple[Tuple[np.ndarray, np.ndarray, np.ndarray], int]:
+    """Run ``compute`` once per distinct content key, scatter to all rows.
+
+    ``key_columns`` are the spec columns a benchmark's score depends on;
+    ``compute(idx)`` evaluates representative rows ``idx`` and returns
+    ``(performance, time_s, power_w)`` arrays aligned with ``idx``.
+    """
+    everyone = np.arange(n)
+    if not memoize:
+        return compute(everyone), n
+    key = np.column_stack(key_columns)
+    _, representatives, inverse = np.unique(
+        key, axis=0, return_index=True, return_inverse=True
+    )
+    inverse = inverse.reshape(-1)  # numpy 2.x returns the keyed shape
+    if representatives.size == n:
+        return compute(everyone), n
+    perf, time_s, power = compute(representatives)
+    return (perf[inverse], time_s[inverse], power[inverse]), int(representatives.size)
+
+
+def _power_key(cols: FleetColumns) -> List[np.ndarray]:
+    """Columns every benchmark's power depends on."""
+    return [
+        cols.sockets,
+        cols.cpu_tdp_w,
+        cols.cpu_idle_w,
+        cols.mem_idle_w,
+        cols.mem_active_w,
+        cols.storage_idle_w,
+        cols.storage_active_w,
+        cols.nic_idle_w,
+        cols.nic_active_w,
+        cols.base_watts,
+        cols.psu_rated_w,
+    ]
+
+
+def _hpl_batched(
+    cols: FleetColumns,
+    config: ExperimentConfig,
+    reference: bool,
+    memoize: bool,
+):
+    n_systems = len(cols)
+    key = _power_key(cols) + [
+        cols.num_nodes,
+        cols.cpu_cores,
+        cols.clock_hz,
+        cols.flops_per_cycle,
+        cols.nic_bandwidth,
+        cols.nic_latency_s,
+    ]
+    if reference:
+        key.append(cols.mem_capacity_bytes)
+        dgemm = _HPL_DGEMM_EFFICIENCY
+        threshold, slope, volume_factor = (
+            HPLModel.contention_threshold,
+            HPLModel.contention_slope,
+            HPLModel.comm_volume_factor,
+        )
+    else:
+        if config.hpl_problem_size < _HPL_BLOCK_SIZE:
+            raise FleetError(
+                f"hpl_problem_size {config.hpl_problem_size} below block "
+                f"size {_HPL_BLOCK_SIZE}"
+            )
+        dgemm = _HPL_DGEMM_EFFICIENCY
+        threshold = config.hpl_contention_threshold
+        slope = config.hpl_contention_slope
+        volume_factor = config.hpl_comm_volume_factor
+
+    def compute(idx: np.ndarray):
+        k = cols.node_cores[idx]
+        ranks = cols.total_cores[idx]
+        if reference:
+            total_bytes = (
+                config.hpl_reference_memory_fraction
+                * cols.num_nodes[idx]
+                * cols.node_memory_bytes[idx]
+            )
+            n = np.floor(np.sqrt(total_bytes / _HPL_BYTES_PER_ELEMENT))
+            n = n - np.mod(n, _HPL_BLOCK_SIZE)
+            if np.any(n < _HPL_BLOCK_SIZE):
+                raise FleetError("memory too small for a single HPL block")
+        else:
+            n = np.full(idx.size, float(config.hpl_problem_size))
+        flops = (2.0 / 3.0) * n**3 + 2.0 * n**2
+        core_peak = cols.clock_hz[idx] * cols.flops_per_cycle[idx]
+        excess = np.maximum(0.0, k - threshold)
+        slowdown = 1.0 + slope * excess / k
+        compute_rate = ranks * core_peak * dgemm / slowdown
+        compute_t = flops / compute_rate
+
+        multi = ranks > 1
+        safe_ranks = np.where(multi, ranks, 2.0)  # keep log2/sqrt well-defined
+        log_p = np.log2(safe_ranks)
+        volume_bytes = (
+            volume_factor * _HPL_BYTES_PER_ELEMENT * n**2 * log_p
+            / np.sqrt(safe_ranks)
+        )
+        comm_volume_t = np.where(multi, volume_bytes / cols.nic_bandwidth[idx], 0.0)
+        steps = np.maximum(1.0, np.floor(n / _HPL_BLOCK_SIZE))
+        comm_latency_t = np.where(
+            multi, 3.0 * steps * log_p * cols.nic_latency_s[idx], 0.0
+        )
+        comm_t = comm_volume_t + comm_latency_t
+        total_t = compute_t + comm_t
+        perf = flops / total_t
+
+        w_compute = _wall_watts(
+            cols,
+            idx,
+            active=1.0,
+            intensity=_HPL_COMPUTE_INTENSITY,
+            memory=np.minimum(1.0, k * _HPL_MEMORY_PER_RANK),
+            storage=0.0,
+            nic=0.0,
+        )
+        w_comm = _wall_watts(
+            cols,
+            idx,
+            active=1.0,
+            intensity=_HPL_COMM_INTENSITY,
+            memory=0.0,
+            storage=0.0,
+            nic=np.minimum(1.0, k * _HPL_NIC_UTIL),
+        )
+        node_mean = (w_compute * compute_t + w_comm * comm_t) / total_t
+        return perf, total_t, cols.num_nodes[idx] * node_mean
+
+    return _memoized(key, compute, n_systems, memoize)
+
+
+def _stream_batched(cols: FleetColumns, config: ExperimentConfig, memoize: bool):
+    n_systems = len(cols)
+    key = _power_key(cols) + [
+        cols.num_nodes,
+        cols.cpu_cores,
+        cols.mem_sustained_bw,
+        cols.mem_cores_to_saturate,
+    ]
+
+    def compute(idx: np.ndarray):
+        k = cols.node_cores[idx]
+        ranks = cols.total_cores[idx]
+        per_core = cols.mem_sustained_bw[idx] / cols.mem_cores_to_saturate[idx]
+        sockets = cols.sockets[idx]
+        # Round-robin over sockets: `extra` sockets carry base+1 ranks.
+        base = np.floor(k / sockets)
+        extra = k - base * sockets
+        socket_cap = cols.mem_sustained_bw[idx]
+        node_bw = extra * np.minimum((base + 1.0) * per_core, socket_cap) + (
+            sockets - extra
+        ) * np.minimum(base * per_core, socket_cap)
+        per_rank_bw = node_bw / k
+        one_iter_s = (1 * _STREAM_ARRAY_ELEMENTS * _TRIAD_BYTES_PER_ELEMENT) / per_rank_bw
+        iterations = np.maximum(
+            1.0, np.round(config.stream_target_seconds / one_iter_s)
+        )
+        bytes_per_rank = iterations * _STREAM_ARRAY_ELEMENTS * _TRIAD_BYTES_PER_ELEMENT
+        time_s = bytes_per_rank / per_rank_bw
+        perf = per_rank_bw * ranks
+
+        node_sustained = cols.node_sustained_bw[idx]
+        per_rank_fraction = np.minimum(1.0, per_rank_bw / node_sustained)
+        w = _wall_watts(
+            cols,
+            idx,
+            active=1.0,
+            intensity=config.stream_intensity,
+            memory=np.minimum(1.0, k * per_rank_fraction),
+            storage=0.0,
+            nic=0.0,
+        )
+        return perf, time_s, cols.num_nodes[idx] * w
+
+    return _memoized(key, compute, n_systems, memoize)
+
+
+def _iozone_batched(cols: FleetColumns, config: ExperimentConfig, memoize: bool):
+    n_systems = len(cols)
+    key = _power_key(cols) + [
+        cols.num_nodes,
+        cols.cpu_cores,
+        cols.mem_capacity_bytes,
+        cols.storage_write_bw,
+    ]
+
+    def compute(idx: np.ndarray):
+        window = 0.25 * cols.node_memory_bytes[idx]
+        device_rate = cols.storage_write_bw[idx] * _IOZONE_FS_EFFICIENCY
+        window_time = window / _IOZONE_CACHE_BW
+        target = config.iozone_target_seconds
+        file_bytes = np.where(
+            target <= window_time,
+            np.maximum(1.0, target * _IOZONE_CACHE_BW),
+            window + (target - window_time) * device_rate,
+        )
+        capped_window = np.minimum(window, file_bytes)
+        device_bytes = file_bytes - capped_window
+        time_s = capped_window / _IOZONE_CACHE_BW + device_bytes / device_rate
+        per_node = np.minimum(file_bytes / time_s, _IOZONE_CACHE_BW)
+        perf = per_node * cols.num_nodes[idx]
+
+        w = _wall_watts(
+            cols,
+            idx,
+            active=np.minimum(1.0, 1.0 / cols.node_cores[idx]),
+            intensity=_IOZONE_INTENSITY,
+            memory=_IOZONE_MEMORY,
+            storage=1.0,
+            nic=0.0,
+        )
+        return perf, time_s, cols.num_nodes[idx] * w
+
+    return _memoized(key, compute, n_systems, memoize)
+
+
+def evaluate_fleet(
+    fleet,
+    config: ExperimentConfig = PAPER_CONFIG,
+    *,
+    path: str = "batched",
+    reference: bool = False,
+    memoize: bool = True,
+) -> FleetEvaluation:
+    """Score every system's full-machine suite in one pass.
+
+    Parameters
+    ----------
+    fleet:
+        A sequence of :class:`~repro.cluster.cluster.ClusterSpec` or an
+        already-packed :class:`~repro.fleet.columns.FleetColumns`.
+    path:
+        ``"batched"`` (vectorized over the system axis) or ``"reference"``
+        (the scalar oracle applied per system — slow, definitional).
+    reference:
+        Capability-sized HPL (reference-system semantics) for *every*
+        member; used when scoring reference machines.
+    memoize:
+        Content-keyed sub-result sharing: systems with identical
+        benchmark-relevant spec columns compute once.
+    """
+    if path not in _PATHS:
+        raise FleetError(f"path must be one of {_PATHS}, got {path!r}")
+
+    if isinstance(fleet, FleetColumns):
+        cols: Optional[FleetColumns] = fleet
+        specs: Optional[Sequence[ClusterSpec]] = None
+    else:
+        specs = list(fleet)
+        if not specs:
+            raise FleetError("cannot evaluate an empty fleet")
+        cols = None
+
+    if path == "reference":
+        if specs is None:
+            raise FleetError(
+                "the reference path scores ClusterSpec sequences, not "
+                "pre-packed columns"
+            )
+        rows = [evaluate_system(spec, config, reference=reference) for spec in specs]
+        scores = {
+            b: FleetScores(
+                **{
+                    field: np.array([row[b][field] for row in rows], dtype=float)
+                    for field in ("performance", "time_s", "power_w", "energy_j", "efficiency")
+                }
+            )
+            for b in FLEET_BENCHMARKS
+        }
+        return FleetEvaluation(
+            names=tuple(spec.name for spec in specs),
+            scores=scores,
+            memo_unique={b: len(rows) for b in FLEET_BENCHMARKS},
+            path=path,
+        )
+
+    if cols is None:
+        cols = FleetColumns.pack(specs)
+    results = {
+        "HPL": _hpl_batched(cols, config, reference, memoize),
+        "STREAM": _stream_batched(cols, config, memoize),
+        "IOzone": _iozone_batched(cols, config, memoize),
+    }
+    scores = {}
+    memo_unique = {}
+    for b, ((perf, time_s, power), unique) in results.items():
+        energy = power * time_s
+        scores[b] = FleetScores(
+            performance=perf,
+            time_s=time_s,
+            power_w=power,
+            energy_j=energy,
+            efficiency=perf / power,
+        )
+        memo_unique[b] = unique
+    return FleetEvaluation(
+        names=cols.names, scores=scores, memo_unique=memo_unique, path=path
+    )

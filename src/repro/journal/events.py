@@ -207,6 +207,12 @@ EVENT_FIELDS: Dict[str, Tuple[Tuple[str, tuple, bool], ...]] = {
         ("runs", (int,), True),
         ("energy_j", (float, int), True),
     ),
+    "fleet.ranked": (
+        ("systems", (int,), True),
+        ("batched", (int,), True),
+        ("simulated", (int,), True),
+        ("wall_s", (float, int), True),
+    ),
 }
 
 #: All known event type names, sorted.

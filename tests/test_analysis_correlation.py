@@ -85,3 +85,50 @@ class TestCorrelationMatrix:
     def test_unknown_method_rejected(self):
         with pytest.raises(MetricError):
             correlation_matrix({"a": [1, 2]}, {"b": [1, 2]}, method="kendall")
+
+
+class TestTieHandling:
+    """Midrank ties from memoized identical systems (fleet rankings)."""
+
+    def test_heavy_ties_match_scipy(self):
+        # Memoized fleets: long runs of identical scores.
+        x = [1.0] * 40 + [2.0] * 40 + [3.0] * 20
+        y = [5.0] * 30 + [4.0] * 50 + [6.0] * 20
+        ours = spearman(x, y)
+        theirs = scipy.stats.spearmanr(x, y).statistic
+        assert np.isfinite(ours)
+        assert ours == pytest.approx(theirs, rel=1e-12)
+
+    def test_midranks_match_scipy_rankdata(self):
+        from repro.analysis.correlation import _ranks
+
+        rng = np.random.default_rng(3)
+        values = rng.integers(0, 5, size=200).astype(float)
+        ours = _ranks(values)
+        theirs = scipy.stats.rankdata(values, method="average")
+        assert np.array_equal(ours, theirs)
+
+    def test_single_tie_run_plus_one(self):
+        from repro.analysis.correlation import _ranks
+
+        # [7, 7, 7, 9]: the 7s share midrank 2, the 9 gets 4.
+        assert _ranks(np.array([7.0, 7.0, 7.0, 9.0])).tolist() == [2, 2, 2, 4]
+
+    def test_all_distinct_is_permutation(self):
+        from repro.analysis.correlation import _ranks
+
+        rng = np.random.default_rng(11)
+        values = rng.permutation(50).astype(float)
+        assert sorted(_ranks(values).tolist()) == list(range(1, 51))
+
+    def test_constant_series_raises_not_nan(self):
+        # A fully-memoized fleet (every score identical) has no rank order;
+        # the statistic must refuse loudly instead of returning NaN.
+        with pytest.raises(MetricError):
+            spearman([4.0] * 10, list(range(10)))
+        with pytest.raises(MetricError):
+            spearman(list(range(10)), [4.0] * 10)
+
+    def test_two_level_ties_still_defined(self):
+        rho = spearman([1, 1, 2, 2], [2, 2, 1, 1])
+        assert rho == pytest.approx(-1.0)

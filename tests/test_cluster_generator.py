@@ -87,3 +87,40 @@ class TestGenerateFleet:
         executor = ClusterExecutor(cluster, rng=1)
         result = quick_suite.run(executor, min(32, cluster.total_cores))
         assert all(r.performance > 0 for r in result)
+
+
+class TestFleetSeedIndependence:
+    """Member seeds are a pure function of (fleet seed, index)."""
+
+    def test_fleet_prefix_stable_across_sizes(self):
+        """Growing a fleet never changes the machines already in it."""
+        small = generate_fleet(4, era="2011", seed=99)
+        large = generate_fleet(9, era="2011", seed=99)
+        assert [(c.name, c.num_nodes, c.node) for c in small] == [
+            (c.name, c.num_nodes, c.node) for c in large[:4]
+        ]
+
+    def test_seed_lists_prefix_stable(self):
+        from repro.cluster.generator import fleet_seeds
+
+        assert fleet_seeds(3, 7) == fleet_seeds(10, 7)[:3]
+        assert fleet_seeds(1) == fleet_seeds(64)[:1]  # default seed too
+
+    def test_member_seed_matches_list(self):
+        from repro.cluster.generator import fleet_member_seed, fleet_seeds
+
+        seeds = fleet_seeds(8, 123)
+        assert [fleet_member_seed(i, 123) for i in range(8)] == seeds
+
+    def test_members_are_independent(self):
+        """Distinct indices draw from unrelated streams, not one sequence."""
+        from repro.cluster.generator import fleet_seeds
+
+        seeds = fleet_seeds(32, 5)
+        assert len(set(seeds)) == 32
+
+    def test_negative_index_rejected(self):
+        from repro.cluster.generator import fleet_member_seed
+
+        with pytest.raises(SpecError):
+            fleet_member_seed(-1, 0)

@@ -1,0 +1,148 @@
+"""Batched fleet evaluation: scalar-oracle agreement, memoization, and the
+deeper check that the analytic oracle reproduces the *simulator's* ground
+truth for full-machine fleet jobs."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.cluster.generator import generate_fleet
+from repro.exceptions import FleetError
+from repro.experiments import PAPER_CONFIG, build_suite
+from repro.fleet import (
+    FLEET_BENCHMARKS,
+    FleetColumns,
+    evaluate_fleet,
+    evaluate_system,
+)
+
+QUICK = dataclasses.replace(
+    PAPER_CONFIG,
+    hpl_problem_size=2240,
+    hpl_rounds=1,
+    stream_target_seconds=2.0,
+    iozone_target_seconds=2.0,
+)
+
+_FIELDS = ("performance", "time_s", "power_w", "energy_j", "efficiency")
+
+
+@pytest.fixture(scope="module")
+def mixed_fleet():
+    fleet = []
+    for era in ("2008", "2011", "2015", "2021"):
+        fleet += generate_fleet(3, era=era, seed=13)
+    return fleet
+
+
+class TestBatchedVsScalar:
+    def test_all_fields_match_oracle(self, mixed_fleet):
+        batched = evaluate_fleet(mixed_fleet, QUICK)
+        scalar = evaluate_fleet(mixed_fleet, QUICK, path="reference")
+        for b in FLEET_BENCHMARKS:
+            for field in _FIELDS:
+                got = getattr(batched.scores[b], field)
+                want = getattr(scalar.scores[b], field)
+                assert np.allclose(got, want, rtol=1e-9, atol=0.0), (b, field)
+
+    def test_reference_semantics_match_oracle(self, mixed_fleet):
+        batched = evaluate_fleet(mixed_fleet, QUICK, reference=True)
+        scalar = evaluate_fleet(mixed_fleet, QUICK, path="reference", reference=True)
+        for b in FLEET_BENCHMARKS:
+            got = batched.scores[b].efficiency
+            want = scalar.scores[b].efficiency
+            assert np.allclose(got, want, rtol=1e-9, atol=0.0), b
+
+    def test_accepts_packed_columns(self, mixed_fleet):
+        cols = FleetColumns.pack(mixed_fleet)
+        from_cols = evaluate_fleet(cols, QUICK)
+        from_specs = evaluate_fleet(mixed_fleet, QUICK)
+        for b in FLEET_BENCHMARKS:
+            assert np.array_equal(
+                from_cols.scores[b].efficiency, from_specs.scores[b].efficiency
+            )
+
+    def test_system_accessor_round_trips(self, mixed_fleet):
+        evaluation = evaluate_fleet(mixed_fleet, QUICK)
+        row = evaluation.system(2)
+        oracle = evaluate_system(mixed_fleet[2], QUICK)
+        for b in FLEET_BENCHMARKS:
+            assert row[b]["efficiency"] == pytest.approx(
+                oracle[b]["efficiency"], rel=1e-9
+            )
+
+
+class TestOracleVsSimulation:
+    """The analytic path *is* the simulator's truth for fleet jobs.
+
+    A full-machine run packs every node identically with rank-uniform
+    programs and no barrier waits, so utilization is piecewise constant and
+    the sweep-line energy integral collapses to the closed form the fleet
+    path evaluates.  Performance and makespan must agree to float noise,
+    and power must match the record's *true* (unmetered) mean.
+    """
+
+    @pytest.mark.parametrize("index", [0, 2])
+    def test_matches_sim_ground_truth(self, index):
+        from repro.sim import ClusterExecutor
+
+        spec = generate_fleet(3, era="2011", seed=7)[index]
+        result = build_suite(QUICK).run(
+            ClusterExecutor(spec, rng=123), spec.total_cores
+        )
+        analytic = evaluate_system(spec, QUICK)
+        for b in FLEET_BENCHMARKS:
+            sim = result[b]
+            a = analytic[b]
+            assert sim.performance == pytest.approx(a["performance"], rel=1e-9)
+            assert sim.time_s == pytest.approx(a["time_s"], rel=1e-9)
+            assert sim.record.true_mean_power_w == pytest.approx(
+                a["power_w"], rel=1e-9
+            )
+            # The metered value differs only by the simulated meter's noise.
+            assert sim.power_w == pytest.approx(a["power_w"], rel=0.1)
+
+
+class TestMemoization:
+    def test_duplicates_computed_once(self):
+        fleet = generate_fleet(4, era="2011", seed=3)
+        doubled = fleet + fleet  # names repeat but evaluate doesn't care
+        memoized = evaluate_fleet(doubled, QUICK)
+        raw = evaluate_fleet(doubled, QUICK, memoize=False)
+        for b in FLEET_BENCHMARKS:
+            assert memoized.memo_unique[b] == 4
+            assert raw.memo_unique[b] == 8
+            assert np.array_equal(
+                memoized.scores[b].efficiency, raw.scores[b].efficiency
+            )
+
+    def test_clones_score_identically(self):
+        spec = generate_fleet(1, era="2015", seed=9)[0]
+        evaluation = evaluate_fleet([spec] * 5, QUICK)
+        for b in FLEET_BENCHMARKS:
+            eff = evaluation.scores[b].efficiency
+            assert np.all(eff == eff[0])
+            assert evaluation.memo_unique[b] == 1
+
+
+class TestErrors:
+    def test_empty_fleet_rejected(self):
+        with pytest.raises(FleetError):
+            evaluate_fleet([], QUICK)
+
+    def test_unknown_path_rejected(self, mixed_fleet):
+        with pytest.raises(FleetError):
+            evaluate_fleet(mixed_fleet, QUICK, path="warp")
+
+    def test_reference_path_needs_specs(self, mixed_fleet):
+        cols = FleetColumns.pack(mixed_fleet)
+        with pytest.raises(FleetError):
+            evaluate_fleet(cols, QUICK, path="reference")
+
+    def test_tiny_problem_size_rejected(self, mixed_fleet):
+        small = dataclasses.replace(QUICK, hpl_problem_size=16)
+        with pytest.raises(FleetError):
+            evaluate_fleet(mixed_fleet, small)
+        with pytest.raises(FleetError):
+            evaluate_system(mixed_fleet[0], small)
